@@ -1,0 +1,73 @@
+"""E5 — Algorithm 3 / Lemma 7: the aggregation phase takes O(N) rounds.
+
+Measures the full protocol against the counting-only run; the
+difference is the aggregation phase plus its O(D) control rounds, and
+Lemma 7 predicts it is bounded by (max_s T_s) + D + O(D) = O(N).
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.core import distributed_apsp, distributed_betweenness
+from repro.graphs import (
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    grid_graph,
+    karate_club_graph,
+    path_graph,
+)
+
+from .conftest import once
+
+GRAPHS = [
+    path_graph(24),
+    cycle_graph(24),
+    grid_graph(5, 5),
+    karate_club_graph(),
+    connected_erdos_renyi_graph(30, 0.15, seed=2),
+]
+
+
+def run_pair(graph):
+    full = distributed_betweenness(graph, arithmetic="lfloat")
+    counting = distributed_apsp(graph)
+    return full, counting
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_aggregation_rounds_bounded(benchmark, graph):
+    full, counting = once(benchmark, run_pair, graph)
+    aggregation_rounds = full.rounds - counting.rounds
+    t_max = max(full.start_times.values())
+    # Lemma 7: the last send is at T_max + D; add the AggStart broadcast
+    # (D + 1) and the final local round.
+    bound = t_max + 2 * full.diameter + 4
+    print_table(
+        ["metric", "value"],
+        [
+            ["N", graph.num_nodes],
+            ["D", full.diameter],
+            ["total rounds", full.rounds],
+            ["counting-only rounds", counting.rounds],
+            ["aggregation rounds (diff)", aggregation_rounds],
+            ["Lemma 7 bound (T_max + 2D + 4)", bound],
+        ],
+        title="E5 aggregation phase, {}".format(graph.name),
+    )
+    assert 0 < aggregation_rounds <= bound
+
+
+def test_aggregation_work_is_one_send_per_source_node_pair(benchmark):
+    """Each node sends exactly once per foreign source (N*(N-1) sends)."""
+    graph = cycle_graph(16)
+    full, counting = once(benchmark, run_pair, graph)
+    n = graph.num_nodes
+    agg_messages = 0
+    for node in full.nodes:
+        for record in node.ledger:
+            if record.source != node.node_id:
+                agg_messages += len(record.preds)
+    # cycle: every non-source node has exactly 1 predecessor, except the
+    # two antipodal-ish nodes with 2.
+    assert agg_messages >= n * (n - 1)
+    assert full.stats.message_count > counting.stats.message_count

@@ -1,0 +1,91 @@
+"""E7 — Lemmas 3–5 / Theorem 2: every round respects the CONGEST model.
+
+Measures the worst per-edge per-direction per-round bit load across
+graph families and sizes, and its ratio to ceil(log2 N).  A bounded
+ratio as N grows is the measurable form of "each message contains
+O(log N) bits"; the per-edge *message* count additionally witnesses
+Lemma 4's collision-freedom (never two BFS waves or two aggregation
+sends share an edge-round — only a wave plus a control message can).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import print_table
+from repro.core import distributed_betweenness
+from repro.graphs import (
+    complete_graph,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    grid_graph,
+    karate_club_graph,
+    path_graph,
+)
+
+from .conftest import once
+
+GRAPHS = [
+    path_graph(40),
+    cycle_graph(40),
+    grid_graph(6, 6),
+    complete_graph(16),
+    karate_club_graph(),
+    connected_erdos_renyi_graph(40, 0.12, seed=4),
+]
+
+
+def sweep():
+    rows = []
+    for graph in GRAPHS:
+        result = distributed_betweenness(graph, arithmetic="lfloat")
+        log_n = max(1, math.ceil(math.log2(graph.num_nodes)))
+        rows.append(
+            (
+                graph.name,
+                graph.num_nodes,
+                result.arithmetic,
+                result.stats.max_edge_bits_per_round,
+                result.stats.max_edge_bits_per_round / log_n,
+                result.stats.max_edge_messages_per_round,
+            )
+        )
+    return rows
+
+
+def test_max_edge_bits_are_olog_n(benchmark):
+    rows = once(benchmark, sweep)
+    print_table(
+        ["graph", "N", "arith", "max bits/edge/round", "ratio to log2 N",
+         "max msgs/edge/round"],
+        rows,
+        title="E7 CONGEST compliance (strict mode enforced a 32*log2 N "
+        "budget throughout)",
+    )
+    for name, n, _arith, bits, ratio, msgs in rows:
+        assert ratio <= 32, "{} exceeded the CONGEST envelope".format(name)
+        assert msgs <= 3, "{} stacked too many messages on one edge".format(
+            name
+        )
+
+
+def test_ratio_does_not_grow_with_n(benchmark):
+    """The bits/log2(N) ratio stays flat as N quadruples (cycle family)."""
+
+    def measure():
+        out = []
+        for n in (16, 32, 64, 128):
+            result = distributed_betweenness(cycle_graph(n), arithmetic="lfloat")
+            log_n = math.ceil(math.log2(n))
+            out.append((n, result.stats.max_edge_bits_per_round / log_n))
+        return out
+
+    ratios = once(benchmark, measure)
+    print_table(
+        ["N", "max-bits ratio to log2 N"],
+        ratios,
+        title="E7 scaling of the congestion ratio (cycles)",
+    )
+    values = [ratio for _, ratio in ratios]
+    assert max(values) <= 32
+    assert max(values) / min(values) < 2.0

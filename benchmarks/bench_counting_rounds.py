@@ -1,0 +1,62 @@
+"""E4 — Algorithm 2 / Lemma 6: the counting phase takes O(N) rounds.
+
+Runs the counting phase alone (distributed APSP) on growing instances
+and fits rounds against N; the fit's log-log exponent ≈ 1 and a
+bounded rounds/N ratio are the measurable form of Lemma 6.
+"""
+
+import pytest
+
+from repro.analysis import linear_fit, power_law_exponent, print_table
+from repro.core import distributed_apsp
+from repro.graphs import (
+    balanced_tree,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    path_graph,
+)
+
+from .conftest import once
+
+FAMILIES = {
+    "path": [path_graph(n) for n in (16, 32, 48, 64)],
+    "cycle": [cycle_graph(n) for n in (16, 32, 48, 64)],
+    "tree": [balanced_tree(2, h) for h in (3, 4, 5)],
+    "er": [connected_erdos_renyi_graph(n, 4.0 / n, seed=3) for n in (16, 32, 48, 64)],
+}
+
+
+def run_family(graphs):
+    return [(g.num_nodes, distributed_apsp(g)) for g in graphs]
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES), ids=str)
+def test_counting_rounds_linear(benchmark, family):
+    samples = once(benchmark, run_family, FAMILIES[family])
+    ns = [n for n, _ in samples]
+    rounds = [r.rounds for _, r in samples]
+    print_table(
+        ["N", "D", "counting rounds", "rounds/N"],
+        [
+            [n, r.diameter, r.rounds, r.rounds / n]
+            for n, r in samples
+        ],
+        title="E4 counting phase, {} family".format(family),
+    )
+    exponent = power_law_exponent(ns, rounds)
+    fit = linear_fit(ns, rounds)
+    assert exponent < 1.25, "counting rounds grew super-linearly"
+    assert fit.r_squared > 0.95
+    assert all(r <= 12 * n + 40 for n, r in zip(ns, rounds))
+
+
+def test_counting_correct_while_fast(benchmark):
+    """The speed does not come at the cost of wrong distances."""
+    from repro.graphs import all_pairs_distances
+
+    graph = cycle_graph(32)
+    result = once(benchmark, distributed_apsp, graph)
+    reference = all_pairs_distances(graph)
+    for v in graph.nodes():
+        for s in graph.nodes():
+            assert result.distances[v][s] == reference[s][v]

@@ -1,0 +1,152 @@
+"""E15–E17 — the paper's stated extensions, measured.
+
+* **E15 distributed stress** (footnote 3: "the stress centrality can
+  also be computed in a similar way"): same two-phase protocol, unit
+  term 1 instead of 1/sigma; exact integer agreement with the
+  centralized definition at the same O(N) round cost.
+* **E16 weighted graphs via virtual nodes** (conclusion, after
+  Nanongkai [16]): subdivision preserves weighted BC exactly; rounds
+  scale with the subdivided size N' = N + sum(w - 1).
+* **E17 sampled distributed BC** (Holzer's thesis [15] direction):
+  pivot subsets cut message volume proportionally but *not* the round
+  count — quantifying why the paper's exact O(N) algorithm dominates in
+  the CONGEST model.
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.centrality import (
+    brandes_betweenness,
+    stress_centrality,
+    weighted_brandes_betweenness,
+)
+from repro.core import (
+    distributed_betweenness,
+    distributed_sampled_betweenness,
+    distributed_stress,
+    distributed_weighted_betweenness,
+)
+from repro.graphs import WeightedGraph, grid_graph, karate_club_graph
+
+from .conftest import once
+
+
+# ----------------------------------------------------------------------
+# E15 — distributed stress
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "graph", [karate_club_graph(), grid_graph(4, 5)], ids=lambda g: g.name
+)
+def test_e15_distributed_stress(benchmark, graph):
+    result = once(benchmark, distributed_stress, graph)
+    reference = stress_centrality(graph)
+    bc_run = distributed_betweenness(graph, arithmetic="exact")
+    assert result.stress == reference
+    top = sorted(graph.nodes(), key=lambda v: result.stress[v], reverse=True)[:5]
+    print_table(
+        ["node", "stress (distributed)", "stress (centralized)"],
+        [[v, result.stress[v], reference[v]] for v in top],
+        title="E15 distributed stress on {} — rounds {} (betweenness run: "
+        "{})".format(graph.name, result.rounds, bc_run.rounds),
+    )
+    # identical protocol skeleton ⇒ identical round count
+    assert result.rounds == bc_run.rounds
+
+
+# ----------------------------------------------------------------------
+# E16 — weighted graphs via subdivision
+# ----------------------------------------------------------------------
+def _weighted_instance(scale):
+    base = [(0, 1, 1), (1, 2, 2), (2, 3, 1), (3, 4, 2), (4, 0, 3), (1, 3, 2)]
+    return WeightedGraph(
+        5,
+        [(u, v, w * scale) for u, v, w in base],
+        name="weighted-pentagon-x{}".format(scale),
+    )
+
+
+def test_e16_weighted_exact_agreement(benchmark):
+    graph = _weighted_instance(2)
+    result = once(benchmark, distributed_weighted_betweenness, graph)
+    reference = weighted_brandes_betweenness(graph, exact=True)
+    assert result.betweenness_exact == reference
+    print_table(
+        ["node", "distributed weighted CB", "weighted Brandes"],
+        [
+            [v, str(result.betweenness_exact[v]), str(reference[v])]
+            for v in graph.nodes()
+        ],
+        title="E16 weighted betweenness via virtual nodes "
+        "(N={} real + {} virtual, rounds={})".format(
+            graph.num_nodes, result.subdivision.num_virtual, result.rounds
+        ),
+    )
+
+
+def test_e16_rounds_scale_with_total_weight(benchmark):
+    def sweep():
+        rows = []
+        for scale in (1, 2, 3, 4):
+            graph = _weighted_instance(scale)
+            result = distributed_weighted_betweenness(graph)
+            n_prime = result.subdivision.graph.num_nodes
+            rows.append((scale, graph.total_weight(), n_prime, result.rounds,
+                         result.rounds / n_prime))
+        return rows
+
+    rows = once(benchmark, sweep)
+    print_table(
+        ["weight scale", "total weight", "N' (subdivided)", "rounds",
+         "rounds/N'"],
+        rows,
+        title="E16 the virtual-node price: rounds grow with N' = N + Σ(w-1)",
+    )
+    per_nprime = [r[-1] for r in rows]
+    assert max(per_nprime) / min(per_nprime) < 2.5  # linear in N'
+    assert rows[-1][3] > rows[0][3]
+
+
+# ----------------------------------------------------------------------
+# E17 — sampled distributed BC
+# ----------------------------------------------------------------------
+def test_e17_sampling_tradeoff(benchmark):
+    graph = karate_club_graph()
+    exact = brandes_betweenness(graph)
+    scale = max(exact.values())
+
+    def sweep():
+        rows = []
+        full = distributed_betweenness(graph)
+        for k in (4, 8, 16, 34):
+            run = distributed_sampled_betweenness(graph, k, seed=5)
+            err = max(
+                abs(run.estimate[v] - exact[v]) for v in graph.nodes()
+            ) / scale
+            rows.append(
+                (
+                    k,
+                    run.rounds,
+                    run.stats.message_count,
+                    run.stats.message_count / full.stats.message_count,
+                    err,
+                )
+            )
+        return rows, full
+
+    rows, full = once(benchmark, sweep)
+    print_table(
+        ["pivots k", "rounds", "messages", "msg fraction of exact run",
+         "normalized max error"],
+        rows,
+        title="E17 sampled distributed BC on {} (exact run: {} rounds, "
+        "{} messages)".format(
+            graph.name, full.rounds, full.stats.message_count
+        ),
+    )
+    messages = [r[2] for r in rows]
+    assert messages == sorted(messages)  # messages grow with k
+    # k = N is exact up to L-float rounding (the default arithmetic)
+    assert rows[-1][4] < 1e-3
+    # rounds do NOT shrink with k — the DFS tour dominates
+    assert max(r[1] for r in rows) <= full.rounds + 5

@@ -1,0 +1,97 @@
+"""E1 — Figure 1: the paper's worked example, reproduced number by number.
+
+Regenerates the five sending-time tables of Figure 1 (a)–(e), the psi /
+dependency walkthrough of Section VII, and CB(v2) = 7/2, from both the
+analytic schedule and the actual simulator run.
+"""
+
+from fractions import Fraction
+
+from repro.analysis import print_table
+from repro.centrality import brandes_betweenness
+from repro.core import (
+    bfs_start_times,
+    distributed_betweenness,
+    figure1_tables,
+    sending_times,
+)
+from repro.graphs import figure1_graph
+
+from .conftest import once
+
+#: The sending times printed in Figure 1, via T_s(v) = T_s + D - d(s, v)
+#: with the shortcut-DFS start times T = (0, 2, 4, 6, 8) and D = 3.
+PAPER_TABLES = {
+    0: {0: 3, 1: 2, 2: 1, 3: 0, 4: 1},   # BFS(v1)
+    1: {0: 4, 1: 5, 2: 4, 3: 3, 4: 4},   # BFS(v2)
+    2: {0: 5, 1: 6, 2: 7, 3: 6, 4: 5},   # BFS(v3)
+    3: {0: 6, 1: 7, 2: 8, 3: 9, 4: 8},   # BFS(v4)
+    4: {0: 9, 1: 10, 2: 9, 3: 10, 4: 11},  # BFS(v5)
+}
+
+
+def test_sending_time_tables(benchmark):
+    tables = once(benchmark, figure1_tables)
+    assert tables == PAPER_TABLES
+    graph = figure1_graph()
+    start = bfs_start_times(graph, 0, mode="shortcut")
+    for s in graph.nodes():
+        print_table(
+            ["node", "T_{}(v) = T_s + D - d".format("v" + str(s + 1))],
+            [["v{}".format(v + 1), tables[s][v]] for v in graph.nodes()],
+            title="Figure 1({}) — BFS(v{}), T_s = {}".format(
+                "abcde"[s], s + 1, start[s]
+            ),
+        )
+
+
+def test_paper_quoted_sending_times_of_v4(benchmark):
+    tables = once(benchmark, figure1_tables)
+    v4 = 3
+    quoted = {0: 0, 1: 3, 2: 6, 4: 10}  # from the Section VII text
+    for s, expected in quoted.items():
+        assert tables[s][v4] == expected
+
+
+def test_dependency_walkthrough(benchmark):
+    """psi_v1(v3) = psi_v1(v5) = 1/2, delta_v1(v2) = 3, CB(v2) = 7/2."""
+    graph = figure1_graph()
+    result = once(
+        benchmark, distributed_betweenness, graph, arithmetic="exact"
+    )
+    assert result.dependency(0, 1) == Fraction(3)
+    assert result.betweenness_exact[1] == Fraction(7, 2)
+    assert result.betweenness_exact == brandes_betweenness(graph, exact=True)
+    print_table(
+        ["node", "CB (distributed)", "CB (Brandes)"],
+        [
+            ["v{}".format(v + 1), str(result.betweenness_exact[v]),
+             str(brandes_betweenness(graph, exact=True)[v])]
+            for v in graph.nodes()
+        ],
+        title="Figure 1 betweenness values (rounds={}, D={})".format(
+            result.rounds, result.diameter
+        ),
+    )
+
+
+def test_simulator_schedule_matches_formula(benchmark):
+    """The live run's aggregation sends follow T_s + D - d(s, u)."""
+    graph = figure1_graph()
+    result = once(
+        benchmark, distributed_betweenness, graph, arithmetic="exact"
+    )
+    live = sending_times(graph, result.start_times, result.diameter)
+    for s in graph.nodes():
+        for v in graph.nodes():
+            assert (
+                live[s][v]
+                == result.start_times[s] + result.diameter
+                - abs_dist(graph, s, v)
+            )
+
+
+def abs_dist(graph, s, v):
+    from repro.graphs import bfs_distances
+
+    return bfs_distances(graph, s)[v]

@@ -1,0 +1,113 @@
+"""E8 — Section VI / Theorem 1 / Corollary 1: floating-point error bounds.
+
+Sweeps the precision L on fixed graphs (error must shrink as ~2^-L,
+within the Theorem 1 envelope) and sweeps N at the automatic
+L = 3 log2 N (error must stay polynomially small in N, Corollary 1).
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.arithmetic import (
+    corollary1_error,
+    lemma1_bound,
+    recommended_precision,
+    theorem1_bound,
+)
+from repro.centrality import brandes_betweenness
+from repro.core import distributed_betweenness
+from repro.graphs import (
+    connected_erdos_renyi_graph,
+    diamond_chain_graph,
+    grid_graph,
+    karate_club_graph,
+)
+
+from .conftest import once
+
+
+def max_rel_error(graph, result, reference):
+    worst = 0.0
+    for v in graph.nodes():
+        if reference[v]:
+            worst = max(
+                worst, abs(result.betweenness[v] / float(reference[v]) - 1.0)
+            )
+    return worst
+
+
+def precision_sweep(graph, precisions):
+    reference = brandes_betweenness(graph, exact=True)
+    rows = []
+    for precision in precisions:
+        result = distributed_betweenness(
+            graph, arithmetic="lfloat-{}".format(precision)
+        )
+        rows.append(
+            (
+                precision,
+                max_rel_error(graph, result, reference),
+                lemma1_bound(precision),
+                theorem1_bound(precision, graph.num_nodes, result.diameter),
+            )
+        )
+    return rows
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [karate_club_graph(), grid_graph(4, 5),
+     connected_erdos_renyi_graph(24, 0.2, seed=6)],
+    ids=lambda g: g.name,
+)
+def test_error_shrinks_with_precision(benchmark, graph):
+    rows = once(benchmark, precision_sweep, graph, (10, 14, 18, 22, 26))
+    print_table(
+        ["L", "measured max rel err", "2^(1-L)", "Theorem 1 envelope"],
+        rows,
+        title="E8 precision sweep on {}".format(graph.name),
+    )
+    for precision, measured, _lemma, envelope in rows:
+        assert measured <= envelope
+    # monotone improvement across a 16-bit precision gap
+    assert rows[-1][1] <= rows[0][1]
+
+
+def test_corollary1_automatic_precision(benchmark):
+    def sweep():
+        rows = []
+        for k in (4, 8, 12, 16, 20):
+            graph = diamond_chain_graph(k)
+            precision = recommended_precision(graph.num_nodes)
+            reference = brandes_betweenness(graph, exact=True)
+            result = distributed_betweenness(graph, arithmetic="lfloat")
+            rows.append(
+                (
+                    graph.num_nodes,
+                    precision,
+                    max_rel_error(graph, result, reference),
+                    corollary1_error(graph.num_nodes, 3.0),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, sweep)
+    print_table(
+        ["N", "L = 3 log2 N", "measured max rel err", "N^-(c-2)"],
+        rows,
+        title="E8 Corollary 1: error at automatic precision "
+        "(diamond chains, sigma = 2^k)",
+    )
+    for _n, _precision, measured, scale in rows:
+        assert measured <= max(scale, 1e-9)
+
+
+def test_exact_vs_lfloat_values_agree(benchmark):
+    """The two arithmetic modes agree to the error envelope on one run."""
+    graph = karate_club_graph()
+    result = once(benchmark, distributed_betweenness, graph, "lfloat")
+    exact = distributed_betweenness(graph, arithmetic="exact")
+    for v in graph.nodes():
+        reference = exact.betweenness[v]
+        if reference:
+            assert abs(result.betweenness[v] / reference - 1.0) < 1e-2

@@ -1,0 +1,76 @@
+"""E21 — micro-benchmarks of the Section VI arithmetic.
+
+The CONGEST model charges nothing for local computation, but an
+implementer pays for it; these micro-benchmarks price the L-float
+operations (bit-true integer arithmetic) against Python's exact
+integers/fractions, and confirm the costs stay flat in the *value
+magnitude* (the whole point: 2^1000 costs the same as 7).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arithmetic import LFloat, Rounding
+
+PRECISION = 24
+SMALL = LFloat.from_int(12345, PRECISION, Rounding.CEIL)
+HUGE = LFloat.from_int(2**1000 + 12345, PRECISION, Rounding.CEIL)
+SMALL_INT = 12345
+HUGE_INT = 2**1000 + 12345
+
+
+def test_lfloat_add_small(benchmark):
+    result = benchmark(lambda: SMALL.add(SMALL, Rounding.CEIL))
+    assert result.to_fraction() >= 2 * SMALL.to_fraction() * (1 - 2**-20)
+
+
+def test_lfloat_add_huge(benchmark):
+    result = benchmark(lambda: HUGE.add(HUGE, Rounding.CEIL))
+    assert result.exponent == HUGE.exponent + 1
+
+
+def test_lfloat_mul(benchmark):
+    result = benchmark(lambda: HUGE.mul(SMALL, Rounding.NEAREST))
+    assert not result.is_zero
+
+
+def test_lfloat_reciprocal(benchmark):
+    result = benchmark(lambda: HUGE.reciprocal(Rounding.FLOOR))
+    assert result.exponent < 0
+
+
+def test_lfloat_encode_decode(benchmark):
+    def roundtrip():
+        return LFloat.decode(HUGE.encode(), PRECISION)
+
+    assert benchmark(roundtrip).to_fraction() == HUGE.to_fraction()
+
+
+def test_exact_int_add_huge_baseline(benchmark):
+    benchmark(lambda: HUGE_INT + HUGE_INT)
+
+
+def test_exact_fraction_add_baseline(benchmark):
+    a = Fraction(1, HUGE_INT)
+    benchmark(lambda: a + a)
+
+
+def test_lfloat_magnitude_independence(benchmark):
+    """Cost of an add must not grow with the represented magnitude."""
+    import timeit
+
+    def measure(value):
+        return min(
+            timeit.repeat(
+                lambda: value.add(value, Rounding.CEIL), number=2000, repeat=3
+            )
+        )
+
+    def both():
+        return measure(SMALL), measure(HUGE)
+
+    small_t, huge_t = benchmark.pedantic(both, rounds=1, iterations=1)
+    # identical mantissa widths => comparable cost (generous 3x band
+    # for timer noise)
+    assert huge_t < 3 * small_t + 1e-3

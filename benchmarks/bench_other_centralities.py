@@ -1,0 +1,56 @@
+"""E14 — Section I: closeness and graph centrality in O(N) rounds.
+
+The paper's introduction observes that once distributed APSP is
+available, closeness and graph centrality are immediate — each node
+holds its own distance row.  This bench runs the counting phase alone
+and checks that (a) the derived centralities match the centralized
+definitions exactly and (b) the round cost is the counting phase's O(N).
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.centrality import closeness_centrality, graph_centrality
+from repro.core import distributed_apsp, distributed_betweenness
+from repro.graphs import (
+    connected_erdos_renyi_graph,
+    grid_graph,
+    karate_club_graph,
+    path_graph,
+)
+
+from .conftest import once
+
+GRAPHS = [
+    path_graph(30),
+    grid_graph(5, 6),
+    karate_club_graph(),
+    connected_erdos_renyi_graph(30, 0.15, seed=21),
+]
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_closeness_and_graph_centrality_for_free(benchmark, graph):
+    apsp = once(benchmark, distributed_apsp, graph)
+    closeness = apsp.closeness()
+    graph_c = apsp.graph_centrality()
+    exact_cc = closeness_centrality(graph)
+    exact_cg = graph_centrality(graph)
+    for v in graph.nodes():
+        assert closeness[v] == pytest.approx(exact_cc[v])
+        assert graph_c[v] == pytest.approx(exact_cg[v])
+    full = distributed_betweenness(graph, arithmetic="lfloat")
+    print_table(
+        ["metric", "value"],
+        [
+            ["N", graph.num_nodes],
+            ["counting-only rounds (CC + CG)", apsp.rounds],
+            ["full BC rounds", full.rounds],
+            ["extra rounds BC needs", full.rounds - apsp.rounds],
+            ["diameter", apsp.diameter],
+        ],
+        title="E14 closeness/graph centrality from the counting phase, "
+        "{}".format(graph.name),
+    )
+    assert apsp.rounds < full.rounds
+    assert apsp.rounds <= 12 * graph.num_nodes + 40

@@ -1,0 +1,67 @@
+"""E19 — the CONGEST primitives: leader election and tree building in O(D).
+
+The paper assumes BFS(u0) "rooted in a randomly selected vertex" as
+given.  The primitives library discharges that premise inside the
+model; this bench verifies both primitives scale with the *diameter*,
+not with N:
+
+* leader election (competing BFS candidacies) on paths vs complete
+  graphs — rounds track D while N grows;
+* BFS tree + census — likewise O(D).
+"""
+
+import pytest
+
+from repro.analysis import linear_fit, print_table
+from repro.congest import elect_root, make_bfs_tree_factory, run_protocol
+from repro.graphs import complete_graph, diameter, path_graph
+
+from .conftest import once
+
+
+def election_sweep():
+    rows = []
+    for graph in [path_graph(n) for n in (8, 16, 32, 64)] + [
+        complete_graph(n) for n in (8, 16, 32, 64)
+    ]:
+        leader, rounds = elect_root(graph)
+        rows.append((graph.name, graph.num_nodes, diameter(graph), rounds))
+    return rows
+
+
+def test_election_rounds_track_diameter(benchmark):
+    rows = once(benchmark, election_sweep)
+    print_table(
+        ["graph", "N", "D", "election rounds"],
+        rows,
+        title="E19 leader election: O(D) rounds, independent of N",
+    )
+    paths = [r for r in rows if r[0].startswith("path")]
+    completes = [r for r in rows if r[0].startswith("complete")]
+    # on paths rounds grow with D ~ N
+    fit = linear_fit([r[2] for r in paths], [r[3] for r in paths])
+    assert fit.r_squared > 0.99
+    assert 1 <= fit.slope <= 4
+    # on complete graphs (D = 1) rounds are flat while N octuples
+    complete_rounds = [r[3] for r in completes]
+    assert max(complete_rounds) - min(complete_rounds) <= 2
+
+
+def test_bfs_tree_census_rounds(benchmark):
+    def sweep():
+        rows = []
+        for n in (8, 16, 32, 64):
+            graph = path_graph(n)
+            nodes, stats = run_protocol(graph, make_bfs_tree_factory(0))
+            assert nodes[0].census == n
+            rows.append((n, diameter(graph), stats.rounds))
+        return rows
+
+    rows = once(benchmark, sweep)
+    print_table(
+        ["N", "D", "tree+census rounds"],
+        rows,
+        title="E19 BFS tree with census: O(D) rounds",
+    )
+    for n, d, rounds in rows:
+        assert rounds <= 3 * d + 8

@@ -1,0 +1,89 @@
+"""E18 — protocol anatomy: message complexity, phase by phase.
+
+Beyond round complexity, the protocol's *message* complexity has exact
+closed forms, all O(N·M):
+
+=============  =========================================
+TreeWave       2M            (every node broadcasts once)
+TreeJoin       N − 1         (one join per tree edge)
+SubtreeCount   N − 1
+Announce       N − 1
+DfsToken       2(N − 1)      (Euler tour of the tree)
+BfsWave        2MN           (every node re-broadcasts every wave)
+DoneReport     N − 1
+AggStart       N − 1
+AggValue       Σ_{u, s≠u} |P_s(u)|  (one send per predecessor link)
+=============  =========================================
+
+The traced run verifies every row and prints the round-timeline
+"figure" showing the three phases of the algorithm.
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.congest import Tracer
+from repro.core import distributed_betweenness
+from repro.graphs import (
+    grid_graph,
+    karate_club_graph,
+    predecessor_sets,
+)
+
+from .conftest import once
+
+GRAPHS = [karate_club_graph(), grid_graph(4, 5)]
+
+
+def traced_run(graph):
+    tracer = Tracer()
+    result = distributed_betweenness(graph, arithmetic="lfloat", tracer=tracer)
+    return tracer, result
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_message_complexity_closed_forms(benchmark, graph):
+    tracer, result = once(benchmark, traced_run, graph)
+    n, m = graph.num_nodes, graph.num_edges
+    pred_links = sum(
+        len(predecessor_sets(graph, s)[u])
+        for s in graph.nodes()
+        for u in graph.nodes()
+    )
+    expected = {
+        "TreeWave": 2 * m,
+        "TreeJoin": n - 1,
+        "SubtreeCount": n - 1,
+        "Announce": n - 1,
+        "DfsToken": 2 * (n - 1),
+        "BfsWave": 2 * m * n,
+        "DoneReport": n - 1,
+        "AggStart": n - 1,
+        "AggValue": pred_links,
+    }
+    summary = tracer.summary()
+    rows = [
+        (name, summary[name]["count"], expected[name],
+         summary[name]["first_round"], summary[name]["last_round"])
+        for name in expected
+    ]
+    print_table(
+        ["message", "measured", "closed form", "first round", "last round"],
+        rows,
+        title="E18 message complexity on {} (N={}, M={})".format(
+            graph.name, n, m
+        ),
+    )
+    for name, measured, predicted, _f, _l in rows:
+        assert measured == predicted, name
+    print(tracer.timeline(width=64))
+    print()
+
+
+def test_phase_boundaries_ordered(benchmark):
+    tracer, result = once(benchmark, traced_run, karate_club_graph())
+    order = ["TreeWave", "BfsWave", "DoneReport", "AggStart", "AggValue"]
+    firsts = [tracer.rounds_active(name)[0] for name in order]
+    assert firsts == sorted(firsts)
+    # aggregation ends the run
+    assert tracer.rounds_active("AggValue")[1] >= result.rounds - 3

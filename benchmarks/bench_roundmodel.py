@@ -1,0 +1,95 @@
+"""E20 — the closed-form round model: exact timing without simulation.
+
+Because every phase of the protocol is deterministic, the total round
+count has a closed form (`repro.core.roundmodel`).  This bench
+
+* verifies the prediction equals the simulator **exactly** across
+  families (including the 77-node Les Misérables network), and
+* uses the model as a capacity planner: timing predictions for networks
+  far beyond what the Python simulator would care to simulate.
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.core import distributed_betweenness, predict_rounds, rounds_upper_bound
+from repro.graphs import (
+    balanced_tree,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    grid_graph,
+    karate_club_graph,
+    les_miserables_graph,
+    path_graph,
+)
+
+from .conftest import once
+
+GRAPHS = [
+    path_graph(40),
+    cycle_graph(40),
+    grid_graph(6, 6),
+    balanced_tree(2, 5),
+    karate_club_graph(),
+    les_miserables_graph()[0],
+    connected_erdos_renyi_graph(40, 0.1, seed=5),
+]
+
+
+def test_model_matches_simulator_exactly(benchmark):
+    def sweep():
+        rows = []
+        for graph in GRAPHS:
+            model = predict_rounds(graph)
+            run = distributed_betweenness(graph, arithmetic="lfloat")
+            rows.append(
+                (
+                    graph.name,
+                    graph.num_nodes,
+                    model.diameter,
+                    run.rounds,
+                    model.total_rounds,
+                    run.rounds == model.total_rounds,
+                    rounds_upper_bound(graph.num_nodes, model.diameter),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, sweep)
+    print_table(
+        ["graph", "N", "D", "measured rounds", "predicted", "exact?",
+         "6N+8D+3 bound"],
+        rows,
+        title="E20 closed-form round model vs simulator",
+    )
+    for row in rows:
+        assert row[5], "{} prediction missed".format(row[0])
+        assert row[3] <= row[6]
+
+
+def test_capacity_planning_without_simulation(benchmark):
+    """The model scales to sizes the simulator never could."""
+
+    # predict_rounds costs one BFS per node (O(N M)) — far cheaper than
+    # simulating Theta(M N) message deliveries round by round, though
+    # still quadratic; N = 1024 evaluates in well under a second where
+    # the simulator would churn through ~2 million deliveries.
+    def plan():
+        rows = []
+        for n in (128, 256, 512, 1_024):
+            graph = cycle_graph(n)
+            model = predict_rounds(graph)
+            rows.append(
+                (n, model.diameter, model.t_max, model.total_rounds,
+                 model.total_rounds / n)
+            )
+        return rows
+
+    rows = once(benchmark, plan)
+    print_table(
+        ["N (cycle)", "D", "T_max", "predicted rounds", "rounds/N"],
+        rows,
+        title="E20 capacity planning via the model (no simulation)",
+    )
+    ratios = [r[-1] for r in rows]
+    assert max(ratios) - min(ratios) < 0.5  # the constant converges

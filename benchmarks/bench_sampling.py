@@ -1,0 +1,78 @@
+"""E13 — Related work (Section II): sampling approximation trade-offs.
+
+The approximations of Brandes–Pich / Eppstein–Wang and Bader et al.
+trade accuracy for fewer SSSP computations.  This bench reproduces the
+trade-off curve — error falling with the pivot count k — and the
+adaptive scheme's early stopping on high-centrality nodes, contrasting
+both with the exact algorithms (Brandes and the distributed protocol).
+"""
+
+import pytest
+
+from repro.analysis import print_table
+from repro.centrality import (
+    adaptive_sampled_betweenness,
+    brandes_betweenness,
+    required_samples,
+    sampled_betweenness,
+)
+from repro.graphs import barbell_graph, karate_club_graph
+
+from .conftest import once
+
+GRAPH = karate_club_graph()
+
+
+def pivot_sweep():
+    exact = brandes_betweenness(GRAPH)
+    scale = max(exact.values())
+    rows = []
+    for k in (2, 4, 8, 16, 32, GRAPH.num_nodes):
+        errors = []
+        for seed in range(5):
+            estimate = sampled_betweenness(GRAPH, k, seed=seed)
+            errors.append(
+                max(abs(estimate[v] - exact[v]) for v in GRAPH.nodes()) / scale
+            )
+        rows.append((k, sum(errors) / len(errors), max(errors)))
+    return rows
+
+
+def test_pivot_error_decreases_with_samples(benchmark):
+    rows = once(benchmark, pivot_sweep)
+    print_table(
+        ["pivots k", "mean normalized max-error", "worst over 5 seeds"],
+        rows,
+        title="E13 Brandes–Pich sampling on {} (exact needs k=N={}; the "
+        "eps=0.1 guarantee needs k={})".format(
+            GRAPH.name,
+            GRAPH.num_nodes,
+            required_samples(GRAPH.num_nodes, 0.1, 0.1),
+        ),
+    )
+    assert rows[-1][1] < 1e-9  # k = N without replacement is exact
+    assert rows[0][1] > rows[-2][1] * 0.5 or rows[0][1] > rows[-1][1]
+
+
+def test_adaptive_stops_early_for_central_nodes(benchmark):
+    graph = barbell_graph(8, 2)
+    bridge_node = 8  # first bridge node: near-maximal betweenness
+
+    def run():
+        return adaptive_sampled_betweenness(graph, bridge_node, c=2.0, seed=3)
+
+    estimate, used = once(benchmark, run)
+    exact = brandes_betweenness(graph)[bridge_node]
+    print_table(
+        ["metric", "value"],
+        [
+            ["node", bridge_node],
+            ["exact CB", exact],
+            ["adaptive estimate", estimate],
+            ["SSSP used", used],
+            ["SSSP for exact", graph.num_nodes],
+        ],
+        title="E13 Bader-style adaptive sampling on {}".format(graph.name),
+    )
+    assert used < graph.num_nodes
+    assert estimate == pytest.approx(exact, rel=0.6)

@@ -1,0 +1,80 @@
+"""E6 — Theorem 3: the complete protocol runs in O(N) rounds.
+
+The headline complexity claim.  Four graph families spanning the
+diameter spectrum (D = N-1 paths down to D = O(log N) expanders), each
+swept over N; the table reports rounds, rounds/N, the linear fit, and
+the distance to the Ω(D + N/log N) lower bound (Theorems 5/6) — the
+measured gap stays O(log N), i.e. "nearly optimal".
+"""
+
+import pytest
+
+from repro.analysis import linear_fit, power_law_exponent, print_table
+from repro.core import distributed_betweenness
+from repro.graphs import (
+    balanced_tree,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.lowerbound import optimality_gap, theorem_lower_bound
+
+from .conftest import once
+
+SIZES = (16, 32, 48, 64, 80)
+
+FAMILIES = {
+    "path": [path_graph(n) for n in SIZES],
+    "cycle": [cycle_graph(n) for n in SIZES],
+    "tree": [balanced_tree(2, h) for h in (3, 4, 5, 6)],
+    "er": [
+        connected_erdos_renyi_graph(n, 4.0 / n, seed=9) for n in SIZES
+    ],
+}
+
+
+def run_family(graphs):
+    return [(g, distributed_betweenness(g, arithmetic="lfloat")) for g in graphs]
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES), ids=str)
+def test_total_rounds_linear_in_n(benchmark, family):
+    samples = once(benchmark, run_family, FAMILIES[family])
+    ns = [g.num_nodes for g, _ in samples]
+    rounds = [r.rounds for _, r in samples]
+    rows = []
+    for g, r in samples:
+        bound = theorem_lower_bound(g.num_nodes, r.diameter)
+        rows.append(
+            [
+                g.num_nodes,
+                r.diameter,
+                r.rounds,
+                r.rounds / g.num_nodes,
+                bound,
+                optimality_gap(r.rounds, g.num_nodes, r.diameter),
+            ]
+        )
+    fit = linear_fit(ns, rounds)
+    exponent = power_law_exponent(ns, rounds)
+    print_table(
+        ["N", "D", "rounds", "rounds/N", "lower bound", "gap (x)"],
+        rows,
+        title="E6 total rounds, {} family — fit: rounds = {:.2f} N + {:.1f} "
+        "(R^2={:.4f}, log-log exponent {:.3f})".format(
+            family, fit.slope, fit.intercept, fit.r_squared, exponent
+        ),
+    )
+    assert exponent < 1.25
+    assert fit.r_squared > 0.95
+    assert all(r <= 14 * n + 40 for n, r in zip(ns, rounds))
+
+
+def test_dense_graph_constant(benchmark):
+    """Low-diameter dense graphs have the smallest rounds/N constants."""
+    from repro.graphs import complete_graph
+
+    result = once(
+        benchmark, distributed_betweenness, complete_graph(24), "lfloat"
+    )
+    assert result.rounds / 24 < 8

@@ -1,0 +1,66 @@
+"""E3 — Algorithm 1 baselines: Brandes vs naive vs networkx vs distributed.
+
+Cross-validates all betweenness implementations on the same graphs and
+times them.  The simulator is of course slower in *wall-clock* time than
+centralized Brandes — it simulates every message of every round — but
+the point of the paper is round complexity, reported alongside.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import print_table
+from repro.centrality import brandes_betweenness, naive_betweenness
+from repro.core import distributed_betweenness
+from repro.graphs import (
+    connected_erdos_renyi_graph,
+    grid_graph,
+    karate_club_graph,
+)
+from repro.graphs.convert import to_networkx
+
+from .conftest import once
+
+GRAPHS = [
+    karate_club_graph(),
+    grid_graph(5, 5),
+    connected_erdos_renyi_graph(30, 0.15, seed=12),
+]
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_brandes_timing(benchmark, graph):
+    bc = benchmark(brandes_betweenness, graph)
+    theirs = nx.betweenness_centrality(to_networkx(graph), normalized=False)
+    for v in graph.nodes():
+        assert bc[v] == pytest.approx(theirs[v], abs=1e-9)
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_networkx_timing(benchmark, graph):
+    nxg = to_networkx(graph)
+    benchmark(nx.betweenness_centrality, nxg, normalized=False)
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_naive_timing(benchmark, graph):
+    bc = once(benchmark, naive_betweenness, graph)
+    reference = brandes_betweenness(graph, exact=True)
+    assert bc == reference
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_distributed_simulation_timing(benchmark, graph):
+    result = once(benchmark, distributed_betweenness, graph, "exact")
+    reference = brandes_betweenness(graph, exact=True)
+    assert result.betweenness_exact == reference
+    print_table(
+        ["metric", "value"],
+        [
+            ["N", graph.num_nodes],
+            ["rounds (the paper's metric)", result.rounds],
+            ["messages simulated", result.stats.message_count],
+            ["exact match with Brandes", True],
+        ],
+        title="E3 distributed vs centralized on {}".format(graph.name),
+    )

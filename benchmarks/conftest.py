@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment of DESIGN.md's per-experiment index (E1–E14) has one
+``bench_*.py`` module here.  Each test uses the pytest-benchmark fixture
+to time the interesting computation once (``once`` helper — simulator
+runs are deterministic, repetition adds nothing) and *prints the table
+the experiment reproduces*; run with ``-s`` to see the tables::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single timed invocation and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

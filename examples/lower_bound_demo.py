@@ -1,0 +1,142 @@
+"""Walking through the Section IX lower-bound constructions.
+
+Builds a Figure 2 (diameter) and a Figure 3 (betweenness) gadget for
+matched/unmatched subset families, verifies Lemma 8 and Lemma 9 by
+direct measurement, then runs the *actual* distributed BC algorithm
+across the gadget's narrow cut to solve set disjointness — the Theorem 6
+reduction, live.
+
+Usage::
+
+    python examples/lower_bound_demo.py
+"""
+
+from repro.analysis import print_table
+from repro.centrality import brandes_betweenness
+from repro.graphs import bfs_distances, diameter
+from repro.lowerbound import (
+    build_bc_gadget,
+    build_diameter_gadget,
+    disjointness_bits_lower_bound,
+    family_pair,
+    optimality_gap,
+    solve_disjointness_via_bc,
+    theorem_lower_bound,
+)
+
+
+def show_diameter_gadget(intersect: bool) -> None:
+    x_family, y_family, m = family_pair(
+        3, m=6, seed=11, force_intersection=intersect
+    )
+    gadget = build_diameter_gadget(x_family, y_family, x=10, m=m)
+    measured = diameter(gadget.graph)
+    rows = []
+    for i in range(gadget.n):
+        dist = bfs_distances(gadget.graph, gadget.s_prime[i])
+        for j in range(gadget.n):
+            rows.append(
+                [
+                    "d(S'{}, T'{})".format(i + 1, j + 1),
+                    dist[gadget.t_prime[j]],
+                    gadget.expected_distance(i, j),
+                    "X{} == Y{}".format(i + 1, j + 1)
+                    if gadget.x_family[i] == gadget.y_family[j]
+                    else "",
+                ]
+            )
+    print_table(
+        ["pair", "measured", "Lemma 8", "match?"],
+        rows,
+        title="Figure 2 gadget ({}; N={}, x={}): measured diameter {} "
+        "(expected {})".format(
+            "families intersect" if intersect else "families disjoint",
+            gadget.graph.num_nodes,
+            gadget.x,
+            measured,
+            gadget.expected_diameter(),
+        ),
+    )
+
+
+def show_bc_gadget(intersect: bool) -> None:
+    x_family, y_family, m = family_pair(
+        3, m=6, seed=11, force_intersection=intersect
+    )
+    gadget = build_bc_gadget(x_family, y_family, m)
+    bc = brandes_betweenness(gadget.graph, exact=True)
+    print_table(
+        ["flag", "CB (measured)", "CB (Lemma 9)", "X_i in X∩Y?"],
+        [
+            [
+                "F{}".format(i + 1),
+                str(bc[gadget.f[i]]),
+                str(gadget.expected_flag_centrality(i)),
+                gadget.x_family[i] in set(gadget.y_family),
+            ]
+            for i in range(gadget.n)
+        ],
+        title="Figure 3 gadget ({}; N={})".format(
+            "families intersect" if intersect else "families disjoint",
+            gadget.graph.num_nodes,
+        ),
+    )
+
+
+def run_reduction() -> None:
+    rows = []
+    for intersect in (False, True):
+        x_family, y_family, m = family_pair(
+            3, m=6, seed=23, force_intersection=intersect
+        )
+        outcome = solve_disjointness_via_bc(x_family, y_family, m)
+        rows.append(
+            [
+                "yes" if intersect else "no",
+                "yes" if outcome.intersects else "no",
+                outcome.correct,
+                outcome.rounds,
+                outcome.cut_width,
+                outcome.cut_bits,
+            ]
+        )
+    print_table(
+        [
+            "planted X∩Y≠∅",
+            "protocol says",
+            "correct",
+            "rounds",
+            "cut width",
+            "bits across cut",
+        ],
+        rows,
+        title="Theorem 6 reduction: distributed BC answers set disjointness "
+        "through an O(log N)-width cut",
+    )
+    n_info = 1024
+    print(
+        "Counting argument at scale: deciding disjointness on n={} numbers "
+        "needs >= {:.0f} bits (Theorem 4); a width-{} cut carries "
+        "O(log N) bits/round, forcing Omega(D + N/log N) rounds — e.g. "
+        ">= {:.0f} rounds at N={}, D=10. The paper's algorithm runs in O(N) "
+        "rounds, an optimality gap of only ~{:.1f}x = O(log N).".format(
+            n_info,
+            disjointness_bits_lower_bound(n_info),
+            11,
+            theorem_lower_bound(n_info, 10),
+            n_info,
+            optimality_gap(8 * n_info, n_info, 10),
+        )
+    )
+
+
+def main() -> None:
+    show_diameter_gadget(intersect=True)
+    show_diameter_gadget(intersect=False)
+    show_bc_gadget(intersect=True)
+    show_bc_gadget(intersect=False)
+    run_reduction()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Watch the algorithm run: a round-by-round anatomy of the protocol.
+
+Attaches a tracer to a full run on the karate club, prints the phase
+timeline (tree construction → census → pipelined BFS counting →
+completion convergecast → scheduled aggregation), the per-message-type
+totals, and drills into one node's ledger to show exactly what
+Algorithm 2 taught it.
+
+Usage::
+
+    python examples/protocol_anatomy.py
+"""
+
+from repro.analysis import print_table
+from repro.congest import Tracer
+from repro.core import distributed_betweenness
+from repro.graphs import karate_club_graph
+
+
+def main() -> None:
+    graph = karate_club_graph()
+    tracer = Tracer()
+    result = distributed_betweenness(graph, tracer=tracer)
+
+    print(
+        "Full run on {}: {} rounds, {} messages, {} bits total.\n".format(
+            graph.name,
+            result.rounds,
+            result.stats.message_count,
+            result.stats.bit_count,
+        )
+    )
+
+    print("Protocol timeline (each row = one message type):\n")
+    print(tracer.timeline(width=70))
+    print()
+
+    summary = tracer.summary()
+    print_table(
+        ["message type", "count", "total bits", "active rounds"],
+        [
+            [
+                name,
+                stats["count"],
+                stats["bits"],
+                "{}..{}".format(stats["first_round"], stats["last_round"]),
+            ]
+            for name, stats in summary.items()
+        ],
+        title="Traffic by message type",
+    )
+
+    # ------------------------------------------------------------------
+    # One node's view: the ledger L_v of Algorithm 2.
+    # ------------------------------------------------------------------
+    node = result.nodes[32]
+    rows = []
+    for record in sorted(node.ledger, key=lambda r: r.source)[:8]:
+        rows.append(
+            [
+                record.source,
+                record.start_time,
+                record.dist,
+                node.arith.to_float(record.sigma),
+                str(record.preds),
+                record.sending_time(result.diameter),
+            ]
+        )
+    print_table(
+        ["source s", "T_s", "d(s,v)", "sigma_sv", "P_s(v)",
+         "send at T_s + D - d"],
+        rows,
+        title="Node v={}'s ledger L_v (first 8 of {} sources; D={})".format(
+            node.node_id, len(node.ledger), result.diameter
+        ),
+    )
+
+    print(
+        "Counting phase carried {} BFS-wave messages (= 2MN = {}), and the\n"
+        "aggregation phase sent exactly one value per (node, source) pair\n"
+        "along each predecessor link — Lemma 4 guaranteed none of them ever\n"
+        "shared an edge in a round.".format(
+            summary["BfsWave"]["count"],
+            2 * graph.num_edges * graph.num_nodes,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

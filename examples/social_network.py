@@ -1,0 +1,106 @@
+"""Social network analysis: who brokers information in the karate club?
+
+The paper's motivation (Section I): centrality indices quantify a node's
+importance, and betweenness — the fraction of shortest paths through a
+node — identifies *brokers*.  This example computes all four indices the
+paper defines (Eqs. 1–4) on Zachary's karate club, entirely with this
+library, and contrasts the exact distributed computation with the
+classical sampling approximations from the related work.
+
+Usage::
+
+    python examples/social_network.py
+"""
+
+from repro import (
+    brandes_betweenness,
+    closeness_centrality,
+    distributed_betweenness,
+    graph_centrality,
+    sampled_betweenness,
+    stress_centrality,
+)
+from repro.analysis import print_table
+from repro.centrality import required_samples
+from repro.graphs import karate_club_graph
+
+INSTRUCTOR, ADMIN = 0, 33  # Mr. Hi and John A.
+
+
+def main() -> None:
+    graph = karate_club_graph()
+
+    # ------------------------------------------------------------------
+    # All four centrality indices of Section I, exactly.
+    # ------------------------------------------------------------------
+    betweenness = brandes_betweenness(graph)
+    closeness = closeness_centrality(graph)
+    graph_c = graph_centrality(graph)
+    stress = stress_centrality(graph)
+
+    top = sorted(graph.nodes(), key=lambda v: betweenness[v], reverse=True)[:8]
+    print_table(
+        ["node", "CB (Eq.4)", "CS (Eq.3)", "CC (Eq.1)", "CG (Eq.2)", "degree"],
+        [
+            [v, betweenness[v], stress[v], closeness[v], graph_c[v],
+             graph.degree(v)]
+            for v in top
+        ],
+        title="Karate club: top nodes by betweenness "
+        "(N={}, M={})".format(graph.num_nodes, graph.num_edges),
+    )
+
+    faction_leaders = {INSTRUCTOR, ADMIN}
+    print(
+        "The two faction leaders (nodes {} and {}) rank {} by betweenness "
+        "— the split of the club follows its brokers.\n".format(
+            INSTRUCTOR,
+            ADMIN,
+            sorted(top.index(v) + 1 for v in faction_leaders if v in top),
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Exact distributed computation: the paper's contribution.
+    # ------------------------------------------------------------------
+    result = distributed_betweenness(graph)
+    worst = max(
+        abs(result.betweenness[v] - betweenness[v]) / (betweenness[v] or 1.0)
+        for v in graph.nodes()
+    )
+    print(
+        "Distributed run: {} rounds, diameter {}, {} total messages, "
+        "worst relative deviation from exact {:.2e}.\n".format(
+            result.rounds,
+            result.diameter,
+            result.stats.message_count,
+            worst,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Sampling approximations (related work [11]-[13]) for contrast.
+    # ------------------------------------------------------------------
+    rows = []
+    for k in (4, 8, 16, 34):
+        estimate = sampled_betweenness(graph, k, seed=42)
+        err = max(
+            abs(estimate[v] - betweenness[v])
+            for v in graph.nodes()
+        )
+        spearman_top = sorted(
+            graph.nodes(), key=lambda v: estimate[v], reverse=True
+        )[:3]
+        rows.append([k, err, str(spearman_top)])
+    print_table(
+        ["pivots k", "max abs error", "top-3 by estimate"],
+        rows,
+        title="Brandes–Pich sampling vs exact (the paper computes exactly "
+        "instead; eps=0.1, delta=0.1 would need k={})".format(
+            required_samples(graph.num_nodes, 0.1, 0.1)
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Regenerate ``src/repro/graphs/datasets.py`` from networkx's copy.
+
+The embedded Les Misérables data originates from D. E. Knuth's Stanford
+GraphBase via networkx; this script re-extracts it so the embedded copy
+can be audited/refreshed without trusting anyone's memory of 254 edges.
+
+Usage::
+
+    python scripts/regen_les_miserables.py > src/repro/graphs/datasets.py
+"""
+
+import sys
+
+
+def main() -> None:
+    import networkx as nx
+
+    g = nx.les_miserables_graph()
+    names = sorted(g.nodes())
+    index = {n: i for i, n in enumerate(names)}
+    edges = sorted(
+        (min(index[u], index[v]), max(index[u], index[v]), d["weight"])
+        for u, v, d in g.edges(data=True)
+    )
+
+    w = sys.stdout.write
+    w('"""Embedded classic network datasets.\n\n')
+    w("Data provenance:\n\n")
+    w("* ``les_miserables_graph`` — D. E. Knuth, *The Stanford GraphBase*\n")
+    w("  (1993): co-appearance network of characters in Victor Hugo's\n")
+    w("  novel; 77 characters, 254 pairs, weights = number of chapters\n")
+    w("  in which the pair co-appears.  The unweighted projection is the\n")
+    w("  classic betweenness demo (Valjean towers over everyone); the\n")
+    w("  weighted variant exercises the subdivision pipeline on real data.\n")
+    w("\n")
+    w("The larger embedded datasets live here to keep\n")
+    w("``repro.graphs.generators`` readable; Zachary's karate club and the\n")
+    w("Florentine families remain there for historical reasons.\n")
+    w('"""\n\n')
+    w("from __future__ import annotations\n\n")
+    w("from typing import List, Tuple\n\n")
+    w("from repro.graphs.graph import Graph\n")
+    w("from repro.graphs.weighted import WeightedGraph\n\n")
+    w("#: Character names, alphabetical; index = node id.\n")
+    w("LES_MISERABLES_CHARACTERS: Tuple[str, ...] = (\n")
+    for i in range(0, len(names), 4):
+        w("    " + ", ".join('"%s"' % n for n in names[i:i + 4]) + ",\n")
+    w(")\n\n")
+    w("#: (u, v, chapters co-appearing) with u < v, sorted.\n")
+    w("LES_MISERABLES_EDGES: Tuple[Tuple[int, int, int], ...] = (\n")
+    for i in range(0, len(edges), 6):
+        w("    " + ", ".join("(%d, %d, %d)" % e for e in edges[i:i + 6]) + ",\n")
+    w(")\n\n\n")
+    w("def les_miserables_graph() -> Tuple[Graph, List[str]]:\n")
+    w('    """The unweighted co-appearance network: ``(graph, labels)``."""\n')
+    w("    edges = [(u, v) for u, v, _w in LES_MISERABLES_EDGES]\n")
+    w("    graph = Graph(\n")
+    w('        len(LES_MISERABLES_CHARACTERS), edges, name="les-miserables"\n')
+    w("    )\n")
+    w("    return graph, list(LES_MISERABLES_CHARACTERS)\n\n\n")
+    w("def les_miserables_weighted_graph() -> Tuple[WeightedGraph, List[str]]:\n")
+    w('    """The weighted variant: weight = chapters co-appearing."""\n')
+    w("    graph = WeightedGraph(\n")
+    w("        len(LES_MISERABLES_CHARACTERS),\n")
+    w("        LES_MISERABLES_EDGES,\n")
+    w('        name="les-miserables-weighted",\n')
+    w("    )\n")
+    w("    return graph, list(LES_MISERABLES_CHARACTERS)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full reproduction pass: tests, every benchmark table, every example.
+# Writes test_output.txt and bench_output.txt at the repo root, the
+# benchmark tables to bench_tables.txt, and the family sweep to
+# report.csv.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt | tail -2
+
+echo "== benchmarks (timings) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt | tail -2
+
+echo "== benchmarks (reproduction tables) =="
+python -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_tables.txt | tail -2
+
+echo "== examples =="
+for script in examples/*.py; do
+    echo "--- ${script}"
+    python "${script}" > /dev/null
+done
+
+echo "== family sweep CSV =="
+python examples/full_report.py report.csv | tail -2
+
+echo "all green"

@@ -1,0 +1,22 @@
+"""Experiment helpers: table rendering and complexity fitting."""
+
+from repro.analysis.complexity import (
+    LinearFit,
+    linear_fit,
+    power_law_exponent,
+    rounds_per_node,
+)
+from repro.analysis.runner import ExperimentRunner, RunRecord
+from repro.analysis.tables import format_value, print_table, render_table
+
+__all__ = [
+    "ExperimentRunner",
+    "LinearFit",
+    "RunRecord",
+    "format_value",
+    "linear_fit",
+    "power_law_exponent",
+    "print_table",
+    "render_table",
+    "rounds_per_node",
+]

@@ -1,0 +1,67 @@
+"""Round-complexity fitting: checking the O(N) claim empirically.
+
+Theorem 3 says the algorithm finishes in O(N) rounds.  The scaling
+benchmarks run the protocol on growing instances of a graph family and
+fit ``rounds ≈ a * N + b``; a good linear fit (R² close to 1) with a
+modest slope is the measurable form of the theorem.  A log-log slope
+estimate is also provided to expose any super-linear behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class LinearFit:
+    """Least-squares fit of y = slope * x + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """The fitted value at ``x``."""
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares for a single predictor (pure Python)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matched samples")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("all x values identical")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def power_law_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Slope of log y against log x: ~1 for linear growth.
+
+    This is the one-number answer to "is it O(N)?": an exponent
+    meaningfully above 1 would falsify Theorem 3.
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive samples")
+    logs_x = [math.log(x) for x, _ in pairs]
+    logs_y = [math.log(y) for _, y in pairs]
+    return linear_fit(logs_x, logs_y).slope
+
+
+def rounds_per_node(samples: Sequence[Tuple[int, int]]) -> List[float]:
+    """rounds / N for each (N, rounds) sample — should stay bounded."""
+    return [rounds / n for n, rounds in samples if n > 0]

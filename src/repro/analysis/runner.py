@@ -1,0 +1,162 @@
+"""Experiment grid runner: sweep graph families × sizes × arithmetics.
+
+The scaling and compliance benchmarks all share a shape — build a grid
+of instances, run the protocol on each, collect per-run metrics, fit or
+tabulate.  :class:`ExperimentRunner` factors that shape out and adds
+CSV export so results can leave the terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.analysis.complexity import LinearFit, linear_fit
+from repro.analysis.tables import render_table
+from repro.core.pipeline import distributed_betweenness
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass
+class RunRecord:
+    """Metrics of one protocol run on one instance."""
+
+    family: str
+    graph_name: str
+    num_nodes: int
+    num_edges: int
+    diameter: int
+    rounds: int
+    messages: int
+    bits: int
+    max_edge_bits: int
+    arithmetic: str
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    FIELDS = (
+        "family",
+        "graph_name",
+        "num_nodes",
+        "num_edges",
+        "diameter",
+        "rounds",
+        "messages",
+        "bits",
+        "max_edge_bits",
+        "arithmetic",
+    )
+
+    def as_row(self) -> List:
+        """Base fields + sorted extras, for tables and CSV."""
+        row = [getattr(self, name) for name in self.FIELDS]
+        row.extend(value for _key, value in sorted(self.extra.items()))
+        return row
+
+
+class ExperimentRunner:
+    """Run the distributed protocol over a grid of graph instances.
+
+    Parameters
+    ----------
+    arithmetic:
+        Arithmetic mode passed to every run.
+    metrics:
+        Optional map of name -> callable(result) adding custom columns
+        (e.g. error against a reference).
+    run:
+        Override the runner itself (default:
+        :func:`repro.core.distributed_betweenness`); must return an
+        object with the ``rounds``/``diameter``/``stats`` interface.
+    """
+
+    def __init__(
+        self,
+        arithmetic: str = "lfloat",
+        metrics: Optional[Dict[str, Callable]] = None,
+        run: Optional[Callable] = None,
+    ):
+        self.arithmetic = arithmetic
+        self.metrics = metrics or {}
+        self._run = run or (
+            lambda graph: distributed_betweenness(graph, arithmetic=self.arithmetic)
+        )
+        self.records: List[RunRecord] = []
+
+    # ------------------------------------------------------------------
+    def run_family(self, family: str, graphs: Iterable[Graph]) -> List[RunRecord]:
+        """Execute the protocol on every instance of ``family``."""
+        out: List[RunRecord] = []
+        for graph in graphs:
+            result = self._run(graph)
+            record = RunRecord(
+                family=family,
+                graph_name=graph.name,
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                diameter=result.diameter,
+                rounds=result.rounds,
+                messages=result.stats.message_count,
+                bits=result.stats.bit_count,
+                max_edge_bits=result.stats.max_edge_bits_per_round,
+                arithmetic=getattr(result, "arithmetic", self.arithmetic),
+                extra={
+                    name: fn(result) for name, fn in self.metrics.items()
+                },
+            )
+            out.append(record)
+        self.records.extend(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # analysis over collected records
+    # ------------------------------------------------------------------
+    def families(self) -> List[str]:
+        """Distinct family labels, in first-run order."""
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.family, None)
+        return list(seen)
+
+    def fit_rounds(self, family: str) -> LinearFit:
+        """Least-squares fit of rounds against N for one family."""
+        samples = [r for r in self.records if r.family == family]
+        return linear_fit(
+            [r.num_nodes for r in samples], [r.rounds for r in samples]
+        )
+
+    def table(self, family: Optional[str] = None) -> str:
+        """Render collected records as an aligned text table."""
+        records = [
+            r
+            for r in self.records
+            if family is None or r.family == family
+        ]
+        extra_keys = sorted(
+            {key for r in records for key in r.extra}
+        )
+        headers = list(RunRecord.FIELDS) + extra_keys
+        return render_table(headers, [r.as_row() for r in records])
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_csv(self, path: Optional[PathLike] = None) -> str:
+        """Write records as CSV; returns the CSV text."""
+        extra_keys = sorted({key for r in self.records for key in r.extra})
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(list(RunRecord.FIELDS) + extra_keys)
+        for record in self.records:
+            row = [getattr(record, name) for name in RunRecord.FIELDS]
+            row.extend(record.extra.get(key, "") for key in extra_keys)
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as fh:
+                fh.write(text)
+        return text

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+The benchmark harness prints the same rows the paper's claims describe
+(round counts, error bounds, gadget dichotomies); this tiny renderer
+keeps that output aligned and diff-friendly without any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Render one cell: floats get 6 significant digits, rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return "{:.3e}".format(value)
+        return "{:.6g}".format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table with an optional title line."""
+    str_rows: List[List[str]] = [
+        [format_value(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> None:
+    """Print :func:`render_table` output followed by a blank line."""
+    print(render_table(headers, rows, title=title))
+    print()

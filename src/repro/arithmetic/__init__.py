@@ -1,0 +1,37 @@
+"""L-bit floating point arithmetic and error-bound machinery (Section VI)."""
+
+from repro.arithmetic.context import (
+    ArithmeticContext,
+    ExactContext,
+    LFloatArithmetic,
+    make_context,
+    recommended_precision,
+)
+from repro.arithmetic.errors import (
+    compound_bound,
+    corollary1_error,
+    error_profile,
+    lemma1_bound,
+    max_relative_error,
+    relative_error,
+    theorem1_bound,
+)
+from repro.arithmetic.lfloat import LFloat, Rounding, lfloat_sum
+
+__all__ = [
+    "ArithmeticContext",
+    "ExactContext",
+    "LFloat",
+    "LFloatArithmetic",
+    "Rounding",
+    "compound_bound",
+    "corollary1_error",
+    "error_profile",
+    "lemma1_bound",
+    "lfloat_sum",
+    "make_context",
+    "max_relative_error",
+    "recommended_precision",
+    "relative_error",
+    "theorem1_bound",
+]

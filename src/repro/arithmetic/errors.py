@@ -1,0 +1,97 @@
+"""Theoretical error bounds from Section VI of the paper.
+
+These closed-form bounds are checked against *measured* errors by the
+test suite and by ``benchmarks/bench_float_error.py``:
+
+* Lemma 1: a single ceil-rounded store has relative error at most
+  ``2**(-L + 1)``.
+* Theorem 1: the betweenness value computed with L-bit arithmetic has
+  relative error O(eta) with ``eta = O(2**-L)``; because an
+  implementation rounds after *every* operation (the paper's analysis
+  rounds only the sigma values), the constant grows with the number of
+  rounded operations along the computation, giving the compound bound
+  ``(1 + 2**(-L+1))**k - 1`` for k operations.
+* Corollary 1: with ``L = c * log2 N`` the error is ``O(N**-(c - 2))``
+  (two powers of N pay for the up-to-N rounded operations).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Mapping
+
+
+def lemma1_bound(precision: int) -> float:
+    """Per-value relative error bound ``2**(-L+1)`` of Lemma 1."""
+    return 2.0 ** (-(precision - 1))
+
+
+def compound_bound(precision: int, operations: int) -> float:
+    """Relative error after ``operations`` rounded steps.
+
+    Each rounded operation multiplies the one-sided error envelope by at
+    most ``(1 + 2**(-L+1))``; this returns the envelope's deviation from
+    1.  For ``operations * 2**(-L+1) << 1`` this is approximately
+    ``operations * 2**(-L+1)``.
+    """
+    eta = lemma1_bound(precision)
+    return (1.0 + eta) ** max(0, operations) - 1.0
+
+
+def theorem1_bound(precision: int, num_nodes: int, diameter: int) -> float:
+    """End-to-end relative error bound on CB(v) for the full pipeline.
+
+    The computation of a single dependency chains at most
+    ``N`` sigma additions, ``N`` reciprocals, ``N`` psi additions and a
+    final product, and CB sums N dependencies; ``4 * N + 1`` rounded
+    operations is a safe over-count.  The ``diameter`` argument is kept
+    for callers that want the tighter per-BFS-depth count
+    (``4 * diameter`` dominates chains along one shortest path).
+    """
+    operations = 4 * num_nodes + 1
+    return compound_bound(precision, operations)
+
+
+def corollary1_error(num_nodes: int, c: float) -> float:
+    """The ``O(N**-(c-2))`` error scale of Corollary 1 for L = c log2 N."""
+    if num_nodes < 2:
+        return 0.0
+    return float(num_nodes) ** -(c - 2.0)
+
+
+def relative_error(measured: float, exact: Fraction) -> float:
+    """``|measured/exact - 1|``, with 0/0 treated as no error."""
+    if exact == 0:
+        return 0.0 if measured == 0 else math.inf
+    return abs(measured / float(exact) - 1.0)
+
+
+def max_relative_error(
+    measured: Mapping[int, float], exact: Mapping[int, Fraction]
+) -> float:
+    """Maximum per-node relative error between two BC maps."""
+    worst = 0.0
+    for node, value in exact.items():
+        err = relative_error(measured[node], Fraction(value))
+        if err > worst:
+            worst = err
+    return worst
+
+
+def error_profile(
+    measured: Mapping[int, float], exact: Mapping[int, Fraction]
+) -> Dict[str, float]:
+    """Summary statistics (max / mean relative error) for reports."""
+    errs = [
+        relative_error(measured[node], Fraction(value))
+        for node, value in exact.items()
+        if value != 0
+    ]
+    if not errs:
+        return {"max": 0.0, "mean": 0.0, "count": 0}
+    return {
+        "max": max(errs),
+        "mean": sum(errs) / len(errs),
+        "count": len(errs),
+    }

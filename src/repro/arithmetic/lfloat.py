@@ -1,0 +1,363 @@
+"""L-bit floating point arithmetic (Section VI of the paper).
+
+The number of shortest paths sigma_st can be as large as (N/D)**D —
+exponential in the input — so it cannot be shipped in an O(log N)-bit
+CONGEST message as a plain integer.  The paper therefore represents each
+positive value ``a`` as ``a = y * 2**x`` with a normalized ``y`` in
+[1/2, 1) stored as an L-bit mantissa and an exponent ``x`` with
+``|x| <= 2**L - 1``, for 2L + 1 = O(log N) bits total.
+
+:class:`LFloat` implements that format exactly, using arbitrary-
+precision integers internally, so the *rounding behaviour is bit-true*:
+every operation computes the exact dyadic-rational result and rounds the
+mantissa to L bits according to a :class:`Rounding` mode.
+
+Rounding conventions used by the distributed algorithm
+------------------------------------------------------
+* sigma accumulation uses ``CEIL`` so that the estimate satisfies
+  ``sigma_hat >= sigma`` (the "ceil estimation value" of Lemma 1).
+* reciprocals ``1/sigma_hat`` and psi accumulation use ``FLOOR`` so the
+  chain of inequalities (17)-(19) is preserved:
+  ``psi / (1 + eta)**k  <  psi_hat  <  psi`` where k is the number of
+  rounded operations and ``eta = 2**(1 - L)``.
+
+With L = c * log2(N) the end-to-end relative error of the betweenness
+value is O(N ** -(c - 2)) (Theorem 1 / Corollary 1); the test suite and
+``benchmarks/bench_float_error.py`` verify the measured error against
+these bounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Iterable, Tuple, Union
+
+from repro.exceptions import ArithmeticModeError, LFloatRangeError
+
+Number = Union[int, "LFloat", Fraction]
+
+
+class Rounding(enum.Enum):
+    """Mantissa rounding modes for :class:`LFloat` operations."""
+
+    FLOOR = "floor"
+    CEIL = "ceil"
+    NEAREST = "nearest"
+
+
+def _normalize_fraction(
+    num: int, den: int, precision: int, mode: Rounding
+) -> Tuple[int, int]:
+    """Round the positive rational ``num / den`` to a normalized float.
+
+    Returns ``(mantissa, exponent)`` with
+    ``mantissa * 2**(exponent - precision)`` approximating ``num / den``
+    and ``mantissa`` in ``[2**(precision-1), 2**precision - 1]``.
+    """
+    if num <= 0 or den <= 0:
+        raise ArithmeticModeError("LFloat only represents positive values")
+    # Locate e with 2**(e-1) <= num/den < 2**e.
+    e = num.bit_length() - den.bit_length()
+    if e >= 0:
+        ge = num >= den << e
+    else:
+        ge = num << -e >= den
+    if ge:
+        e += 1
+    shift = precision - e
+    if shift >= 0:
+        scaled_num, scaled_den = num << shift, den
+    else:
+        scaled_num, scaled_den = num, den << (-shift)
+    q, r = divmod(scaled_num, scaled_den)
+    if r:
+        if mode is Rounding.CEIL:
+            q += 1
+        elif mode is Rounding.NEAREST and 2 * r >= scaled_den:
+            q += 1
+    if q == 1 << precision:  # rounding overflowed into the next binade
+        q >>= 1
+        e += 1
+    return q, e
+
+
+class LFloat:
+    """A positive number in the paper's 2L-bit floating point format.
+
+    Instances are immutable.  Arithmetic operators return new
+    :class:`LFloat` values rounded with the instance's default mode;
+    the explicit :meth:`add`, :meth:`mul`, :meth:`div` and
+    :meth:`reciprocal` methods accept a per-operation mode.
+
+    Parameters
+    ----------
+    mantissa, exponent:
+        Internal representation: ``value = mantissa * 2**(exponent - L)``
+        with a normalized mantissa.  Use the class methods
+        (:meth:`from_int`, :meth:`from_fraction`) instead of the raw
+        constructor.
+    precision:
+        The parameter L (mantissa bits).
+    rounding:
+        Default rounding mode for operator syntax.
+    """
+
+    __slots__ = ("_m", "_e", "_L", "_mode")
+
+    def __init__(
+        self,
+        mantissa: int,
+        exponent: int,
+        precision: int,
+        rounding: Rounding = Rounding.NEAREST,
+    ):
+        if precision < 2:
+            raise ArithmeticModeError("precision L must be >= 2")
+        if mantissa == 0:
+            exponent = 0
+        elif not (1 << (precision - 1)) <= mantissa < (1 << precision):
+            raise ArithmeticModeError(
+                "mantissa {} not normalized for L={}".format(mantissa, precision)
+            )
+        limit = (1 << precision) - 1
+        if abs(exponent) > limit:
+            raise LFloatRangeError(
+                "exponent {} outside [-{}, {}] for L={}".format(
+                    exponent, limit, limit, precision
+                )
+            )
+        self._m = mantissa
+        self._e = exponent
+        self._L = precision
+        self._mode = rounding
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, precision: int, rounding: Rounding = Rounding.NEAREST) -> "LFloat":
+        """The additive identity (exactly representable)."""
+        return cls(0, 0, precision, rounding)
+
+    @classmethod
+    def from_int(
+        cls, value: int, precision: int, rounding: Rounding = Rounding.NEAREST
+    ) -> "LFloat":
+        """Round a non-negative integer into the format."""
+        if value < 0:
+            raise ArithmeticModeError("LFloat only represents positive values")
+        if value == 0:
+            return cls.zero(precision, rounding)
+        m, e = _normalize_fraction(value, 1, precision, rounding)
+        return cls(m, e, precision, rounding)
+
+    @classmethod
+    def from_fraction(
+        cls,
+        value: Fraction,
+        precision: int,
+        rounding: Rounding = Rounding.NEAREST,
+    ) -> "LFloat":
+        """Round a non-negative :class:`fractions.Fraction` into the format."""
+        if value < 0:
+            raise ArithmeticModeError("LFloat only represents positive values")
+        if value == 0:
+            return cls.zero(precision, rounding)
+        m, e = _normalize_fraction(
+            value.numerator, value.denominator, precision, rounding
+        )
+        return cls(m, e, precision, rounding)
+
+    # ------------------------------------------------------------------
+    # properties and conversions
+    # ------------------------------------------------------------------
+    @property
+    def mantissa(self) -> int:
+        """The L-bit mantissa (0 for zero)."""
+        return self._m
+
+    @property
+    def exponent(self) -> int:
+        """The binary exponent x with value = (mantissa / 2**L) * 2**x."""
+        return self._e
+
+    @property
+    def precision(self) -> int:
+        """The parameter L."""
+        return self._L
+
+    @property
+    def rounding(self) -> Rounding:
+        """Default rounding mode used by operator syntax."""
+        return self._mode
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this is the exact zero value."""
+        return self._m == 0
+
+    def to_fraction(self) -> Fraction:
+        """The exact rational value represented."""
+        shift = self._e - self._L
+        if shift >= 0:
+            return Fraction(self._m << shift, 1)
+        return Fraction(self._m, 1 << -shift)
+
+    def to_float(self) -> float:
+        """A ``float`` approximation (may overflow to ``inf`` for huge e)."""
+        try:
+            return self._m * 2.0 ** (self._e - self._L)
+        except OverflowError:
+            return float("inf")
+
+    def bit_size(self) -> int:
+        """Bits needed on the wire: L mantissa + (L + 1) signed exponent."""
+        return 2 * self._L + 1
+
+    def encode(self) -> int:
+        """Pack into an unsigned integer of :meth:`bit_size` bits.
+
+        Layout (LSB first): L mantissa bits, then L exponent-magnitude
+        bits, then one sign bit.  :meth:`decode` inverts this exactly.
+        """
+        sign = 1 if self._e < 0 else 0
+        return self._m | (abs(self._e) << self._L) | (sign << (2 * self._L))
+
+    @classmethod
+    def decode(
+        cls,
+        word: int,
+        precision: int,
+        rounding: Rounding = Rounding.NEAREST,
+    ) -> "LFloat":
+        """Unpack an integer produced by :meth:`encode`."""
+        mask = (1 << precision) - 1
+        m = word & mask
+        mag = (word >> precision) & mask
+        sign = (word >> (2 * precision)) & 1
+        return cls(m, -mag if sign else mag, precision, rounding)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Number) -> "LFloat":
+        if isinstance(other, LFloat):
+            if other._L != self._L:
+                raise ArithmeticModeError(
+                    "mixed precisions: L={} vs L={}".format(self._L, other._L)
+                )
+            return other
+        if isinstance(other, int):
+            return LFloat.from_int(other, self._L, self._mode)
+        if isinstance(other, Fraction):
+            return LFloat.from_fraction(other, self._L, self._mode)
+        raise ArithmeticModeError(
+            "cannot combine LFloat with {!r}".format(type(other).__name__)
+        )
+
+    def _build(self, num: int, den: int, shift: int, mode: Rounding) -> "LFloat":
+        """Normalize ``(num / den) * 2**shift`` into a new LFloat."""
+        m, e = _normalize_fraction(num, den, self._L, mode)
+        return LFloat(m, e + shift, self._L, self._mode)
+
+    def add(self, other: Number, mode: Rounding = None) -> "LFloat":
+        """Rounded addition; exact before the single final rounding."""
+        other = self._coerce(other)
+        mode = mode or self._mode
+        if self.is_zero:
+            return LFloat(other._m, other._e, self._L, self._mode)
+        if other.is_zero:
+            return self
+        emin = min(self._e, other._e)
+        num = (self._m << (self._e - emin)) + (other._m << (other._e - emin))
+        return self._build(num, 1, emin - self._L, mode)
+
+    def mul(self, other: Number, mode: Rounding = None) -> "LFloat":
+        """Rounded multiplication."""
+        other = self._coerce(other)
+        mode = mode or self._mode
+        if self.is_zero or other.is_zero:
+            return LFloat.zero(self._L, self._mode)
+        return self._build(
+            self._m * other._m, 1, self._e + other._e - 2 * self._L, mode
+        )
+
+    def div(self, other: Number, mode: Rounding = None) -> "LFloat":
+        """Rounded division."""
+        other = self._coerce(other)
+        mode = mode or self._mode
+        if other.is_zero:
+            raise ZeroDivisionError("LFloat division by zero")
+        if self.is_zero:
+            return LFloat.zero(self._L, self._mode)
+        return self._build(self._m, other._m, self._e - other._e, mode)
+
+    def reciprocal(self, mode: Rounding = None) -> "LFloat":
+        """Rounded multiplicative inverse ``1 / self``."""
+        mode = mode or self._mode
+        if self.is_zero:
+            raise ZeroDivisionError("reciprocal of zero")
+        return self._build(1, self._m, self._L - self._e, mode)
+
+    # operator sugar ----------------------------------------------------
+    def __add__(self, other: Number) -> "LFloat":
+        return self.add(other)
+
+    def __radd__(self, other: Number) -> "LFloat":
+        return self.add(other)
+
+    def __mul__(self, other: Number) -> "LFloat":
+        return self.mul(other)
+
+    def __rmul__(self, other: Number) -> "LFloat":
+        return self.mul(other)
+
+    def __truediv__(self, other: Number) -> "LFloat":
+        return self.div(other)
+
+    # comparisons (exact, via the rational values) ----------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LFloat):
+            return self.to_fraction() == other.to_fraction()
+        if isinstance(other, (int, Fraction)):
+            return self.to_fraction() == other
+        return NotImplemented
+
+    def __lt__(self, other: Number) -> bool:
+        return self.to_fraction() < _as_fraction(other)
+
+    def __le__(self, other: Number) -> bool:
+        return self.to_fraction() <= _as_fraction(other)
+
+    def __gt__(self, other: Number) -> bool:
+        return self.to_fraction() > _as_fraction(other)
+
+    def __ge__(self, other: Number) -> bool:
+        return self.to_fraction() >= _as_fraction(other)
+
+    def __hash__(self) -> int:
+        return hash(self.to_fraction())
+
+    def __repr__(self) -> str:
+        return "LFloat({} * 2**{}, L={})".format(
+            self._m, self._e - self._L, self._L
+        )
+
+
+def _as_fraction(value: Number) -> Fraction:
+    if isinstance(value, LFloat):
+        return value.to_fraction()
+    return Fraction(value)
+
+
+def lfloat_sum(
+    values: Iterable[LFloat],
+    precision: int,
+    rounding: Rounding = Rounding.FLOOR,
+) -> LFloat:
+    """Left-to-right rounded summation, as a node's inbox loop performs it."""
+    total = LFloat.zero(precision, rounding)
+    for value in values:
+        total = total.add(value, rounding)
+    return total

@@ -1,0 +1,188 @@
+"""Shared single-source machinery for the centralized centrality baselines.
+
+Brandes' algorithm (Algorithm 1 of the paper) factors into a BFS stage
+that produces, per source s: distances d(s, ·), shortest-path counts
+sigma_s·, predecessor sets P_s(·) and a non-increasing-distance
+traversal order; and a dependency-accumulation stage applying the
+recursion delta_s·(v) = sum_{w: v in P_s(w)} sigma_sv/sigma_sw *
+(1 + delta_s·(w)) (Eq. 9).  Stress centrality and the psi-form recursion
+(Eq. 14) reuse the same BFS stage, so it lives here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Tuple, Union
+
+from repro.graphs.graph import Graph
+
+NumberLike = Union[float, Fraction]
+
+
+@dataclass
+class SSSPResult:
+    """Everything Brandes' BFS stage learns about one source.
+
+    Attributes
+    ----------
+    source:
+        The BFS root s.
+    dist:
+        ``dist[v]`` = d(s, v), or -1 if unreachable.
+    sigma:
+        ``sigma[v]`` = number of shortest s-v paths (exact int).
+    preds:
+        ``preds[v]`` = P_s(v), the shortest-path predecessors of v.
+    order:
+        Visited nodes in non-decreasing distance (the BFS pop order);
+        dependency accumulation walks it backwards.
+    """
+
+    source: int
+    dist: List[int]
+    sigma: List[int]
+    preds: List[List[int]]
+    order: List[int]
+
+
+def single_source_shortest_paths(graph: Graph, source: int) -> SSSPResult:
+    """Lines 1–19 of Algorithm 1: BFS with path counting from ``source``."""
+    n = graph.num_nodes
+    dist = [-1] * n
+    sigma = [0] * n
+    preds: List[List[int]] = [[] for _ in range(n)]
+    order: List[int] = []
+    dist[source] = 0
+    sigma[source] = 1
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for w in graph.neighbors(v):
+            if dist[w] < 0:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+            if dist[w] == dist[v] + 1:
+                sigma[w] += sigma[v]
+                preds[w].append(v)
+    return SSSPResult(source, dist, sigma, preds, order)
+
+
+def accumulate_dependencies(
+    result: SSSPResult, exact: bool = False
+) -> List[NumberLike]:
+    """Lines 20–29 of Algorithm 1: the dependency recursion (Eq. 9).
+
+    Returns ``delta`` with ``delta[v] = delta_{s·}(v)``; entries for
+    unreachable nodes are 0.  With ``exact=True`` the arithmetic uses
+    :class:`fractions.Fraction` so the result is the true rational value.
+    """
+    zero: NumberLike = Fraction(0) if exact else 0.0
+    one: NumberLike = Fraction(1) if exact else 1.0
+    delta: List[NumberLike] = [zero] * len(result.dist)
+    for w in reversed(result.order):
+        coefficient = (one + delta[w]) / result.sigma[w]
+        for v in result.preds[w]:
+            delta[v] = delta[v] + result.sigma[v] * coefficient
+    return delta
+
+
+def accumulate_psi(result: SSSPResult, exact: bool = True) -> List[NumberLike]:
+    """The psi-form recursion of Eq. (14): psi_s(v) = delta_s·(v)/sigma_sv.
+
+    This is the quantity the *distributed* algorithm propagates; having a
+    centralized reference lets tests pin down each node's aggregation
+    value independently of the simulator.
+    """
+    zero: NumberLike = Fraction(0) if exact else 0.0
+    psi: List[NumberLike] = [zero] * len(result.dist)
+    for w in reversed(result.order):
+        if w == result.source:
+            continue
+        term = (
+            Fraction(1, result.sigma[w]) if exact else 1.0 / result.sigma[w]
+        ) + psi[w]
+        for v in result.preds[w]:
+            psi[v] = psi[v] + term
+    return psi
+
+
+def shortest_path_descendants(graph: Graph, source: int) -> List[set]:
+    """R_s(v): all descendants of v on shortest paths from ``source``.
+
+    w is a descendant of v iff some shortest path from s through v
+    continues to w, i.e. v is an ancestor of w in the shortest-path DAG.
+    The paper's Lemma 2 characterizes the psi recursion through these
+    sets; note that the correct identity weights each descendant by its
+    DAG-path multiplicity (:func:`descendant_path_counts`):
+
+        ``psi_s(v) = sum over q in R_s(v) of sigma^s_vq / sigma_sq``
+
+    where ``sigma^s_vq`` counts the shortest v-q paths lying on shortest
+    s-q paths.  The paper's unweighted set form holds exactly when the
+    DAG below v is a tree (every sigma^s_vq = 1); tests
+    (`test_section6_inequalities.py`) demonstrate both the corrected
+    identity and a counterexample to the literal one.
+    """
+    result = single_source_shortest_paths(graph, source)
+    descendants: List[set] = [set() for _ in range(graph.num_nodes)]
+    for w in reversed(result.order):
+        if w == source:
+            continue
+        for v in result.preds[w]:
+            descendants[v].add(w)
+            descendants[v] |= descendants[w]
+    return descendants
+
+
+def descendant_path_counts(graph: Graph, source: int, v: int) -> Dict[int, int]:
+    """sigma^s_vq: shortest v-q paths lying on shortest s-q paths.
+
+    For every descendant q of v in the shortest-path DAG of ``source``,
+    counts the DAG paths from v to q (the multiplicity with which q's
+    reciprocal appears in psi_s(v)).  Returns only nonzero entries,
+    excluding v itself.
+    """
+    result = single_source_shortest_paths(graph, source)
+    counts: Dict[int, int] = {v: 1}
+    for w in result.order:
+        if result.dist[w] <= result.dist[v] or result.dist[w] < 0:
+            continue
+        total = sum(counts.get(p, 0) for p in result.preds[w])
+        if total:
+            counts[w] = total
+    counts.pop(v, None)
+    return counts
+
+
+def pair_dependencies(
+    graph: Graph, source: int
+) -> Dict[Tuple[int, int], Fraction]:
+    """All pair dependencies delta_{s,t}(v) for one source, exactly.
+
+    Returns a map ``(t, v) -> delta_st(v)`` including only nonzero
+    entries with ``v not in {s, t}``.  Quadratic per source — used only
+    by tests and the naive baseline on small graphs.
+    """
+    result = single_source_shortest_paths(graph, source)
+    out: Dict[Tuple[int, int], Fraction] = {}
+    # delta_st(v) = sigma_sv * sigma_vt / sigma_st if d(s,v)+d(v,t)=d(s,t)
+    per_target = {
+        t: single_source_shortest_paths(graph, t) for t in graph.nodes()
+    }
+    for t in graph.nodes():
+        if t == source or result.dist[t] < 0:
+            continue
+        back = per_target[t]
+        for v in graph.nodes():
+            if v in (source, t) or result.dist[v] < 0:
+                continue
+            if result.dist[v] + back.dist[v] == result.dist[t]:
+                value = Fraction(
+                    result.sigma[v] * back.sigma[v], result.sigma[t]
+                )
+                if value:
+                    out[(t, v)] = value
+    return out

@@ -1,0 +1,103 @@
+"""The other centrality indices defined in Section I of the paper.
+
+Closeness (Eq. 1), graph centrality (Eq. 2) and stress centrality
+(Eq. 3).  Closeness and graph centrality reduce to SSSP and are
+therefore "easy" (the paper's motivation for focusing on betweenness);
+stress centrality shares Brandes' structure with an integer-valued
+recursion.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Union
+
+from repro.centrality.accumulation import (
+    SSSPResult,
+    single_source_shortest_paths,
+)
+from repro.exceptions import GraphNotConnectedError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import bfs_distances
+
+NumberLike = Union[float, Fraction]
+
+
+def closeness_centrality(graph: Graph, exact: bool = False) -> Dict[int, NumberLike]:
+    """CC(v) = 1 / sum_t d(v, t) (Eq. 1).  Requires a connected graph.
+
+    For the degenerate single-node graph the sum of distances is 0 and
+    closeness is defined as 0.
+    """
+    out: Dict[int, NumberLike] = {}
+    for v in graph.nodes():
+        dist = bfs_distances(graph, v)
+        if any(d < 0 for d in dist):
+            raise GraphNotConnectedError("closeness needs a connected graph")
+        total = sum(dist)
+        if total == 0:
+            out[v] = Fraction(0) if exact else 0.0
+        else:
+            out[v] = Fraction(1, total) if exact else 1.0 / total
+    return out
+
+
+def graph_centrality(graph: Graph, exact: bool = False) -> Dict[int, NumberLike]:
+    """CG(v) = 1 / max_t d(v, t) (Eq. 2).  Requires a connected graph."""
+    out: Dict[int, NumberLike] = {}
+    for v in graph.nodes():
+        dist = bfs_distances(graph, v)
+        if any(d < 0 for d in dist):
+            raise GraphNotConnectedError(
+                "graph centrality needs a connected graph"
+            )
+        ecc = max(dist)
+        if ecc == 0:
+            out[v] = Fraction(0) if exact else 0.0
+        else:
+            out[v] = Fraction(1, ecc) if exact else 1.0 / ecc
+    return out
+
+
+def stress_centrality(graph: Graph) -> Dict[int, int]:
+    """CS(v) = number of shortest paths through v (Eq. 3), exactly.
+
+    Computed with the stress variant of Brandes' accumulation: per
+    source s, the number of shortest paths passing an interior node v is
+    ``sigma_sv * tau_s(v)`` where ``tau_s(v)`` counts shortest-path
+    continuations beyond v (see :func:`_stress_from_source`).  The
+    undirected convention counts each unordered {s, t} pair once, so the
+    ordered-pair total is halved; the result is always integral.
+    """
+    totals: Dict[int, int] = {v: 0 for v in graph.nodes()}
+    for s in graph.nodes():
+        result = single_source_shortest_paths(graph, s)
+        stress = _stress_from_source(graph, result)
+        for v in graph.nodes():
+            totals[v] += stress[v]
+    return {v: value // 2 for v, value in totals.items()}
+
+
+def _stress_from_source(graph: Graph, result: SSSPResult) -> List[int]:
+    """Shortest paths from ``result.source`` passing through each node.
+
+    ``tau[v]`` counts shortest paths that start at v's level and extend
+    strictly beyond v, via the reverse recursion
+    ``tau[v] = sum_{w: v in P_s(w)} (1 + tau[w])`` — each shortest-path
+    descendant w contributes the path segment ending at w plus all of
+    w's own extensions.  Then ``sigma_sv * tau[v]`` is the number of
+    shortest s-t paths (t != v) with v interior, because every such path
+    factors uniquely into one of the sigma_sv prefixes and one of the
+    tau[v] suffixes.
+    """
+    tau = [0] * graph.num_nodes
+    for w in reversed(result.order):
+        if w == result.source:
+            continue
+        for v in result.preds[w]:
+            tau[v] += 1 + tau[w]
+    stress = [0] * graph.num_nodes
+    for v in graph.nodes():
+        if v != result.source and result.dist[v] > 0:
+            stress[v] = result.sigma[v] * tau[v]
+    return stress

@@ -1,0 +1,498 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands
+-----------
+``bc``        distributed betweenness on a named or file-loaded graph
+``apsp``      counting phase only: distances, closeness, graph centrality
+``stress``    distributed stress centrality
+``sample``    sampled (approximate) distributed betweenness
+``schedule``  analytic BFS start / sending times (Figure 1 style tables)
+``gadget``    build and verify a Section IX lower-bound gadget
+``info``      graph statistics
+
+Graphs are specified with ``--graph``: either a named generator
+(``karate``, ``figure1``, ``path:20``, ``cycle:16``, ``grid:4x5``,
+``er:30:0.2:7`` as name:args) or ``--file edgelist.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import print_table
+from repro.centrality import brandes_betweenness
+from repro.core import (
+    bfs_start_times,
+    distributed_apsp,
+    distributed_betweenness,
+    distributed_sampled_betweenness,
+    distributed_stress,
+    sending_times,
+)
+from repro.exceptions import ReproError
+from repro.graphs import (
+    Graph,
+    balanced_tree,
+    complete_graph,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    diamond_chain_graph,
+    figure1_graph,
+    grid_graph,
+    hypercube_graph,
+    karate_club_graph,
+    path_graph,
+    read_edge_list,
+    star_graph,
+)
+
+
+def parse_graph_spec(spec: str) -> Graph:
+    """Resolve a ``name[:arg[:arg...]]`` graph spec into a Graph."""
+    name, _, rest = spec.partition(":")
+    args = rest.split(":") if rest else []
+    try:
+        if name == "karate":
+            return karate_club_graph()
+        if name == "figure1":
+            return figure1_graph()
+        if name == "path":
+            return path_graph(int(args[0]))
+        if name == "cycle":
+            return cycle_graph(int(args[0]))
+        if name == "star":
+            return star_graph(int(args[0]))
+        if name == "complete":
+            return complete_graph(int(args[0]))
+        if name == "grid":
+            rows, cols = args[0].split("x")
+            return grid_graph(int(rows), int(cols))
+        if name == "tree":
+            return balanced_tree(int(args[0]), int(args[1]))
+        if name == "hypercube":
+            return hypercube_graph(int(args[0]))
+        if name == "diamonds":
+            return diamond_chain_graph(int(args[0]))
+        if name == "er":
+            n = int(args[0])
+            p = float(args[1])
+            seed = int(args[2]) if len(args) > 2 else 0
+            return connected_erdos_renyi_graph(n, p, seed)
+    except (IndexError, ValueError) as err:
+        raise SystemExit("bad graph spec {!r}: {}".format(spec, err))
+    raise SystemExit(
+        "unknown graph {!r} (try karate, figure1, path:N, cycle:N, star:N, "
+        "complete:N, grid:RxC, tree:B:H, hypercube:D, diamonds:K, "
+        "er:N:P[:SEED])".format(name)
+    )
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if getattr(args, "file", None):
+        if str(args.file).endswith(".json"):
+            from repro.graphs import read_json
+
+            return read_json(args.file)
+        return read_edge_list(args.file)
+    return parse_graph_spec(args.graph)
+
+
+def _add_graph_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--graph", default="karate", help="graph spec (default: karate)"
+    )
+    parser.add_argument("--file", help="edge-list file (overrides --graph)")
+
+
+def _add_protocol_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arithmetic",
+        default="lfloat",
+        help='"exact", "lfloat", or "lfloat-<L>" (default: lfloat)',
+    )
+    parser.add_argument("--root", type=int, default=0, help="BFS tree root u0")
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="disable strict CONGEST budget enforcement",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="rows to print (default 10)"
+    )
+
+
+def cmd_bc(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    from repro.graphs.weighted import WeightedGraph
+
+    if isinstance(graph, WeightedGraph):
+        return _cmd_bc_weighted(args, graph)
+    result = distributed_betweenness(
+        graph,
+        arithmetic=args.arithmetic,
+        root=args.root,
+        strict=not args.lenient,
+    )
+    ranked = sorted(
+        graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
+    )
+    rows = [[v, result.betweenness[v], graph.degree(v)] for v in ranked[: args.top]]
+    if args.check:
+        reference = brandes_betweenness(graph)
+        for row in rows:
+            row.append(reference[row[0]])
+    print_table(
+        ["node", "betweenness", "degree"] + (["Brandes"] if args.check else []),
+        rows,
+        title="Distributed betweenness on {} (N={}, rounds={}, D={}, "
+        "max bits/edge/round={})".format(
+            graph.name,
+            graph.num_nodes,
+            result.rounds,
+            result.diameter,
+            result.stats.max_edge_bits_per_round,
+        ),
+    )
+    return 0
+
+
+def _cmd_bc_weighted(args: argparse.Namespace, graph) -> int:
+    from repro.centrality import weighted_brandes_betweenness
+    from repro.core import distributed_weighted_betweenness
+
+    result = distributed_weighted_betweenness(
+        graph,
+        arithmetic=args.arithmetic,
+        root=args.root,
+        strict=not args.lenient,
+    )
+    ranked = sorted(
+        graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
+    )
+    rows = [[v, result.betweenness[v]] for v in ranked[: args.top]]
+    if args.check:
+        reference = weighted_brandes_betweenness(graph)
+        for row in rows:
+            row.append(reference[row[0]])
+    print_table(
+        ["node", "weighted betweenness"]
+        + (["weighted Brandes"] if args.check else []),
+        rows,
+        title="Distributed weighted betweenness on {} (N={} + {} virtual, "
+        "rounds={})".format(
+            graph.name,
+            graph.num_nodes,
+            result.subdivision.num_virtual,
+            result.rounds,
+        ),
+    )
+    return 0
+
+
+def cmd_apsp(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = distributed_apsp(graph, root=args.root, strict=not args.lenient)
+    closeness = result.closeness()
+    graph_c = result.graph_centrality()
+    ecc = result.eccentricities()
+    ranked = sorted(graph.nodes(), key=lambda v: closeness[v], reverse=True)
+    print_table(
+        ["node", "closeness", "graph centrality", "eccentricity"],
+        [[v, closeness[v], graph_c[v], ecc[v]] for v in ranked[: args.top]],
+        title="Counting phase on {} (rounds={}, D={})".format(
+            graph.name, result.rounds, result.diameter
+        ),
+    )
+    return 0
+
+
+def cmd_stress(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = distributed_stress(
+        graph, arithmetic=args.arithmetic, root=args.root
+    )
+    ranked = sorted(graph.nodes(), key=lambda v: result.stress[v], reverse=True)
+    print_table(
+        ["node", "stress", "degree"],
+        [[v, result.stress[v], graph.degree(v)] for v in ranked[: args.top]],
+        title="Distributed stress centrality on {} (rounds={})".format(
+            graph.name, result.rounds
+        ),
+    )
+    return 0
+
+
+def cmd_sample(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = distributed_sampled_betweenness(
+        graph,
+        args.pivots,
+        seed=args.seed,
+        arithmetic=args.arithmetic,
+        root=args.root,
+    )
+    ranked = sorted(graph.nodes(), key=lambda v: result.estimate[v], reverse=True)
+    print_table(
+        ["node", "estimated betweenness"],
+        [[v, result.estimate[v]] for v in ranked[: args.top]],
+        title="Sampled distributed BC on {} (k={}, rounds={}, messages={})".format(
+            graph.name, args.pivots, result.rounds, result.stats.message_count
+        ),
+    )
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    times = bfs_start_times(graph, root=args.root, mode=args.mode)
+    tables = sending_times(graph, times)
+    shown = sorted(times)[: args.top]
+    print_table(
+        ["source", "T_s"],
+        [[s, times[s]] for s in shown],
+        title="BFS start times on {} ({} token)".format(graph.name, args.mode),
+    )
+    for s in shown[: min(3, len(shown))]:
+        print_table(
+            ["node", "sending time T_s + D - d(s, v)"],
+            sorted(tables[s].items()),
+            title="Sending times in BFS({})".format(s),
+        )
+    return 0
+
+
+def cmd_gadget(args: argparse.Namespace) -> int:
+    from repro.graphs import diameter as graph_diameter
+    from repro.lowerbound import (
+        build_bc_gadget,
+        build_diameter_gadget,
+        family_pair,
+    )
+
+    x_family, y_family, m = family_pair(
+        args.sets, seed=args.seed, force_intersection=args.intersect
+    )
+    if args.kind == "diameter":
+        gadget = build_diameter_gadget(x_family, y_family, x=args.x, m=m)
+        measured = graph_diameter(gadget.graph)
+        print_table(
+            ["metric", "value"],
+            [
+                ["N", gadget.graph.num_nodes],
+                ["families intersect", bool(set(x_family) & set(y_family))],
+                ["measured diameter", measured],
+                ["Lemma 8 prediction", gadget.expected_diameter()],
+                ["cut width", gadget.cut_width()],
+            ],
+            title="Figure 2 diameter gadget",
+        )
+    else:
+        gadget = build_bc_gadget(x_family, y_family, m)
+        bc = brandes_betweenness(gadget.graph, exact=True)
+        print_table(
+            ["flag", "CB", "Lemma 9"],
+            [
+                [
+                    "F{}".format(i + 1),
+                    str(bc[gadget.f[i]]),
+                    str(gadget.expected_flag_centrality(i)),
+                ]
+                for i in range(gadget.n)
+            ],
+            title="Figure 3 BC gadget (N={})".format(gadget.graph.num_nodes),
+        )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.congest import Tracer
+
+    graph = _load_graph(args)
+    tracer = Tracer()
+    result = distributed_betweenness(
+        graph,
+        arithmetic=args.arithmetic,
+        root=args.root,
+        strict=not args.lenient,
+        tracer=tracer,
+    )
+    print(
+        "{}: {} rounds, {} messages, {} bits\n".format(
+            graph.name,
+            result.rounds,
+            result.stats.message_count,
+            result.stats.bit_count,
+        )
+    )
+    print(tracer.timeline(width=args.width))
+    print()
+    print_table(
+        ["message type", "count", "bits", "active rounds"],
+        [
+            [
+                name,
+                stats["count"],
+                stats["bits"],
+                "{}..{}".format(stats["first_round"], stats["last_round"]),
+            ]
+            for name, stats in tracer.summary().items()
+        ],
+        title="Traffic by message type",
+    )
+    return 0
+
+
+def cmd_elect(args: argparse.Namespace) -> int:
+    from repro.congest import elect_root
+
+    graph = _load_graph(args)
+    leader, rounds = elect_root(graph, seed=args.seed)
+    print_table(
+        ["metric", "value"],
+        [
+            ["graph", graph.name],
+            ["elected root u0", leader],
+            ["election rounds", rounds],
+            ["priority", "min id" if args.seed is None else
+             "seeded permutation ({})".format(args.seed)],
+        ],
+        title="Leader election (the paper's 'randomly selected vertex')",
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.graphs import (
+        degree_histogram,
+        diameter as graph_diameter,
+        is_connected,
+        max_shortest_path_count,
+    )
+
+    graph = _load_graph(args)
+    from repro.graphs.weighted import (
+        WeightedGraph,
+        is_weighted_connected,
+        subdivide,
+        weighted_diameter,
+    )
+
+    if isinstance(graph, WeightedGraph):
+        rows = [
+            ["name", graph.name],
+            ["nodes", graph.num_nodes],
+            ["weighted edges", graph.num_edges],
+            ["total weight", graph.total_weight()],
+            ["connected", is_weighted_connected(graph)],
+        ]
+        if is_weighted_connected(graph) and graph.num_nodes:
+            rows.append(["weighted diameter", weighted_diameter(graph)])
+            rows.append(
+                ["subdivision size", subdivide(graph).graph.num_nodes]
+            )
+        print_table(["property", "value"], rows, title="Weighted graph info")
+        return 0
+    rows = [
+        ["name", graph.name],
+        ["nodes", graph.num_nodes],
+        ["edges", graph.num_edges],
+        ["connected", is_connected(graph)],
+        ["max degree", graph.max_degree()],
+    ]
+    if is_connected(graph) and graph.num_nodes:
+        rows.append(["diameter", graph_diameter(graph)])
+        if graph.num_nodes <= 200:
+            rows.append(["max sigma", max_shortest_path_count(graph)])
+    rows.append(["degree histogram", str(dict(sorted(degree_histogram(graph).items())))])
+    print_table(["property", "value"], rows, title="Graph info")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed betweenness centrality (ICDCS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bc = sub.add_parser("bc", help="distributed betweenness")
+    _add_graph_options(p_bc)
+    _add_protocol_options(p_bc)
+    p_bc.add_argument(
+        "--check", action="store_true", help="also print the Brandes reference"
+    )
+    p_bc.set_defaults(func=cmd_bc)
+
+    p_apsp = sub.add_parser("apsp", help="counting phase: closeness etc.")
+    _add_graph_options(p_apsp)
+    _add_protocol_options(p_apsp)
+    p_apsp.set_defaults(func=cmd_apsp)
+
+    p_stress = sub.add_parser("stress", help="distributed stress centrality")
+    _add_graph_options(p_stress)
+    _add_protocol_options(p_stress)
+    p_stress.set_defaults(func=cmd_stress, arithmetic="exact")
+
+    p_sample = sub.add_parser("sample", help="sampled distributed BC")
+    _add_graph_options(p_sample)
+    _add_protocol_options(p_sample)
+    p_sample.add_argument("--pivots", type=int, default=8)
+    p_sample.add_argument("--seed", type=int, default=0)
+    p_sample.set_defaults(func=cmd_sample)
+
+    p_sched = sub.add_parser("schedule", help="analytic sending-time tables")
+    _add_graph_options(p_sched)
+    p_sched.add_argument("--root", type=int, default=0)
+    p_sched.add_argument(
+        "--mode", choices=("shortcut", "tree_walk"), default="shortcut"
+    )
+    p_sched.add_argument("--top", type=int, default=10)
+    p_sched.set_defaults(func=cmd_schedule)
+
+    p_gadget = sub.add_parser("gadget", help="Section IX gadget verification")
+    p_gadget.add_argument("kind", choices=("diameter", "bc"))
+    p_gadget.add_argument("--sets", type=int, default=3, help="n subsets")
+    p_gadget.add_argument("--x", type=int, default=10, help="diameter parameter")
+    p_gadget.add_argument("--seed", type=int, default=0)
+    p_gadget.add_argument(
+        "--intersect",
+        action="store_const",
+        const=True,
+        default=None,
+        help="force a family match (default: random)",
+    )
+    p_gadget.set_defaults(func=cmd_gadget)
+
+    p_trace = sub.add_parser("trace", help="traced run with phase timeline")
+    _add_graph_options(p_trace)
+    _add_protocol_options(p_trace)
+    p_trace.add_argument("--width", type=int, default=70)
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_elect = sub.add_parser("elect", help="leader election for the root u0")
+    _add_graph_options(p_elect)
+    p_elect.add_argument("--seed", type=int, default=None)
+    p_elect.set_defaults(func=cmd_elect)
+
+    p_info = sub.add_parser("info", help="graph statistics")
+    _add_graph_options(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print("error: {}".format(err), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

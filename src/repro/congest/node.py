@@ -1,0 +1,105 @@
+"""Node-algorithm interface for the synchronous CONGEST simulator.
+
+A distributed algorithm is expressed as a :class:`NodeAlgorithm`
+subclass.  The simulator instantiates one object per graph node (via a
+factory), then drives rounds: in each round every node receives the
+messages sent to it in the previous round, updates its local state, and
+enqueues messages for its neighbors.  Local computation is free, exactly
+as in the model of Section III-A of the paper; only rounds and message
+bits are accounted.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Sequence, Tuple
+
+from repro.congest.message import Message
+
+#: The inbox handed to ``on_round``: (sender id, message) pairs, in
+#: deterministic (sender-sorted, enqueue-ordered) order.
+Inbox = List[Tuple[int, Message]]
+
+
+class RoundContext:
+    """Per-round API a node uses to interact with the network.
+
+    The simulator creates one context per node per round; ``send`` and
+    ``broadcast`` enqueue messages for delivery at the start of the next
+    round.
+    """
+
+    __slots__ = ("node_id", "round_number", "_neighbors", "_outbox")
+
+    def __init__(self, node_id: int, round_number: int, neighbors: Sequence[int]):
+        self.node_id = node_id
+        self.round_number = round_number
+        self._neighbors = neighbors
+        self._outbox: List[Tuple[int, Message]] = []
+
+    @property
+    def neighbors(self) -> Sequence[int]:
+        """This node's neighbor ids (local knowledge)."""
+        return self._neighbors
+
+    def send(self, target: int, message: Message) -> None:
+        """Enqueue ``message`` for neighbor ``target`` (delivered next round)."""
+        if target not in self._neighbors:
+            raise ValueError(
+                "node {} has no edge to {}".format(self.node_id, target)
+            )
+        self._outbox.append((target, message))
+
+    def broadcast(self, message: Message) -> None:
+        """Send ``message`` to every neighbor."""
+        for target in self._neighbors:
+            self._outbox.append((target, message))
+
+    def drain(self) -> List[Tuple[int, Message]]:
+        """Internal: hand the enqueued sends to the simulator."""
+        out, self._outbox = self._outbox, []
+        return out
+
+
+class NodeAlgorithm(abc.ABC):
+    """Base class for the per-node state machine of a protocol.
+
+    Subclasses receive their id and neighbor list at construction and
+    implement :meth:`on_round`.  A node signals completion by setting
+    :attr:`done`; the simulation terminates when every node is done and
+    no message is in flight.
+    """
+
+    def __init__(self, node_id: int, neighbors: Sequence[int]):
+        self.node_id = node_id
+        self.neighbors = tuple(neighbors)
+        self.done = False
+
+    def on_start(self, ctx: RoundContext) -> None:
+        """Called once in round 0 before any message exchange.
+
+        The default does nothing; override to send wake-up messages.
+        ``on_round`` is also called in round 0, with an empty inbox,
+        after ``on_start``.
+        """
+
+    @abc.abstractmethod
+    def on_round(self, ctx: RoundContext, inbox: Inbox) -> None:
+        """Process one synchronous round.
+
+        Parameters
+        ----------
+        ctx:
+            Sending interface and the current round number.
+        inbox:
+            Messages delivered this round (sent in the previous one).
+        """
+
+    def __repr__(self) -> str:
+        return "{}(node={}, done={})".format(
+            type(self).__name__, self.node_id, self.done
+        )
+
+
+#: Factory signature the simulator accepts: (node_id, neighbors) -> node.
+NodeFactory = Callable[[int, Tuple[int, ...]], NodeAlgorithm]

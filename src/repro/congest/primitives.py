@@ -1,0 +1,428 @@
+"""Reusable CONGEST protocol primitives.
+
+The betweenness protocol embeds several textbook building blocks (BFS
+tree construction, census convergecast, tree broadcast).  This module
+provides *standalone, generic* versions of those primitives plus a
+leader election, each as a :class:`~repro.congest.node.NodeAlgorithm`
+ready to run on the simulator — useful both for building other
+protocols and for discharging the paper's "a BFS tree rooted in a
+randomly selected vertex" premise inside the model:
+
+* :class:`BfsTreeNode` — BFS tree from a known root with child
+  discovery, subtree census and a completion echo; O(D) rounds.
+* :class:`ConvergecastMaxNode` — max-aggregation toward a root over a
+  prebuilt tree (the shape DoneReport uses).
+* :class:`LeaderElectionNode` — minimum-id leader election in a
+  connected graph with *unknown* N and D, via competing BFS-tree echoes:
+  every node starts a candidacy; candidacies of non-minimal ids are
+  swallowed by smaller waves; the minimum id's tree completes its echo
+  and the result is broadcast.  O(D) rounds, O(log N)-bit messages.
+
+The election gives :func:`elect_root`, and
+``distributed_betweenness(root=None)`` uses it so the whole pipeline is
+self-contained in the message-passing model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.congest.message import Message, WireFormat, int_bits
+from repro.congest.node import Inbox, NodeAlgorithm, RoundContext
+from repro.exceptions import ProtocolError
+
+# ----------------------------------------------------------------------
+# messages
+# ----------------------------------------------------------------------
+class Wave(Message):
+    """Generic flood wave carrying an origin id and its hop distance."""
+
+    __slots__ = ("origin", "dist")
+
+    def __init__(self, origin: int, dist: int):
+        self.origin = origin
+        self.dist = dist
+
+    def payload_bits(self, wire: WireFormat) -> int:
+        return wire.id_bits + wire.distance_bits
+
+    def __repr__(self) -> str:
+        return "Wave(origin={}, dist={})".format(self.origin, self.dist)
+
+
+class Join(Message):
+    """Child → parent attachment for the wave's tree."""
+
+    __slots__ = ("origin",)
+
+    def __init__(self, origin: int):
+        self.origin = origin
+
+    def payload_bits(self, wire: WireFormat) -> int:
+        return wire.id_bits
+
+    def __repr__(self) -> str:
+        return "Join(origin={})".format(self.origin)
+
+
+class Echo(Message):
+    """Convergecast payload: subtree aggregate for the wave's tree."""
+
+    __slots__ = ("origin", "value")
+
+    def __init__(self, origin: int, value: int):
+        self.origin = origin
+        self.value = value
+
+    def payload_bits(self, wire: WireFormat) -> int:
+        return wire.id_bits + int_bits(self.value)
+
+    def __repr__(self) -> str:
+        return "Echo(origin={}, value={})".format(self.origin, self.value)
+
+
+class Decide(Message):
+    """Root broadcast announcing the protocol's final value."""
+
+    __slots__ = ("origin", "value")
+
+    def __init__(self, origin: int, value: int):
+        self.origin = origin
+        self.value = value
+
+    def payload_bits(self, wire: WireFormat) -> int:
+        return wire.id_bits + int_bits(self.value)
+
+    def __repr__(self) -> str:
+        return "Decide(origin={}, value={})".format(self.origin, self.value)
+
+
+# ----------------------------------------------------------------------
+# BFS tree with census and completion echo
+# ----------------------------------------------------------------------
+class BfsTreeNode(NodeAlgorithm):
+    """Build BFS(root) with children, subtree sizes and a done echo.
+
+    After termination every node knows its ``parent``, ``children`` and
+    ``depth``; the root additionally knows ``census`` = N.  This is the
+    standalone form of the betweenness pipeline's phase 0.
+    """
+
+    root = 0  # override per run via a closure/factory if needed
+
+    def __init__(self, node_id: int, neighbors: Sequence[int]):
+        super().__init__(node_id, neighbors)
+        self.parent: Optional[int] = None
+        self.children: Set[int] = set()
+        self.depth: Optional[int] = None
+        self.census: Optional[int] = None
+        self._settle_round: Optional[int] = None
+        self._children_final = False
+        self._child_counts: Dict[int, int] = {}
+        self._echo_sent = False
+
+    def on_round(self, ctx: RoundContext, inbox: Inbox) -> None:
+        if ctx.round_number == 0 and self.node_id == self.root:
+            self.depth = 0
+            self._settle_round = 0
+            ctx.broadcast(Wave(self.root, 0))
+        for sender, message in inbox:
+            if isinstance(message, Wave) and self.depth is None:
+                self.depth = message.dist + 1
+                self.parent = sender
+                self._settle_round = ctx.round_number
+                ctx.send(sender, Join(message.origin))
+                ctx.broadcast(Wave(message.origin, self.depth))
+            elif isinstance(message, Join):
+                self.children.add(sender)
+            elif isinstance(message, Echo):
+                self._child_counts[sender] = message.value
+        if (
+            not self._children_final
+            and self._settle_round is not None
+            and ctx.round_number >= self._settle_round + 2
+        ):
+            self._children_final = True
+        if (
+            self._children_final
+            and not self._echo_sent
+            and all(c in self._child_counts for c in self.children)
+        ):
+            self._echo_sent = True
+            size = 1 + sum(self._child_counts.values())
+            if self.node_id == self.root:
+                self.census = size
+            else:
+                ctx.send(self.parent, Echo(self.root, size))
+            self.done = True
+
+
+def make_bfs_tree_factory(root: int):
+    """Factory producing :class:`BfsTreeNode` rooted at ``root``."""
+
+    def factory(node_id: int, neighbors: Tuple[int, ...]) -> BfsTreeNode:
+        node = BfsTreeNode(node_id, neighbors)
+        node.root = root
+        return node
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# convergecast and broadcast over a known tree
+# ----------------------------------------------------------------------
+class ConvergecastNode(NodeAlgorithm):
+    """Reduce per-node values toward the root over a prebuilt tree.
+
+    Construct via :func:`make_convergecast_factory`, supplying the tree
+    (parents, children), each node's local value, and an associative
+    combiner (default ``max``).  After the run the root's ``result``
+    holds the tree-wide reduction; O(depth) rounds, one O(log N)-bit
+    message per tree edge.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: Sequence[int],
+        parent: Optional[int],
+        children: Set[int],
+        value: int,
+        combine=max,
+    ):
+        super().__init__(node_id, neighbors)
+        self.parent = parent
+        self.children = set(children)
+        self.value = value
+        self.combine = combine
+        self.result: Optional[int] = None
+        self._reports: Dict[int, int] = {}
+
+    def on_round(self, ctx: RoundContext, inbox: Inbox) -> None:
+        for sender, message in inbox:
+            if isinstance(message, Echo):
+                self._reports[sender] = message.value
+        if self.done:
+            return
+        if all(c in self._reports for c in self.children):
+            aggregate = self.value
+            for child_value in self._reports.values():
+                aggregate = self.combine(aggregate, child_value)
+            if self.parent is None:
+                self.result = aggregate
+            else:
+                ctx.send(self.parent, Echo(self.node_id, aggregate))
+            self.done = True
+
+
+#: Backwards-compatible name for the max reduction.
+ConvergecastMaxNode = ConvergecastNode
+
+
+def make_convergecast_factory(
+    parents: Dict[int, Optional[int]],
+    children: Dict[int, Set[int]],
+    values: Dict[int, int],
+    combine=max,
+):
+    """Factory for :class:`ConvergecastNode` over a given tree."""
+
+    def factory(node_id: int, neighbors: Tuple[int, ...]):
+        return ConvergecastNode(
+            node_id,
+            neighbors,
+            parents[node_id],
+            children[node_id],
+            values[node_id],
+            combine=combine,
+        )
+
+    return factory
+
+
+class BroadcastNode(NodeAlgorithm):
+    """Tree broadcast: the root's value reaches every node in O(depth).
+
+    Construct via :func:`make_broadcast_factory`.  After the run every
+    node's ``received`` holds the root's value.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: Sequence[int],
+        children: Set[int],
+        value: Optional[int],
+    ):
+        super().__init__(node_id, neighbors)
+        self.children = set(children)
+        self.received: Optional[int] = value  # root starts with it
+
+    def on_round(self, ctx: RoundContext, inbox: Inbox) -> None:
+        if self.done:
+            return
+        for _sender, message in inbox:
+            if isinstance(message, Decide):
+                self.received = message.value
+        if self.received is not None:
+            for child in sorted(self.children):
+                ctx.send(child, Decide(self.node_id, self.received))
+            self.done = True
+
+
+def make_broadcast_factory(
+    children: Dict[int, Set[int]],
+    root: int,
+    value: int,
+):
+    """Factory for :class:`BroadcastNode` distributing ``value`` from root."""
+
+    def factory(node_id: int, neighbors: Tuple[int, ...]):
+        return BroadcastNode(
+            node_id,
+            neighbors,
+            children[node_id],
+            value if node_id == root else None,
+        )
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# leader election (minimum id) with unknown N and D
+# ----------------------------------------------------------------------
+class LeaderElectionNode(NodeAlgorithm):
+    """Minimum-priority leader election via competing BFS candidacies.
+
+    Every node starts a candidacy wave at round 0.  Nodes adopt the
+    lowest-priority origin they have heard (re-flooding it once per
+    adoption) and abandon higher-priority candidacies.  Tree
+    joins/echoes are tracked per adopted origin; only the global
+    minimum's tree ever completes its echo back to the origin (every
+    node eventually adopts it), at which point the winner broadcasts
+    :class:`Decide` and all nodes learn the ``leader``.
+
+    With the default ``seed = None`` the priority is the node id (the
+    classic minimum-id election).  With a shared integer seed every
+    node ranks candidates by a common pseudo-random permutation of the
+    ids — realizing the paper's "randomly selected vertex" inside the
+    model (the seed is shared knowledge, like the port numbering).
+
+    O(D) rounds after the winner's wave saturates; every message is
+    O(log N) bits.
+    """
+
+    #: shared priority seed (None = plain minimum-id election).
+    seed: Optional[int] = None
+
+    def _rank(self, candidate: int):
+        if self.seed is None:
+            return candidate
+        # A 32-bit avalanche mix (xorshift-multiply) keyed by the shared
+        # seed; the id tie-break makes the order a total permutation.
+        x = ((candidate + 1) * 2654435761 + self.seed * 0x9E3779B9) & 0xFFFFFFFF
+        x ^= x >> 16
+        x = (x * 0x45D9F3B) & 0xFFFFFFFF
+        x ^= x >> 16
+        return (x, candidate)
+
+    def __init__(self, node_id: int, neighbors: Sequence[int]):
+        super().__init__(node_id, neighbors)
+        #: best (lowest-priority) candidate adopted so far (own id initially).
+        self.best = node_id
+        self.parent: Optional[int] = None  # parent in best's tree
+        self.depth = 0
+        self.leader: Optional[int] = None
+        self._settle_round = 0
+        self._children: Set[int] = set()
+        self._child_counts: Dict[int, int] = {}
+        self._echo_sent = False
+        self._decided = False
+
+    def on_round(self, ctx: RoundContext, inbox: Inbox) -> None:
+        if ctx.round_number == 0:
+            ctx.broadcast(Wave(self.node_id, 0))
+        self._handle_inbox(ctx, inbox)
+        self._maybe_echo(ctx)
+
+    def _adopt(self, ctx: RoundContext, origin: int, dist: int, sender):
+        self.best = origin
+        self.parent = sender
+        self.depth = dist + 1 if sender is not None else 0
+        self._settle_round = ctx.round_number
+        self._children = set()
+        self._child_counts = {}
+        self._echo_sent = False
+        if sender is not None:
+            ctx.send(sender, Join(origin))
+        ctx.broadcast(Wave(origin, self.depth))
+
+    def _handle_inbox(self, ctx: RoundContext, inbox: Inbox) -> None:
+        best_wave = None
+        for sender, message in inbox:
+            if isinstance(message, Wave):
+                if self._rank(message.origin) < self._rank(self.best) and (
+                    best_wave is None
+                    or self._rank(message.origin)
+                    < self._rank(best_wave[1].origin)
+                ):
+                    best_wave = (sender, message)
+            elif isinstance(message, Join):
+                if message.origin == self.best:
+                    self._children.add(sender)
+            elif isinstance(message, Echo):
+                if message.origin == self.best:
+                    self._child_counts[sender] = message.value
+            elif isinstance(message, Decide):
+                if not self._decided:
+                    self._decided = True
+                    self.leader = message.origin
+                    ctx.broadcast(Decide(message.origin, message.value))
+                    self.done = True
+        if best_wave is not None:
+            sender, wave = best_wave
+            self._adopt(ctx, wave.origin, wave.dist, sender)
+
+    def _maybe_echo(self, ctx: RoundContext) -> None:
+        if self._echo_sent or self._decided:
+            return
+        if ctx.round_number < self._settle_round + 2:
+            return  # children not final yet
+        if any(c not in self._child_counts for c in self._children):
+            return
+        size = 1 + sum(self._child_counts.values())
+        self._echo_sent = True
+        if self.best == self.node_id:
+            # Our own candidacy's echo completed: we heard back from a
+            # saturated tree with no smaller id anywhere in it — and
+            # since every node adopts the global minimum, only the
+            # minimum ever reaches this point.
+            self._decided = True
+            self.leader = self.node_id
+            ctx.broadcast(Decide(self.node_id, size))
+            self.done = True
+        else:
+            ctx.send(self.parent, Echo(self.best, size))
+
+
+def elect_root(graph, seed: Optional[int] = None, **simulator_kwargs) -> Tuple[int, int]:
+    """Run leader election on ``graph``; returns ``(leader, rounds)``.
+
+    Discharges the paper's "randomly selected vertex" premise inside
+    the model: with a shared ``seed``, the elected node is a
+    pseudo-random vertex; without one, the minimum id wins.
+    """
+    from repro.congest.simulator import run_protocol
+
+    def factory(node_id, neighbors):
+        node = LeaderElectionNode(node_id, neighbors)
+        node.seed = seed
+        return node
+
+    nodes, stats = run_protocol(graph, factory, **simulator_kwargs)
+    leaders = {node.leader for node in nodes}
+    if len(leaders) != 1 or None in leaders:
+        raise ProtocolError(
+            "leader election did not converge: {}".format(leaders)
+        )
+    return leaders.pop(), stats.rounds

@@ -1,0 +1,196 @@
+"""The synchronous CONGEST-model network simulator.
+
+Semantics (matching Section III-A of the paper):
+
+* Execution proceeds in globally synchronized rounds ``0, 1, 2, ...``.
+* A message enqueued in round ``t`` is delivered at the start of round
+  ``t + 1``; channels are reliable and FIFO.
+* Within a round a node first receives, then computes (for free), then
+  sends — so a node at distance ℓ from a BFS source settles *and*
+  forwards the wave in round ``T_s + ℓ``, exactly the timing the paper's
+  Lemma 4 arithmetic assumes.
+* In **strict mode** the simulator enforces the CONGEST bandwidth
+  restriction: the bits enqueued on one directed edge in one round may
+  not exceed ``congest_factor * ceil(log2 N)``; an overflow raises
+  :class:`~repro.exceptions.CongestViolationError`.  The factor models
+  the O(·) constant; the paper's algorithm needs only a small constant
+  because at most one BFS wave, one aggregation message, one token and
+  one control message share an edge per round.
+
+The simulator is deterministic: nodes act in id order and inboxes are
+sorted by sender id, so every run (and therefore every benchmark table)
+is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.congest.message import Message, WireFormat
+from repro.congest.node import Inbox, NodeAlgorithm, NodeFactory, RoundContext
+from repro.congest.stats import CutTracker, SimulationStats
+from repro.exceptions import (
+    CongestViolationError,
+    SimulationNotTerminatedError,
+)
+from repro.graphs.graph import Graph
+
+#: Default per-edge budget multiplier: budget = factor * ceil(log2 N).
+#: The pipeline's worst round stacks a BFS wave (id + round stamp +
+#: distance + a 2L+1-bit float), a token and a control message, all
+#: O(log N); 32 covers L = 3 log2 N comfortably while still catching the
+#: Theta(N)-bit messages of exact arithmetic on path-count-heavy graphs.
+DEFAULT_CONGEST_FACTOR = 32
+
+
+class Simulator:
+    """Run a :class:`NodeAlgorithm` on every node of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology.
+    node_factory:
+        Called as ``node_factory(node_id, neighbors)`` for every node.
+    strict:
+        Enforce the per-edge bit budget (default True).
+    congest_factor:
+        Budget multiplier c in ``c * ceil(log2 N)`` bits per directed
+        edge per round.
+    max_rounds:
+        Safety valve; exceeded ⇒ :class:`SimulationNotTerminatedError`.
+        Defaults to ``20 * N + 1000``, far above the paper's O(N) bound.
+    cut:
+        Optional node set: traffic crossing the induced 2-partition is
+        tallied in ``stats.cut`` (used by the Section IX experiments).
+    wire:
+        Override the :class:`WireFormat` (defaults to one sized for the
+        graph).
+    tracer:
+        Optional :class:`~repro.congest.trace.Tracer` recording every
+        delivery for post-run inspection.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        node_factory: NodeFactory,
+        strict: bool = True,
+        congest_factor: int = DEFAULT_CONGEST_FACTOR,
+        max_rounds: Optional[int] = None,
+        cut: Optional[Iterable[int]] = None,
+        wire: Optional[WireFormat] = None,
+        tracer=None,
+    ):
+        self.graph = graph
+        self.strict = strict
+        self.wire = wire or WireFormat(max(1, graph.num_nodes))
+        # O(log N) hides an additive constant; flooring the log factor
+        # at 4 bits keeps degenerate 2-node networks from being starved
+        # below a single float-carrying message.
+        self.bit_budget = congest_factor * max(4, self.wire.id_bits)
+        self.max_rounds = (
+            max_rounds if max_rounds is not None else 20 * graph.num_nodes + 1000
+        )
+        self.stats = SimulationStats()
+        self.tracer = tracer
+        if cut is not None:
+            self.stats.cut = CutTracker(frozenset(cut))
+        self.nodes: List[NodeAlgorithm] = [
+            node_factory(v, graph.neighbors(v)) for v in graph.nodes()
+        ]
+        # messages delivered at the start of the *next* round:
+        # receiver -> list of (sender, message)
+        self._in_flight: Dict[int, List[Tuple[int, Message]]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Drive rounds until every node is done and no message is in flight.
+
+        Returns the populated :class:`SimulationStats`.
+        """
+        round_number = 0
+        while True:
+            if round_number > self.max_rounds:
+                raise SimulationNotTerminatedError(
+                    "simulation exceeded {} rounds on {!r}".format(
+                        self.max_rounds, self.graph.name
+                    )
+                )
+            inboxes, had_traffic = self._deliver()
+            if not had_traffic and self._all_done() and round_number > 0:
+                break
+            self._step(round_number, inboxes)
+            round_number += 1
+        self.stats.rounds = round_number
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _deliver(self) -> Tuple[Dict[int, Inbox], bool]:
+        """Move in-flight messages into per-node inboxes."""
+        inboxes = self._in_flight
+        self._in_flight = {}
+        had_traffic = bool(inboxes)
+        for inbox in inboxes.values():
+            inbox.sort(key=lambda pair: pair[0])  # deterministic order
+        return inboxes, had_traffic
+
+    def _all_done(self) -> bool:
+        return all(node.done for node in self.nodes)
+
+    def _step(self, round_number: int, inboxes: Dict[int, Inbox]) -> None:
+        """Run one synchronous round across all nodes."""
+        self.stats.start_round()
+        per_edge_bits: Dict[Tuple[int, int], int] = {}
+        per_edge_msgs: Dict[Tuple[int, int], int] = {}
+        for node in self.nodes:
+            ctx = RoundContext(node.node_id, round_number, node.neighbors)
+            if round_number == 0:
+                node.on_start(ctx)
+            node.on_round(ctx, inboxes.get(node.node_id, []))
+            for target, message in ctx.drain():
+                bits = message.bit_size(self.wire)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        round_number, node.node_id, target, message, bits
+                    )
+                key = (node.node_id, target)
+                per_edge_bits[key] = per_edge_bits.get(key, 0) + bits
+                per_edge_msgs[key] = per_edge_msgs.get(key, 0) + 1
+                if self.strict and per_edge_bits[key] > self.bit_budget:
+                    raise CongestViolationError(
+                        round_number,
+                        node.node_id,
+                        target,
+                        per_edge_bits[key],
+                        self.bit_budget,
+                    )
+                self._in_flight.setdefault(target, []).append(
+                    (node.node_id, message)
+                )
+        for (sender, receiver), bits in per_edge_bits.items():
+            self.stats.observe_edge_load(
+                round_number,
+                sender,
+                receiver,
+                per_edge_msgs[(sender, receiver)],
+                bits,
+            )
+
+
+def run_protocol(
+    graph: Graph,
+    node_factory: NodeFactory,
+    **kwargs,
+) -> Tuple[List[NodeAlgorithm], SimulationStats]:
+    """Convenience wrapper: build a :class:`Simulator`, run it, return nodes.
+
+    Returns
+    -------
+    (nodes, stats):
+        The node objects after termination (holding their local outputs)
+        and the run statistics.
+    """
+    sim = Simulator(graph, node_factory, **kwargs)
+    stats = sim.run()
+    return sim.nodes, stats

@@ -1,0 +1,104 @@
+"""Traffic and round statistics collected by the CONGEST simulator.
+
+The statistics serve three reproduction targets:
+
+* **Round complexity** (Theorem 3): ``rounds`` is the number of
+  synchronous rounds until global termination.
+* **CONGEST compliance** (Lemmas 3–5): ``max_edge_bits_per_round`` is
+  the worst per-edge per-direction per-round load ever observed, to be
+  compared with ``c * ceil(log2 N)``.
+* **Lower-bound experiments** (Section IX): when a node partition is
+  registered, ``cut_bits`` counts every bit crossing the cut, realizing
+  the communication-complexity argument of Theorems 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+class CutTracker:
+    """Counts traffic crossing a 2-partition of the nodes.
+
+    Parameters
+    ----------
+    left:
+        The node set forming one side of the cut (e.g. "Alice's" half of
+        a lower-bound gadget); everything else is the other side.
+    """
+
+    def __init__(self, left: FrozenSet[int]):
+        self.left = frozenset(left)
+        self.bits = 0
+        self.messages = 0
+        self.bits_per_round: Dict[int, int] = {}
+
+    def observe(self, round_number: int, sender: int, receiver: int, bits: int):
+        """Record a delivery if it crosses the cut."""
+        if (sender in self.left) != (receiver in self.left):
+            self.bits += bits
+            self.messages += 1
+            self.bits_per_round[round_number] = (
+                self.bits_per_round.get(round_number, 0) + bits
+            )
+
+    def max_bits_in_round(self) -> int:
+        """The busiest round's cut traffic (0 if no traffic crossed)."""
+        return max(self.bits_per_round.values(), default=0)
+
+
+class SimulationStats:
+    """Aggregate statistics for one simulator run."""
+
+    def __init__(self):
+        self.rounds = 0
+        self.message_count = 0
+        self.bit_count = 0
+        self.max_edge_bits_per_round = 0
+        self.max_edge_messages_per_round = 0
+        #: per-round totals: list of (messages, bits)
+        self.round_series: List[Tuple[int, int]] = []
+        self.cut: Optional[CutTracker] = None
+        #: the directed edge and round achieving max_edge_bits_per_round
+        self.worst_edge: Optional[Tuple[int, int, int]] = None
+
+    def start_round(self):
+        self.round_series.append((0, 0))
+
+    def observe_edge_load(
+        self,
+        round_number: int,
+        sender: int,
+        receiver: int,
+        messages: int,
+        bits: int,
+    ):
+        """Record the load placed on one directed edge this round."""
+        self.message_count += messages
+        self.bit_count += bits
+        msg_total, bit_total = self.round_series[-1]
+        self.round_series[-1] = (msg_total + messages, bit_total + bits)
+        if bits > self.max_edge_bits_per_round:
+            self.max_edge_bits_per_round = bits
+            self.worst_edge = (round_number, sender, receiver)
+        if messages > self.max_edge_messages_per_round:
+            self.max_edge_messages_per_round = messages
+        if self.cut is not None:
+            self.cut.observe(round_number, sender, receiver, bits)
+
+    def summary(self) -> Dict[str, int]:
+        """A plain-dict summary convenient for benchmark tables."""
+        out = {
+            "rounds": self.rounds,
+            "messages": self.message_count,
+            "bits": self.bit_count,
+            "max_edge_bits_per_round": self.max_edge_bits_per_round,
+            "max_edge_messages_per_round": self.max_edge_messages_per_round,
+        }
+        if self.cut is not None:
+            out["cut_bits"] = self.cut.bits
+            out["cut_messages"] = self.cut.messages
+        return out
+
+    def __repr__(self) -> str:
+        return "SimulationStats({})".format(self.summary())

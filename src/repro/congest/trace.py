@@ -1,0 +1,218 @@
+"""Round-by-round protocol tracing for the CONGEST simulator.
+
+A :class:`Tracer` attached to a :class:`~repro.congest.simulator.Simulator`
+records every delivery (round, sender, receiver, message type, bits),
+subject to optional filters, and offers query and rendering helpers:
+
+* :meth:`Tracer.deliveries` / :meth:`Tracer.of_type` — raw event access;
+* :meth:`Tracer.rounds_active` — when a message type was on the wire,
+  which makes phase boundaries (tree build → counting → aggregation)
+  visible and testable;
+* :meth:`Tracer.timeline` — an ASCII activity timeline per message
+  type, the closest thing to a protocol "figure" a terminal can show.
+
+Tracing every message of a large run costs memory, so the tracer
+supports type and node filters and a hard event cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.congest.message import Message
+
+#: Glyphs for the timeline, from idle to busiest octile.
+_SPARK = " .:-=+*#@"
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One traced message delivery (recorded at send time)."""
+
+    round_number: int
+    sender: int
+    receiver: int
+    message_type: str
+    bits: int
+
+
+class Tracer:
+    """Collects :class:`Delivery` events during a simulation run.
+
+    Parameters
+    ----------
+    message_types:
+        Restrict tracing to these :class:`Message` subclasses (default:
+        all).
+    nodes:
+        Restrict to deliveries where sender or receiver is in this set.
+    max_events:
+        Hard cap; recording stops (and :attr:`truncated` is set) once
+        reached.
+    """
+
+    def __init__(
+        self,
+        message_types: Optional[Iterable[Type[Message]]] = None,
+        nodes: Optional[Iterable[int]] = None,
+        max_events: int = 1_000_000,
+    ):
+        self._types = (
+            tuple(message_types) if message_types is not None else None
+        )
+        self._nodes = frozenset(nodes) if nodes is not None else None
+        self._max_events = max_events
+        self._events: List[Delivery] = []
+        self.truncated = False
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        round_number: int,
+        sender: int,
+        receiver: int,
+        message: Message,
+        bits: int,
+    ) -> None:
+        """Called by the simulator for every enqueued message."""
+        if self.truncated:
+            return
+        if self._types is not None and not isinstance(message, self._types):
+            return
+        if self._nodes is not None and not (
+            sender in self._nodes or receiver in self._nodes
+        ):
+            return
+        if len(self._events) >= self._max_events:
+            self.truncated = True
+            return
+        self._events.append(
+            Delivery(
+                round_number,
+                sender,
+                receiver,
+                type(message).__name__,
+                bits,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def deliveries(self) -> Tuple[Delivery, ...]:
+        """All recorded events, in send order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def of_type(self, type_name: str) -> List[Delivery]:
+        """Events whose message type matches ``type_name``."""
+        return [e for e in self._events if e.message_type == type_name]
+
+    def message_types(self) -> List[str]:
+        """Distinct traced message type names, first-seen order."""
+        seen: Dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.message_type, None)
+        return list(seen)
+
+    def rounds_active(self, type_name: str) -> Tuple[int, int]:
+        """(first, last) round a message type was sent; (-1, -1) if never."""
+        rounds = [e.round_number for e in self.of_type(type_name)]
+        if not rounds:
+            return (-1, -1)
+        return (min(rounds), max(rounds))
+
+    def counts_per_round(self, type_name: Optional[str] = None) -> Dict[int, int]:
+        """round -> number of (matching) deliveries."""
+        out: Dict[int, int] = {}
+        for event in self._events:
+            if type_name is None or event.message_type == type_name:
+                out[event.round_number] = out.get(event.round_number, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def timeline(self, width: int = 72) -> str:
+        """An ASCII activity timeline, one row per message type.
+
+        Rounds are bucketed into ``width`` columns; cell glyphs scale
+        with the bucket's message count relative to the row's maximum.
+        """
+        if not self._events:
+            return "(no traced traffic)"
+        last_round = max(e.round_number for e in self._events)
+        buckets = max(1, min(width, last_round + 1))
+        span = (last_round + 1) / buckets
+        lines = []
+        label_width = max(len(t) for t in self.message_types())
+        for type_name in self.message_types():
+            histogram = [0] * buckets
+            for event in self.of_type(type_name):
+                histogram[int(event.round_number / span)] += 1
+            peak = max(histogram)
+            row = "".join(
+                _SPARK[
+                    0
+                    if count == 0
+                    else 1 + min(
+                        len(_SPARK) - 2,
+                        (count * (len(_SPARK) - 1) - 1) // peak,
+                    )
+                ]
+                for count in histogram
+            )
+            lines.append(
+                "{:<{w}} |{}| peak {}/bucket".format(
+                    type_name, row, peak, w=label_width
+                )
+            )
+        lines.append(
+            "{:<{w}}  rounds 0..{} ({} buckets)".format(
+                "", last_round, buckets, w=label_width
+            )
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Serialize the recorded events for external tooling.
+
+        The JSON object carries a schema marker, the truncation flag,
+        and one compact ``[round, sender, receiver, type, bits]`` row
+        per delivery — small enough to feed a timeline visualizer.
+        """
+        import json
+
+        return json.dumps(
+            {
+                "schema": "repro-trace-v1",
+                "truncated": self.truncated,
+                "events": [
+                    [
+                        e.round_number,
+                        e.sender,
+                        e.receiver,
+                        e.message_type,
+                        e.bits,
+                    ]
+                    for e in self._events
+                ],
+            }
+        )
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-type totals: count, bits, first and last active round."""
+        out: Dict[str, Dict[str, int]] = {}
+        for type_name in self.message_types():
+            events = self.of_type(type_name)
+            first, last = self.rounds_active(type_name)
+            out[type_name] = {
+                "count": len(events),
+                "bits": sum(e.bits for e in events),
+                "first_round": first,
+                "last_round": last,
+            }
+        return out

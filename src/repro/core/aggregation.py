@@ -1,0 +1,195 @@
+"""The aggregation phase: Algorithm 3 of the paper.
+
+Every node u holds, for each source s, the record
+``(s, T_s, d(s,u), sigma_su, P_s(u))`` from the counting phase.  The
+phase opens when the root's :class:`AggStart` broadcast fixes the
+diameter D, the latest start time T_max, and a global round ``base``.
+Node u then sends, at round
+
+    ``base + T_s + D - d(s, u)``        (line 3: T_s(u) = T_s + D - d(s,u))
+
+the value ``1/sigma_su + psi_s(u)`` to every predecessor in P_s(u)
+(line 12), where psi_s(u) has accumulated the same-shaped values
+received from u's shortest-path descendants (lines 8–9, Eq. 14).
+Because descendants of u in BFS(s) sit one unit of distance further,
+they send exactly one round before u — their values arrive precisely
+when u is about to send, and the recursion telescopes without any
+waiting logic.
+
+Lemma 4 guarantees the schedule never asks a node to send values for
+two different sources in the same round; this implementation *checks*
+that claim when building the schedule and raises
+:class:`~repro.exceptions.ProtocolError` on violation.
+
+After round ``base + T_max + D`` no message can be in flight; each node
+then locally computes delta_s·(u) = psi_s(u) * sigma_su (line 17) and
+sums over sources into its raw betweenness (line 18).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.arithmetic.context import ArithmeticContext
+from repro.congest.node import RoundContext
+from repro.core.config import UNIT_STRESS, ProtocolConfig
+from repro.core.messages import AggStart, AggValue
+from repro.core.records import NodeLedger, SourceRecord
+from repro.core.tree import TreePhase
+from repro.exceptions import ProtocolError
+
+
+class AggregationPhase:
+    """Per-node state machine for Algorithm 3.
+
+    The recursion is parameterized by the protocol configuration (see
+    :mod:`repro.core.config`): the default unit term ``1/sigma_su``
+    computes betweenness; ``unit = "stress"`` seeds with 1 instead and
+    the same telescoping computes stress centrality; a restricted
+    target set masks the unit term of excluded nodes (used by the
+    weighted-graph subdivision, whose virtual nodes must not count as
+    pair endpoints).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        tree: TreePhase,
+        ledger: NodeLedger,
+        ctx_arith: ArithmeticContext,
+        config: ProtocolConfig = ProtocolConfig(),
+    ):
+        self.node_id = node_id
+        self.tree = tree
+        self.ledger = ledger
+        self.arith = ctx_arith
+        self.config = config
+        self.armed = False
+        self.diameter: Optional[int] = None
+        self.max_start_time: Optional[int] = None
+        self.base: Optional[int] = None
+        #: send schedule: absolute round -> source id (unique by Lemma 4).
+        self._schedule: Dict[int, int] = {}
+        #: raw output: sum over sources s != u of delta_s·(u), in the
+        #: pipeline's arithmetic (Fraction or LFloat).  The pipeline
+        #: halves it for the undirected convention.
+        self.betweenness_raw: Optional[Any] = None
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    def arm(self, start: AggStart) -> None:
+        """Open the phase: fix (D, T_max, base) and build the schedule."""
+        if self.armed:
+            raise ProtocolError(
+                "node {} received AggStart twice".format(self.node_id)
+            )
+        self.armed = True
+        self.diameter = start.diameter
+        self.max_start_time = start.max_start_time
+        self.base = start.base
+        if not self.config.aggregate:
+            self.betweenness_raw = self.arith.psi_zero()
+            self.finished = True
+            return
+        for record in self.ledger:
+            record.psi = self.arith.psi_zero()
+            if record.source == self.node_id:
+                continue  # the source itself never sends (P_s(s) is empty)
+            send_round = self.base + record.sending_time(self.diameter)
+            if send_round in self._schedule:
+                raise ProtocolError(
+                    "node {}: sources {} and {} share send round {} — "
+                    "Lemma 4 violated".format(
+                        self.node_id,
+                        self._schedule[send_round],
+                        record.source,
+                        send_round,
+                    )
+                )
+            self._schedule[send_round] = record.source
+
+    def handle_start(
+        self, ctx: RoundContext, starts: List[Tuple[int, AggStart]]
+    ) -> None:
+        """Process and forward the root's AggStart broadcast."""
+        if not starts:
+            return
+        start = starts[0][1]
+        self.arm(start)
+        for child in self.tree.sorted_children():
+            ctx.send(child, AggStart(start.diameter, start.max_start_time, start.base))
+
+    # ------------------------------------------------------------------
+    def on_round(
+        self,
+        ctx: RoundContext,
+        values: List[Tuple[int, AggValue]],
+    ) -> None:
+        """One aggregation round: receive (lines 8–9), send (lines 11–12)."""
+        if not self.armed:
+            if values:
+                raise ProtocolError(
+                    "node {} received values before AggStart".format(
+                        self.node_id
+                    )
+                )
+            return
+        for sender, message in values:
+            record = self.ledger.get(message.source)
+            if record is None or record.psi is None:
+                raise ProtocolError(
+                    "node {} got an aggregation value for unknown source "
+                    "{}".format(self.node_id, message.source)
+                )
+            record.psi = self.arith.psi_add(record.psi, message.value)
+        source = self._schedule.pop(ctx.round_number, None)
+        if source is not None:
+            record = self.ledger.get(source)
+            value = self.arith.psi_add(self._unit_term(record), record.psi)
+            for pred in record.preds:
+                ctx.send(pred, AggValue(source, value, self.arith))
+        self._maybe_finish(ctx)
+
+    def _unit_term(self, record: SourceRecord):
+        """The seed of Eq. (14) this node adds when it sends.
+
+        Betweenness: 1/sigma_su.  Stress: 1 (a path continuation).
+        Non-target nodes (e.g. subdivision virtual nodes) contribute
+        nothing and merely relay the accumulated psi.
+        """
+        if not self.config.is_target(self.node_id):
+            return self.arith.psi_zero()
+        if self.config.unit == UNIT_STRESS:
+            return self.arith.psi_one()
+        return self.arith.reciprocal(record.sigma)
+
+    # ------------------------------------------------------------------
+    def _maybe_finish(self, ctx: RoundContext) -> None:
+        if self.finished:
+            return
+        horizon = self.base + self.max_start_time + self.diameter
+        if ctx.round_number <= horizon:
+            return
+        total = self.arith.psi_zero()
+        for record in self.ledger:
+            if record.source == self.node_id:
+                continue
+            delta = self.arith.dependency(record.psi, record.sigma)
+            total = self.arith.psi_add(total, delta)
+        self.betweenness_raw = total
+        self.finished = True
+
+    def dependencies(self) -> Dict[int, Any]:
+        """Per-source dependencies delta_s·(u) after the phase finished.
+
+        Useful for tests reproducing the paper's Figure 1 walkthrough
+        (e.g. delta_{v1·}(v2) = 3).
+        """
+        out: Dict[int, Any] = {}
+        for record in self.ledger:
+            if record.source == self.node_id or record.psi is None:
+                continue
+            out[record.source] = self.arith.dependency(
+                record.psi, record.sigma
+            )
+        return out

@@ -1,0 +1,93 @@
+"""Protocol configuration: the generalized knobs of the aggregation recursion.
+
+The paper's Eq. (14) recursion,
+
+    psi_s(v) = sum over w with v in P_s(w) of (unit(w) + psi_s(w)),
+
+covers a family of centrality computations depending on the *unit term*
+and on which nodes participate:
+
+* **betweenness** (the paper's main result): ``unit(w) = 1/sigma_sw``,
+  every node is a BFS source and a counted target;
+* **stress** (footnote 3: "the stress centrality can also be computed
+  in a similar way"): ``unit(w) = 1`` — psi then counts shortest-path
+  continuations, and ``sigma_sv * psi_s(v)`` is the number of shortest
+  paths through v;
+* **pivot sampling** (the Holzer-thesis approximation the related work
+  sketches): only a subset S of nodes roots a BFS, and the result is
+  extrapolated by N/|S|;
+* **weighted graphs via subdivision** (the future-work direction in the
+  paper's conclusion, after Nanongkai [16]): virtual nodes placed on
+  heavy edges must neither root BFS trees nor contribute unit terms —
+  ``sources = targets =`` the real nodes.
+
+:class:`ProtocolConfig` carries those knobs through the node factory;
+the default configuration is exactly the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+#: Unit-term modes for the aggregation recursion.
+UNIT_BETWEENNESS = "betweenness"
+UNIT_STRESS = "stress"
+
+_VALID_UNITS = (UNIT_BETWEENNESS, UNIT_STRESS)
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Knobs of the distributed protocol (defaults = the paper verbatim).
+
+    Attributes
+    ----------
+    sources:
+        Nodes that root a BFS in the counting phase; ``None`` means all
+        nodes (the exact algorithm).  Every node must know this set —
+        it is protocol *input*, like N would be in a KT1 model.
+    targets:
+        Nodes contributing a unit term when they send (i.e. the t's
+        counted in ``CB(v) = sum_{s != t != v} delta_st(v)``); ``None``
+        means all nodes.
+    unit:
+        ``"betweenness"`` (unit = 1/sigma) or ``"stress"`` (unit = 1).
+    aggregate:
+        ``False`` runs the counting phase only (distributed APSP).
+    """
+
+    sources: Optional[FrozenSet[int]] = None
+    targets: Optional[FrozenSet[int]] = None
+    unit: str = UNIT_BETWEENNESS
+    aggregate: bool = True
+
+    def __post_init__(self):
+        if self.unit not in _VALID_UNITS:
+            raise ValueError(
+                "unit must be one of {}, got {!r}".format(_VALID_UNITS, self.unit)
+            )
+        if self.sources is not None:
+            object.__setattr__(self, "sources", frozenset(self.sources))
+            if not self.sources:
+                raise ValueError("sources must be None or non-empty")
+        if self.targets is not None:
+            object.__setattr__(self, "targets", frozenset(self.targets))
+
+    def is_source(self, node: int) -> bool:
+        """Whether ``node`` roots a BFS in the counting phase."""
+        return self.sources is None or node in self.sources
+
+    def is_target(self, node: int) -> bool:
+        """Whether ``node`` contributes a unit term when sending."""
+        return self.targets is None or node in self.targets
+
+    def expected_sources(self, num_nodes: Optional[int]) -> Optional[int]:
+        """How many ledger records complete a node's counting phase.
+
+        ``None`` when the count is not yet known (all-sources mode
+        before the census announce arrives).
+        """
+        if self.sources is not None:
+            return len(self.sources)
+        return num_nodes

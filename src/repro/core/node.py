@@ -1,0 +1,190 @@
+"""The composite per-node state machine of the distributed BC algorithm.
+
+:class:`BetweennessNode` wires the three phase handlers together and
+routes each round's inbox by message type:
+
+1. :class:`~repro.core.tree.TreePhase` — spanning tree + census
+   (phase 0, an implementation necessity the paper folds into its
+   "build a BFS tree rooted in a randomly selected vertex" premise).
+2. :class:`~repro.core.counting.CountingPhase` — Algorithm 2: the DFS
+   token, the pipelined BFS waves and the completion convergecast.
+3. :class:`~repro.core.aggregation.AggregationPhase` — Algorithm 3: the
+   collision-free scheduled dependency aggregation and the final local
+   betweenness computation.
+
+The node's :attr:`done` flag rises only when the aggregation phase has
+produced the local betweenness value, so the simulator's termination
+round is the full protocol's round complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.arithmetic.context import ArithmeticContext
+from repro.congest.node import Inbox, NodeAlgorithm, RoundContext
+from repro.core.aggregation import AggregationPhase
+from repro.core.config import ProtocolConfig
+from repro.core.counting import CountingPhase
+from repro.core.messages import (
+    AggStart,
+    AggValue,
+    Announce,
+    BfsWave,
+    DfsToken,
+    DoneReport,
+    SubtreeCount,
+    TreeJoin,
+    TreeWave,
+)
+from repro.core.records import NodeLedger
+from repro.core.tree import TreePhase
+from repro.exceptions import ProtocolError
+
+
+class BetweennessNode(NodeAlgorithm):
+    """One network node running the full distributed BC protocol.
+
+    Parameters
+    ----------
+    node_id, neighbors:
+        Supplied by the simulator's node factory.
+    root:
+        The id of the node u0 hosting the BFS(u0) tree and the DFS.
+    arith:
+        The arithmetic context (exact or L-bit float, Section VI).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: Sequence[int],
+        root: int,
+        arith: ArithmeticContext,
+        config: ProtocolConfig = ProtocolConfig(),
+    ):
+        super().__init__(node_id, neighbors)
+        self.arith = arith
+        self.config = config
+        self.ledger = NodeLedger(node_id)
+        self.tree = TreePhase(node_id, is_root=(node_id == root))
+        self.counting = CountingPhase(
+            node_id, self.tree, self.ledger, arith, config=config
+        )
+        self.aggregation = AggregationPhase(
+            node_id, self.tree, self.ledger, arith, config=config
+        )
+        self._dfs_started = False
+
+    # ------------------------------------------------------------------
+    def on_round(self, ctx: RoundContext, inbox: Inbox) -> None:
+        box = _split_inbox(inbox)
+        self.tree.on_round(
+            ctx,
+            box.tree_waves,
+            box.tree_joins,
+            box.subtree_counts,
+            box.announces,
+        )
+        if (
+            self.tree.is_root
+            and not self._dfs_started
+            and self.tree.census_round is not None
+        ):
+            # Census done: the root is the DFS's first "visit".
+            self._dfs_started = True
+            self.counting.begin_dfs(ctx)
+        self.counting.on_round(ctx, box.bfs_waves, box.tokens, box.done_reports)
+        if (
+            self.tree.is_root
+            and self.counting.counting_result is not None
+            and not self.aggregation.armed
+        ):
+            diameter, t_max, base = self.counting.counting_result
+            self.aggregation.arm(AggStart(diameter, t_max, base))
+        self.aggregation.handle_start(ctx, box.agg_starts)
+        self.aggregation.on_round(ctx, box.agg_values)
+        if self.aggregation.finished:
+            self.done = True
+
+    # ------------------------------------------------------------------
+    # outputs (read by the pipeline after the run)
+    # ------------------------------------------------------------------
+    @property
+    def betweenness_raw(self) -> Any:
+        """Sum of dependencies (before the undirected halving)."""
+        if self.aggregation.betweenness_raw is None:
+            raise ProtocolError(
+                "node {} has not finished the protocol".format(self.node_id)
+            )
+        return self.aggregation.betweenness_raw
+
+    @property
+    def diameter(self) -> Optional[int]:
+        """The network diameter as learned from the AggStart broadcast."""
+        return self.aggregation.diameter
+
+
+def make_node_factory(
+    root: int,
+    arith: ArithmeticContext,
+    config: ProtocolConfig = ProtocolConfig(),
+):
+    """The factory the simulator calls for every node."""
+
+    def factory(node_id: int, neighbors: Tuple[int, ...]) -> BetweennessNode:
+        return BetweennessNode(node_id, neighbors, root, arith, config=config)
+
+    return factory
+
+
+class _SplitInbox:
+    """Inbox messages partitioned by protocol message type."""
+
+    __slots__ = (
+        "tree_waves",
+        "tree_joins",
+        "subtree_counts",
+        "announces",
+        "tokens",
+        "bfs_waves",
+        "done_reports",
+        "agg_starts",
+        "agg_values",
+    )
+
+    def __init__(self):
+        self.tree_waves: List[Tuple[int, TreeWave]] = []
+        self.tree_joins: List[Tuple[int, TreeJoin]] = []
+        self.subtree_counts: List[Tuple[int, SubtreeCount]] = []
+        self.announces: List[Tuple[int, Announce]] = []
+        self.tokens: List[Tuple[int, DfsToken]] = []
+        self.bfs_waves: List[Tuple[int, BfsWave]] = []
+        self.done_reports: List[Tuple[int, DoneReport]] = []
+        self.agg_starts: List[Tuple[int, AggStart]] = []
+        self.agg_values: List[Tuple[int, AggValue]] = []
+
+
+_DISPATCH = {
+    TreeWave: "tree_waves",
+    TreeJoin: "tree_joins",
+    SubtreeCount: "subtree_counts",
+    Announce: "announces",
+    DfsToken: "tokens",
+    BfsWave: "bfs_waves",
+    DoneReport: "done_reports",
+    AggStart: "agg_starts",
+    AggValue: "agg_values",
+}
+
+
+def _split_inbox(inbox: Inbox) -> _SplitInbox:
+    box = _SplitInbox()
+    for sender, message in inbox:
+        slot = _DISPATCH.get(type(message))
+        if slot is None:
+            raise ProtocolError(
+                "unexpected message type {!r}".format(type(message).__name__)
+            )
+        getattr(box, slot).append((sender, message))
+    return box

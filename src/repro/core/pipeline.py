@@ -1,0 +1,419 @@
+"""High-level entry points for the distributed algorithm.
+
+:func:`distributed_betweenness` runs the complete two-phase protocol of
+the paper (Algorithms 2 + 3, with the phase-0 tree/census preamble) on
+the CONGEST simulator and returns a :class:`DistributedBCResult`
+bundling the per-node betweenness values, the learned diameter, the BFS
+start times, and the full traffic statistics.
+
+:func:`distributed_apsp` and :func:`distributed_closeness` reuse the
+counting phase only: after Algorithm 2 every node holds its complete
+row of the distance matrix, from which closeness and graph centrality
+follow with *zero* extra communication — the O(N)-round centrality
+computations the paper's introduction attributes to the APSP results of
+[6], [7], [8].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.arithmetic.context import (
+    ArithmeticContext,
+    ExactContext,
+    make_context,
+)
+from repro.congest.simulator import DEFAULT_CONGEST_FACTOR, Simulator
+from repro.congest.stats import SimulationStats
+from repro.core.config import UNIT_STRESS, ProtocolConfig
+from repro.core.node import BetweennessNode, make_node_factory
+from repro.exceptions import ProtocolError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import require_connected
+
+ModeSpec = Union[str, ArithmeticContext]
+
+
+@dataclass
+class DistributedBCResult:
+    """Everything a run of the distributed algorithm produced.
+
+    Attributes
+    ----------
+    betweenness:
+        ``node -> CB(node)`` as floats (undirected convention: each
+        unordered pair counted once, matching the paper's Figure 1).
+    betweenness_exact:
+        Exact rationals when the run used exact arithmetic, else None.
+    diameter:
+        The network diameter D computed by the protocol itself.
+    start_times:
+        ``s -> T_s``: the global round at which s's BFS launched.
+    rounds:
+        Total synchronous rounds until every node terminated.
+    stats:
+        Full traffic statistics (bits, per-edge maxima, optional cut).
+    arithmetic:
+        Name of the arithmetic context used.
+    root:
+        The BFS(u0)/DFS root node u0.
+    """
+
+    graph: Graph
+    betweenness: Dict[int, float]
+    betweenness_exact: Optional[Dict[int, Fraction]]
+    diameter: int
+    start_times: Dict[int, int]
+    rounds: int
+    stats: SimulationStats
+    arithmetic: str
+    root: int
+    nodes: List[BetweennessNode] = field(repr=False, default_factory=list)
+
+    def normalized(self) -> Dict[int, float]:
+        """Betweenness divided by (N-1)(N-2)/2."""
+        n = self.graph.num_nodes
+        pairs = (n - 1) * (n - 2) / 2.0
+        if pairs <= 0:
+            return {v: 0.0 for v in self.betweenness}
+        return {v: value / pairs for v, value in self.betweenness.items()}
+
+    def distances(self) -> Dict[int, Dict[int, int]]:
+        """The full APSP matrix: ``v -> {s: d(s, v)}`` from node ledgers."""
+        return {node.node_id: node.ledger.distances() for node in self.nodes}
+
+    def dependency(self, source: int, node: int):
+        """delta_{source·}(node) as computed by the protocol."""
+        for candidate in self.nodes:
+            if candidate.node_id == node:
+                return candidate.aggregation.dependencies().get(source)
+        raise KeyError(node)
+
+
+def distributed_betweenness(
+    graph: Graph,
+    arithmetic: ModeSpec = "lfloat",
+    root: Optional[int] = 0,
+    strict: bool = True,
+    congest_factor: int = DEFAULT_CONGEST_FACTOR,
+    cut=None,
+    config: Optional[ProtocolConfig] = None,
+    tracer=None,
+) -> DistributedBCResult:
+    """Compute every node's betweenness with the paper's algorithm.
+
+    Parameters
+    ----------
+    graph:
+        Undirected, unweighted, **connected** graph.
+    arithmetic:
+        ``"exact"`` for arbitrary-precision reference arithmetic (may
+        violate CONGEST on shortest-path-count-heavy graphs — the
+        paper's "Large Value Challenge"), ``"lfloat"`` for the Section
+        VI floating point with an automatically chosen L, ``"lfloat-<L>"``
+        for an explicit L, or a ready :class:`ArithmeticContext`.
+    root:
+        The vertex u0 hosting the global BFS tree and the DFS token
+        (the paper picks it at random; any vertex is correct).  Pass
+        ``None`` to elect the root inside the model via the O(D)-round
+        minimum-id leader election
+        (:func:`repro.congest.primitives.elect_root`); the election's
+        rounds are *not* included in ``result.rounds``.
+    strict, congest_factor:
+        Per-edge bandwidth enforcement, see
+        :class:`~repro.congest.simulator.Simulator`.
+    cut:
+        Optional node set for cut-traffic accounting (Section IX
+        experiments).
+    config:
+        Advanced protocol knobs (source/target subsets, stress unit,
+        counting-only); defaults to the paper's exact algorithm.
+
+    Returns
+    -------
+    DistributedBCResult
+
+    Examples
+    --------
+    >>> from repro.graphs import figure1_graph
+    >>> result = distributed_betweenness(figure1_graph(), arithmetic="exact")
+    >>> result.betweenness_exact[1]
+    Fraction(7, 2)
+    >>> result.diameter
+    3
+    """
+    require_connected(graph)
+    if root is None:
+        from repro.congest.primitives import elect_root
+
+        root, _election_rounds = elect_root(
+            graph, strict=strict, congest_factor=congest_factor
+        )
+    if not graph.has_node(root):
+        raise KeyError(root)
+    ctx = make_context(arithmetic, graph.num_nodes)
+    config = config or ProtocolConfig()
+    simulator = Simulator(
+        graph,
+        make_node_factory(root, ctx, config=config),
+        strict=strict,
+        congest_factor=congest_factor,
+        cut=cut,
+        tracer=tracer,
+    )
+    stats = simulator.run()
+    nodes = [
+        node for node in simulator.nodes if isinstance(node, BetweennessNode)
+    ]
+    return _collect(graph, nodes, stats, ctx, root)
+
+
+def _collect(
+    graph: Graph,
+    nodes: List[BetweennessNode],
+    stats: SimulationStats,
+    ctx: ArithmeticContext,
+    root: int,
+) -> DistributedBCResult:
+    exact = isinstance(ctx, ExactContext)
+    betweenness: Dict[int, float] = {}
+    betweenness_exact: Optional[Dict[int, Fraction]] = {} if exact else None
+    diameter: Optional[int] = None
+    start_times: Dict[int, int] = {}
+    for node in nodes:
+        raw = node.betweenness_raw
+        if exact:
+            value = Fraction(raw) / 2
+            betweenness_exact[node.node_id] = value
+            betweenness[node.node_id] = float(value)
+        else:
+            betweenness[node.node_id] = ctx.to_float(raw) / 2.0
+        if node.diameter is not None:
+            if diameter is not None and diameter != node.diameter:
+                raise ProtocolError(
+                    "nodes disagree on the diameter: {} vs {}".format(
+                        diameter, node.diameter
+                    )
+                )
+            diameter = node.diameter
+        if node.counting.own_start_time is not None:
+            start_times[node.node_id] = node.counting.own_start_time
+        elif node.config.is_source(node.node_id):
+            raise ProtocolError(
+                "node {} never started its BFS".format(node.node_id)
+            )
+    if diameter is None:
+        raise ProtocolError("no node learned the diameter")
+    return DistributedBCResult(
+        graph=graph,
+        betweenness=betweenness,
+        betweenness_exact=betweenness_exact,
+        diameter=diameter,
+        start_times=start_times,
+        rounds=stats.rounds,
+        stats=stats,
+        arithmetic=ctx.name,
+        root=root,
+        nodes=nodes,
+    )
+
+
+# ----------------------------------------------------------------------
+# counting-phase-only byproducts
+# ----------------------------------------------------------------------
+@dataclass
+class DistributedAPSPResult:
+    """Output of the counting phase: per-node distance rows and stats."""
+
+    graph: Graph
+    distances: Dict[int, Dict[int, int]]
+    diameter: int
+    rounds: int
+    stats: SimulationStats
+
+    def closeness(self) -> Dict[int, float]:
+        """CC(v) = 1 / sum_s d(s, v), computed locally per node (Eq. 1)."""
+        out = {}
+        for v, row in self.distances.items():
+            total = sum(row.values())
+            out[v] = 1.0 / total if total else 0.0
+        return out
+
+    def graph_centrality(self) -> Dict[int, float]:
+        """CG(v) = 1 / max_s d(s, v), computed locally per node (Eq. 2)."""
+        out = {}
+        for v, row in self.distances.items():
+            ecc = max(row.values()) if row else 0
+            out[v] = 1.0 / ecc if ecc else 0.0
+        return out
+
+    def eccentricities(self) -> Dict[int, int]:
+        """ecc(v) per node."""
+        return {
+            v: max(row.values()) if row else 0
+            for v, row in self.distances.items()
+        }
+
+
+def distributed_apsp(
+    graph: Graph,
+    root: int = 0,
+    strict: bool = True,
+    congest_factor: int = DEFAULT_CONGEST_FACTOR,
+) -> DistributedAPSPResult:
+    """Run Algorithm 2 alone (the Holzer–Wattenhofer-style APSP core).
+
+    The aggregation phase is skipped: nodes terminate as soon as the
+    completion broadcast reaches them, so the round count reflects the
+    counting phase plus O(D) control rounds.
+    """
+    result = distributed_betweenness(
+        graph,
+        arithmetic="exact",
+        root=root,
+        strict=strict,
+        congest_factor=congest_factor,
+        config=ProtocolConfig(aggregate=False),
+    )
+    return DistributedAPSPResult(
+        graph=graph,
+        distances=result.distances(),
+        diameter=result.diameter,
+        rounds=result.rounds,
+        stats=result.stats,
+    )
+
+
+def distributed_closeness(
+    graph: Graph, root: int = 0, **kwargs
+) -> Dict[int, float]:
+    """Distributed closeness centrality (Eq. 1) in O(N) rounds."""
+    return distributed_apsp(graph, root=root, **kwargs).closeness()
+
+
+def distributed_graph_centrality(
+    graph: Graph, root: int = 0, **kwargs
+) -> Dict[int, float]:
+    """Distributed graph centrality (Eq. 2) in O(N) rounds."""
+    return distributed_apsp(graph, root=root, **kwargs).graph_centrality()
+
+
+# ----------------------------------------------------------------------
+# protocol-family variants (footnote 3 and related-work directions)
+# ----------------------------------------------------------------------
+def distributed_stress(
+    graph: Graph,
+    arithmetic: ModeSpec = "exact",
+    root: int = 0,
+    **kwargs,
+) -> "DistributedStressResult":
+    """Distributed stress centrality (Eq. 3) in O(N) rounds.
+
+    Footnote 3 of the paper: "the stress centrality can also be
+    computed in a similar way".  The aggregation recursion runs with
+    unit term 1 instead of 1/sigma, so ``psi_s(v)`` counts shortest-path
+    continuations and ``sigma_sv * psi_s(v)`` is the number of shortest
+    paths through v.  With exact arithmetic (the default) the output is
+    exactly integral.
+
+    Note that stress counts, like sigma, can be exponential; L-float
+    arithmetic is supported for CONGEST-tight runs at the usual O(2^-L)
+    relative error.
+    """
+    result = distributed_betweenness(
+        graph,
+        arithmetic=arithmetic,
+        root=root,
+        config=ProtocolConfig(unit=UNIT_STRESS),
+        **kwargs,
+    )
+    if result.betweenness_exact is not None:
+        stress = {v: int(value) for v, value in result.betweenness_exact.items()}
+    else:
+        stress = {v: value for v, value in result.betweenness.items()}
+    return DistributedStressResult(
+        graph=graph,
+        stress=stress,
+        diameter=result.diameter,
+        rounds=result.rounds,
+        stats=result.stats,
+        arithmetic=result.arithmetic,
+    )
+
+
+@dataclass
+class DistributedStressResult:
+    """Output of :func:`distributed_stress`."""
+
+    graph: Graph
+    #: node -> CS(node); exact ints under exact arithmetic.
+    stress: Dict[int, Union[int, float]]
+    diameter: int
+    rounds: int
+    stats: SimulationStats
+    arithmetic: str
+
+
+@dataclass
+class SampledBCResult:
+    """Output of :func:`distributed_sampled_betweenness`."""
+
+    graph: Graph
+    #: node -> extrapolated betweenness estimate (N/k scaling applied).
+    estimate: Dict[int, float]
+    pivots: Tuple[int, ...]
+    diameter_bound: int
+    rounds: int
+    stats: SimulationStats
+    arithmetic: str
+
+
+def distributed_sampled_betweenness(
+    graph: Graph,
+    num_samples: int,
+    seed: int = 0,
+    arithmetic: ModeSpec = "lfloat",
+    root: int = 0,
+    **kwargs,
+) -> SampledBCResult:
+    """Approximate distributed BC from a sampled pivot set.
+
+    The distributed analogue of Brandes–Pich sampling (and of the
+    approach sketched in Holzer's thesis [15]): only ``num_samples``
+    pivot nodes root a BFS in the counting phase, the aggregation runs
+    over those sources alone, and each node extrapolates
+    ``CB(v) ≈ (N / k) * sum over sampled s of delta_s·(v) / 2``.
+
+    Fewer sources mean proportionally fewer messages; the round count
+    stays O(N) (the DFS token still tours the tree), which is why the
+    paper's *exact* O(N) algorithm dominates in this model — this
+    variant exists to measure exactly that trade-off.
+    """
+    import random as _random
+
+    require_connected(graph)
+    n = graph.num_nodes
+    if not 1 <= num_samples <= n:
+        raise ValueError("need 1 <= num_samples <= N")
+    rng = _random.Random(seed)
+    pivots = tuple(sorted(rng.sample(range(n), num_samples)))
+    result = distributed_betweenness(
+        graph,
+        arithmetic=arithmetic,
+        root=root,
+        config=ProtocolConfig(sources=frozenset(pivots)),
+        **kwargs,
+    )
+    scale = n / float(num_samples)
+    estimate = {v: value * scale for v, value in result.betweenness.items()}
+    return SampledBCResult(
+        graph=graph,
+        estimate=estimate,
+        pivots=pivots,
+        diameter_bound=result.diameter,
+        rounds=result.rounds,
+        stats=result.stats,
+        arithmetic=result.arithmetic,
+    )

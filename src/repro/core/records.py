@@ -1,0 +1,127 @@
+"""Per-node state records for the distributed algorithm.
+
+Algorithm 2 has every node v accumulate, for each source s, the tuple
+``L_v ∋ (s, T_s, d(s, v), sigma_sv, P_s(v))`` — the BFS start time, the
+distance, the shortest-path count and the predecessor set.  That tuple
+is :class:`SourceRecord`; the per-node collection is the
+:class:`NodeLedger`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class SourceRecord:
+    """One node's knowledge about one BFS source (a row of L_v)."""
+
+    __slots__ = ("source", "start_time", "dist", "sigma", "preds", "psi")
+
+    def __init__(
+        self,
+        source: int,
+        start_time: int,
+        dist: int,
+        sigma: Any,
+        preds: Tuple[int, ...],
+    ):
+        self.source = source
+        #: T_s — the global round at which s launched its BFS.
+        self.start_time = start_time
+        #: d(s, v).
+        self.dist = dist
+        #: sigma_sv in the pipeline's arithmetic (int or LFloat).
+        self.sigma = sigma
+        #: P_s(v) — the shortest-path predecessors of v w.r.t. s.
+        self.preds = tuple(preds)
+        #: psi_s(v) accumulator for the aggregation phase (Eq. 14);
+        #: initialized lazily by the aggregation handler.
+        self.psi: Any = None
+
+    def sending_time(self, diameter: int) -> int:
+        """T_s(v) = T_s + D − d(s, v), the Algorithm 3 schedule offset."""
+        return self.start_time + diameter - self.dist
+
+    def __repr__(self) -> str:
+        return (
+            "SourceRecord(s={}, Ts={}, d={}, sigma={!r}, preds={})".format(
+                self.source, self.start_time, self.dist, self.sigma, self.preds
+            )
+        )
+
+
+class NodeLedger:
+    """The collection L_v of source records held by one node."""
+
+    def __init__(self, owner: int):
+        self.owner = owner
+        self._records: Dict[int, SourceRecord] = {}
+
+    def add(self, record: SourceRecord) -> None:
+        """Insert a newly settled source row (must be new)."""
+        if record.source in self._records:
+            raise KeyError(
+                "node {} already has a record for source {}".format(
+                    self.owner, record.source
+                )
+            )
+        self._records[record.source] = record
+
+    def get(self, source: int) -> Optional[SourceRecord]:
+        """The record for ``source``, or None if not yet settled."""
+        return self._records.get(source)
+
+    def __contains__(self, source: int) -> bool:
+        return source in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SourceRecord]:
+        return iter(self._records.values())
+
+    def sources(self) -> List[int]:
+        """All settled sources, sorted."""
+        return sorted(self._records)
+
+    def eccentricity(self) -> int:
+        """max_s d(s, v) over settled sources (v's eccentricity once full)."""
+        return max((r.dist for r in self._records.values()), default=0)
+
+    def max_start_time(self) -> int:
+        """max_s T_s over settled sources."""
+        return max((r.start_time for r in self._records.values()), default=0)
+
+    def distances(self) -> Dict[int, int]:
+        """Map source -> d(s, v): this node's row of the APSP matrix."""
+        return {s: r.dist for s, r in self._records.items()}
+
+    def predecessor_links(self) -> int:
+        """Total predecessor pointers stored (Σ_s |P_s(v)|).
+
+        Bounded by N * deg(v): the dominant term of the node's local
+        space, the distributed analogue of Brandes' O(N + M) footprint
+        (here the *per-node* state is O(N * deg), i.e. O(M) amortized
+        per source across the network).
+        """
+        return sum(len(r.preds) for r in self._records.values())
+
+    def storage_summary(self) -> Dict[str, int]:
+        """Per-node space profile: records, predecessor links, fields.
+
+        ``fields`` counts the scalar slots (source, T_s, d, sigma) —
+        4 per record — so total words ≈ fields + predecessor links.
+        """
+        records = len(self._records)
+        links = self.predecessor_links()
+        return {
+            "records": records,
+            "pred_links": links,
+            "fields": 4 * records,
+            "words": 4 * records + links,
+        }
+
+    def __repr__(self) -> str:
+        return "NodeLedger(owner={}, sources={})".format(
+            self.owner, len(self._records)
+        )

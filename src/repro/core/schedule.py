@@ -1,0 +1,215 @@
+"""Analytic schedule computations (Figure 1 and Lemma 4).
+
+The correctness of Algorithm 3 rests on one invariant over the BFS
+start times produced by the DFS of Algorithm 2:
+
+    **separation:**  for any two sources s, t with T_t > T_s,
+    ``T_t >= T_s + d(s, t) + 1``.
+
+Given start times satisfying separation, every node's aggregation sends
+``T_s(u) = T_s + D - d(s, u)`` are pairwise distinct per node (Lemma 4),
+so no two aggregation messages ever share an edge-direction in a round.
+
+This module computes start times *analytically* (without running the
+simulator) under two DFS-token models, both satisfying separation:
+
+* ``"shortcut"`` — the token hops from each newly visited node to the
+  next preorder node along a shortest graph path:
+  ``T_next = T_prev + d(prev, next) + 1``.  This reproduces the paper's
+  Figure 1 numbers exactly (T_{v1..v5} = 0, 2, 4, 6, 8).
+* ``"tree_walk"`` — the token physically backtracks along tree edges,
+  as the message-passing implementation does:
+  ``T_next = T_prev + walk_length + 1``.
+
+It also provides the collision detector used by the scheduling ablation
+(benchmark E12): hand it *any* assignment of start times and it counts
+how many (node, round) pairs would have to send values for two
+different sources simultaneously — zero for separated schedules,
+positive for naive ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    all_pairs_distances,
+    bfs_parents,
+    diameter as graph_diameter,
+    require_connected,
+)
+
+
+def bfs_tree_children(graph: Graph, root: int) -> Dict[int, List[int]]:
+    """Children lists of the BFS(root) tree with min-id parent choice."""
+    parents = bfs_parents(graph, root)
+    children: Dict[int, List[int]] = {v: [] for v in graph.nodes()}
+    for v, parent in enumerate(parents):
+        if parent is not None:
+            children[parent].append(v)
+    for v in children:
+        children[v].sort()
+    return children
+
+
+def dfs_preorder(graph: Graph, root: int) -> List[int]:
+    """DFS preorder of the BFS(root) tree, children visited in id order."""
+    children = bfs_tree_children(graph, root)
+    order: List[int] = []
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(reversed(children[v]))
+    return order
+
+
+def tree_walk_lengths(graph: Graph, root: int) -> List[Tuple[int, int]]:
+    """(node, hops-from-previous-preorder-node) along the Euler tour.
+
+    The hop count is the number of tree edges the DFS token traverses
+    between consecutive first-visits (1 for a child descent, more when
+    backtracking), which is what the message-passing token pays.
+    """
+    children = bfs_tree_children(graph, root)
+    parents = {root: None}
+    for parent, kids in children.items():
+        for kid in kids:
+            parents[kid] = parent
+    order = dfs_preorder(graph, root)
+    depths: Dict[int, int] = {root: 0}
+    for v in order[1:]:
+        depths[v] = depths[parents[v]] + 1
+    result: List[Tuple[int, int]] = [(root, 0)]
+    for prev, nxt in zip(order, order[1:]):
+        # tree walk distance = depth(prev) + depth(nxt) - 2 * depth(lca)
+        a, b = prev, nxt
+        da, db = depths[a], depths[b]
+        while da > db:
+            a = parents[a]
+            da -= 1
+        while db > da:
+            b = parents[b]
+            db -= 1
+        while a != b:
+            a, b = parents[a], parents[b]
+        lca_depth = depths[a] if a is not None else 0
+        hops = depths[prev] + depths[nxt] - 2 * lca_depth
+        result.append((nxt, hops))
+    return result
+
+
+def bfs_start_times(
+    graph: Graph,
+    root: int = 0,
+    mode: str = "shortcut",
+    t0: int = 0,
+) -> Dict[int, int]:
+    """Start time T_s for every source under the chosen token model.
+
+    ``t0`` is the root's start time (the paper's Figure 1 uses 0).
+    """
+    require_connected(graph)
+    if mode == "shortcut":
+        dist = all_pairs_distances(graph)
+        order = dfs_preorder(graph, root)
+        times: Dict[int, int] = {root: t0}
+        for prev, nxt in zip(order, order[1:]):
+            times[nxt] = times[prev] + dist[prev][nxt] + 1
+        return times
+    if mode == "tree_walk":
+        times = {}
+        clock = t0
+        for index, (node, hops) in enumerate(tree_walk_lengths(graph, root)):
+            if index == 0:
+                times[node] = clock
+            else:
+                clock = clock + hops + 1
+                times[node] = clock
+        return times
+    raise GraphError("unknown DFS token mode {!r}".format(mode))
+
+
+def sending_times(
+    graph: Graph,
+    start_times: Dict[int, int],
+    diameter: Optional[int] = None,
+) -> Dict[int, Dict[int, int]]:
+    """The Algorithm 3 schedule: ``source -> {node: T_s + D - d(s, node)}``.
+
+    This is exactly the table Figure 1 prints for each BFS tree of the
+    5-node example.
+    """
+    if diameter is None:
+        diameter = graph_diameter(graph)
+    dist = all_pairs_distances(graph)
+    return {
+        s: {
+            v: start_times[s] + diameter - dist[s][v]
+            for v in graph.nodes()
+        }
+        for s in start_times
+    }
+
+
+def verify_separation(graph: Graph, start_times: Dict[int, int]) -> bool:
+    """Check the Lemma 4 invariant T_t >= T_s + d(s, t) + 1 for all pairs."""
+    dist = all_pairs_distances(graph)
+    ordered = sorted(start_times.items(), key=lambda kv: kv[1])
+    for i, (s, ts) in enumerate(ordered):
+        for t, tt in ordered[i + 1:]:
+            if tt < ts + dist[s][t] + 1:
+                return False
+    return True
+
+
+def count_collisions(
+    graph: Graph,
+    start_times: Dict[int, int],
+    diameter: Optional[int] = None,
+) -> int:
+    """Number of simultaneous multi-source sends the schedule forces.
+
+    For each node u, sources s != u are bucketed by their send round
+    ``T_s + D - d(s, u)``; every round asking u to emit values for k > 1
+    distinct sources contributes k - 1 collisions (k - 1 extra messages
+    that would have to share u's per-round budget).  Lemma 4 says this
+    is 0 whenever the start times are separated; naive schedules (all
+    sources starting together) produce Theta(N) collisions, which the
+    ablation benchmark demonstrates.
+    """
+    if diameter is None:
+        diameter = graph_diameter(graph)
+    dist = all_pairs_distances(graph)
+    collisions = 0
+    for u in graph.nodes():
+        buckets: Dict[int, int] = {}
+        for s in start_times:
+            if s == u:
+                continue
+            send_round = start_times[s] + diameter - dist[s][u]
+            buckets[send_round] = buckets.get(send_round, 0) + 1
+        collisions += sum(count - 1 for count in buckets.values() if count > 1)
+    return collisions
+
+
+def naive_start_times(graph: Graph, offset: int = 0) -> Dict[int, int]:
+    """The ablation schedule: every source starts at the same round."""
+    return {v: offset for v in graph.nodes()}
+
+
+def figure1_tables(graph: Graph = None) -> Dict[int, Dict[int, int]]:
+    """The exact sending-time tables of Figure 1 (a)–(e).
+
+    Returns ``source -> {node: sending time}`` computed with the
+    shortcut token model on the paper's 5-node graph; the values match
+    the figure: e.g. in BFS(v1) node v4 sends at 0, and in BFS(v5) node
+    v4 sends at 10.
+    """
+    from repro.graphs.generators import figure1_graph
+
+    graph = graph or figure1_graph()
+    times = bfs_start_times(graph, root=0, mode="shortcut", t0=0)
+    return sending_times(graph, times)

@@ -1,0 +1,107 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch all library-specific failures with a single ``except``
+clause.  Sub-hierarchies mirror the package layout: graph construction
+errors, CONGEST-model violations raised by the simulator, arithmetic
+errors from the L-bit floating point substrate, and protocol errors from
+the distributed algorithm itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Base class for graph construction or query failures."""
+
+
+class InvalidEdgeError(GraphError):
+    """An edge is malformed: a self loop, a duplicate, or an unknown node."""
+
+
+class UnknownNodeError(GraphError, KeyError):
+    """A node identifier does not exist in the graph."""
+
+
+class GraphNotConnectedError(GraphError):
+    """An algorithm requiring a connected graph was given a disconnected one.
+
+    The paper's algorithm pipelines one BFS per node over a single global
+    BFS tree, so every node must be reachable from the root.
+    """
+
+
+class EmptyGraphError(GraphError):
+    """An operation that needs at least one node was given an empty graph."""
+
+
+class CongestError(ReproError):
+    """Base class for CONGEST-model simulator failures."""
+
+
+class CongestViolationError(CongestError):
+    """A node exceeded the per-edge per-round bit budget in strict mode.
+
+    Attributes
+    ----------
+    round_number:
+        The round in which the violation occurred.
+    sender, receiver:
+        The directed edge on which too many bits were enqueued.
+    bits_used, bits_allowed:
+        The offending load and the configured budget.
+    """
+
+    def __init__(self, round_number, sender, receiver, bits_used, bits_allowed):
+        self.round_number = round_number
+        self.sender = sender
+        self.receiver = receiver
+        self.bits_used = bits_used
+        self.bits_allowed = bits_allowed
+        super().__init__(
+            "CONGEST violation in round {}: edge {} -> {} carries {} bits "
+            "but only {} are allowed".format(
+                round_number, sender, receiver, bits_used, bits_allowed
+            )
+        )
+
+
+class SimulationNotTerminatedError(CongestError):
+    """The simulator hit its round limit before all nodes halted."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an internally inconsistent state.
+
+    Raised, for example, when two aggregation messages for different
+    sources collide at a node in the same round, which Lemma 4 of the
+    paper proves cannot happen; seeing this error indicates a scheduling
+    bug rather than a user mistake.
+    """
+
+
+class ArithmeticModeError(ReproError):
+    """An arithmetic value or mode was used inconsistently."""
+
+
+class LFloatRangeError(ArithmeticModeError):
+    """A value falls outside the representable range of the L-bit format.
+
+    The paper's format stores a number ``a = y * 2**x`` with an L-bit
+    mantissa and an exponent bounded by ``|x| <= 2**L - 1``; values beyond
+    that range cannot be encoded and indicate L was chosen too small for
+    the graph at hand.
+    """
+
+
+class LowerBoundParameterError(ReproError):
+    """Parameters for a lower-bound gadget violate its preconditions.
+
+    The Figure 2 construction needs ``x >= 8`` and an even ``m`` with
+    ``C(m, m/2) >= n**2``; the Figure 3 construction inherits the subset
+    family requirements.
+    """

@@ -1,0 +1,47 @@
+"""Conversion between :class:`repro.graphs.Graph` and ``networkx``.
+
+``networkx`` is an optional test/benchmark dependency: the library core
+never imports it, but the test suite uses it as an independent oracle
+for distances, shortest-path counts, and betweenness values.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph, GraphBuilder
+
+
+def to_networkx(graph: Graph) -> Any:
+    """Return an undirected ``networkx.Graph`` copy of ``graph``."""
+    import networkx as nx
+
+    g = nx.Graph(name=graph.name)
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(nx_graph: Any, name: str = "") -> Graph:
+    """Convert an undirected ``networkx`` graph (nodes relabelled densely).
+
+    Node labels are mapped to ``0 .. N-1`` in sorted order when sortable,
+    otherwise in insertion order.  Directed or multi graphs are rejected.
+    """
+    if nx_graph.is_directed():
+        raise GraphError("only undirected graphs are supported")
+    if nx_graph.is_multigraph():
+        raise GraphError("multigraphs are not supported")
+    try:
+        ordered = sorted(nx_graph.nodes())
+    except TypeError:
+        ordered = list(nx_graph.nodes())
+    builder = GraphBuilder(name=name or nx_graph.name or "networkx")
+    for node in ordered:
+        builder.add_node(node)
+    for u, v in nx_graph.edges():
+        if u == v:
+            continue  # drop self loops: the simple-graph model has none
+        builder.add_edge(u, v)
+    return builder.build()

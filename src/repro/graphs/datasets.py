@@ -1,0 +1,112 @@
+"""Embedded classic network datasets.
+
+Data provenance:
+
+* ``les_miserables_graph`` — D. E. Knuth, *The Stanford GraphBase*
+  (1993): co-appearance network of characters in Victor Hugo's
+  novel; 77 characters, 254 pairs, weights = number of chapters
+  in which the pair co-appears.  The unweighted projection is the
+  classic betweenness demo (Valjean towers over everyone); the
+  weighted variant exercises the subdivision pipeline on real data.
+
+The larger embedded datasets live here to keep
+``repro.graphs.generators`` readable; Zachary's karate club and the
+Florentine families remain there for historical reasons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.weighted import WeightedGraph
+
+#: Character names, alphabetical; index = node id.
+LES_MISERABLES_CHARACTERS: Tuple[str, ...] = (
+    "Anzelma", "Babet", "Bahorel", "Bamatabois",
+    "BaronessT", "Blacheville", "Bossuet", "Boulatruelle",
+    "Brevet", "Brujon", "Champmathieu", "Champtercier",
+    "Chenildieu", "Child1", "Child2", "Claquesous",
+    "Cochepaille", "Combeferre", "Cosette", "Count",
+    "CountessDeLo", "Courfeyrac", "Cravatte", "Dahlia",
+    "Enjolras", "Eponine", "Fameuil", "Fantine",
+    "Fauchelevent", "Favourite", "Feuilly", "Gavroche",
+    "Geborand", "Gervais", "Gillenormand", "Grantaire",
+    "Gribier", "Gueulemer", "Isabeau", "Javert",
+    "Joly", "Jondrette", "Judge", "Labarre",
+    "Listolier", "LtGillenormand", "Mabeuf", "Magnon",
+    "Marguerite", "Marius", "MlleBaptistine", "MlleGillenormand",
+    "MlleVaubois", "MmeBurgon", "MmeDeR", "MmeHucheloup",
+    "MmeMagloire", "MmePontmercy", "MmeThenardier", "Montparnasse",
+    "MotherInnocent", "MotherPlutarch", "Myriel", "Napoleon",
+    "OldMan", "Perpetue", "Pontmercy", "Prouvaire",
+    "Scaufflaire", "Simplice", "Thenardier", "Tholomyes",
+    "Toussaint", "Valjean", "Woman1", "Woman2",
+    "Zephine",
+)
+
+#: (u, v, chapters co-appearing) with u < v, sorted.
+LES_MISERABLES_EDGES: Tuple[Tuple[int, int, int], ...] = (
+    (0, 25, 2), (0, 58, 1), (0, 70, 2), (1, 9, 3), (1, 15, 4), (1, 25, 1),
+    (1, 31, 1), (1, 37, 6), (1, 39, 2), (1, 58, 1), (1, 59, 2), (1, 70, 6),
+    (1, 73, 1), (2, 6, 4), (2, 17, 5), (2, 21, 6), (2, 24, 4), (2, 30, 3),
+    (2, 31, 5), (2, 35, 1), (2, 40, 5), (2, 46, 2), (2, 49, 1), (2, 55, 1),
+    (2, 67, 2), (3, 8, 1), (3, 10, 2), (3, 12, 1), (3, 16, 1), (3, 27, 1),
+    (3, 39, 1), (3, 42, 2), (3, 73, 2), (4, 34, 1), (4, 49, 1), (5, 23, 3),
+    (5, 26, 4), (5, 27, 3), (5, 29, 4), (5, 44, 4), (5, 71, 4), (5, 76, 3),
+    (6, 17, 9), (6, 21, 12), (6, 24, 10), (6, 30, 6), (6, 31, 5), (6, 35, 3),
+    (6, 40, 7), (6, 46, 1), (6, 49, 5), (6, 55, 1), (6, 67, 2), (6, 73, 1),
+    (7, 70, 1), (8, 10, 2), (8, 12, 2), (8, 16, 2), (8, 42, 2), (8, 73, 2),
+    (9, 15, 1), (9, 25, 1), (9, 31, 1), (9, 37, 3), (9, 59, 1), (9, 70, 3),
+    (10, 12, 2), (10, 16, 2), (10, 42, 3), (10, 73, 3), (11, 62, 1), (12, 16, 2),
+    (12, 42, 2), (12, 73, 2), (13, 14, 3), (13, 31, 2), (14, 31, 2), (15, 24, 1),
+    (15, 25, 1), (15, 37, 4), (15, 39, 1), (15, 58, 1), (15, 59, 2), (15, 70, 4),
+    (15, 73, 1), (16, 42, 2), (16, 73, 2), (17, 21, 13), (17, 24, 15), (17, 30, 5),
+    (17, 31, 6), (17, 35, 1), (17, 40, 5), (17, 46, 2), (17, 49, 5), (17, 67, 2),
+    (18, 34, 3), (18, 39, 1), (18, 45, 1), (18, 49, 21), (18, 51, 2), (18, 58, 4),
+    (18, 70, 1), (18, 71, 1), (18, 72, 2), (18, 73, 31), (18, 75, 1), (19, 62, 2),
+    (20, 62, 1), (21, 24, 17), (21, 25, 1), (21, 30, 6), (21, 31, 7), (21, 35, 2),
+    (21, 40, 5), (21, 46, 2), (21, 49, 9), (21, 55, 1), (21, 67, 3), (22, 62, 1),
+    (23, 26, 3), (23, 27, 4), (23, 29, 5), (23, 44, 3), (23, 71, 3), (23, 76, 4),
+    (24, 30, 6), (24, 31, 7), (24, 35, 3), (24, 39, 6), (24, 40, 5), (24, 46, 1),
+    (24, 49, 7), (24, 55, 1), (24, 67, 4), (24, 73, 4), (25, 37, 1), (25, 46, 1),
+    (25, 49, 5), (25, 58, 2), (25, 59, 1), (25, 70, 3), (26, 27, 3), (26, 29, 3),
+    (26, 44, 4), (26, 71, 4), (26, 76, 3), (27, 29, 4), (27, 39, 5), (27, 44, 3),
+    (27, 48, 2), (27, 58, 2), (27, 65, 1), (27, 69, 2), (27, 70, 1), (27, 71, 3),
+    (27, 73, 9), (27, 76, 4), (28, 36, 2), (28, 39, 1), (28, 60, 3), (28, 73, 8),
+    (29, 44, 3), (29, 71, 3), (29, 76, 4), (30, 31, 2), (30, 35, 1), (30, 40, 5),
+    (30, 46, 1), (30, 49, 1), (30, 67, 2), (31, 35, 1), (31, 37, 1), (31, 39, 1),
+    (31, 40, 3), (31, 46, 1), (31, 49, 4), (31, 53, 2), (31, 55, 1), (31, 59, 1),
+    (31, 67, 1), (31, 70, 1), (31, 73, 1), (32, 62, 1), (33, 73, 1), (34, 45, 1),
+    (34, 47, 1), (34, 49, 12), (34, 51, 9), (34, 73, 2), (35, 40, 2), (35, 55, 1),
+    (35, 67, 1), (37, 39, 1), (37, 58, 1), (37, 59, 2), (37, 70, 5), (37, 73, 1),
+    (38, 73, 1), (39, 58, 1), (39, 59, 1), (39, 69, 1), (39, 70, 5), (39, 72, 1),
+    (39, 73, 17), (39, 74, 1), (39, 75, 1), (40, 46, 1), (40, 49, 2), (40, 55, 1),
+    (40, 67, 2), (41, 53, 1), (42, 73, 3), (43, 73, 1), (44, 71, 4), (44, 76, 3),
+    (45, 49, 1), (45, 51, 2), (46, 49, 1), (46, 61, 3), (47, 58, 1), (48, 73, 1),
+    (49, 51, 6), (49, 66, 1), (49, 70, 2), (49, 71, 1), (49, 73, 19), (50, 56, 6),
+    (50, 62, 8), (50, 73, 3), (51, 52, 1), (51, 57, 1), (51, 73, 2), (54, 73, 1),
+    (56, 62, 10), (56, 73, 3), (57, 66, 1), (58, 70, 13), (58, 73, 7), (59, 70, 1),
+    (59, 73, 1), (60, 73, 1), (62, 63, 1), (62, 64, 1), (62, 73, 5), (65, 69, 2),
+    (66, 70, 1), (68, 73, 1), (69, 73, 3), (70, 73, 12), (71, 76, 3), (72, 73, 1),
+    (73, 74, 2), (73, 75, 3),
+)
+
+
+def les_miserables_graph() -> Tuple[Graph, List[str]]:
+    """The unweighted co-appearance network: ``(graph, labels)``."""
+    edges = [(u, v) for u, v, _w in LES_MISERABLES_EDGES]
+    graph = Graph(
+        len(LES_MISERABLES_CHARACTERS), edges, name="les-miserables"
+    )
+    return graph, list(LES_MISERABLES_CHARACTERS)
+
+
+def les_miserables_weighted_graph() -> Tuple[WeightedGraph, List[str]]:
+    """The weighted variant: weight = chapters co-appearing."""
+    graph = WeightedGraph(
+        len(LES_MISERABLES_CHARACTERS),
+        LES_MISERABLES_EDGES,
+        name="les-miserables-weighted",
+    )
+    return graph, list(LES_MISERABLES_CHARACTERS)

@@ -1,0 +1,464 @@
+"""Graph generators used by tests, examples, and benchmarks.
+
+All random generators take an explicit integer ``seed`` and are
+deterministic for a given seed (``random.Random`` based, no global
+state), which keeps every benchmark table reproducible.
+
+The generators cover the graph families relevant to the paper's
+complexity claims: low-diameter dense graphs (complete, ER), high-
+diameter sparse graphs (paths, cycles, trees), graphs with exponentially
+many shortest paths (grids, hypercubes — the "Large Value Challenge"),
+and classic social-network data (Zachary's karate club) for the
+examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.properties import connected_components
+
+
+# ----------------------------------------------------------------------
+# deterministic families
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """The path P_n: diameter n-1, the worst case for round pipelining."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)], name="path-{}".format(n))
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle C_n (n >= 3)."""
+    if n < 3:
+        raise GraphError("cycle needs at least 3 nodes")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges, name="cycle-{}".format(n))
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph K_n: diameter 1, maximal congestion."""
+    edges = list(itertools.combinations(range(n), 2))
+    return Graph(n, edges, name="complete-{}".format(n))
+
+
+def star_graph(n: int) -> Graph:
+    """A star with one hub (node 0) and ``n - 1`` leaves."""
+    return Graph(n, [(0, i) for i in range(1, n)], name="star-{}".format(n))
+
+
+def wheel_graph(n: int) -> Graph:
+    """A wheel: hub node 0 plus a cycle on nodes ``1 .. n-1`` (n >= 4)."""
+    if n < 4:
+        raise GraphError("wheel needs at least 4 nodes")
+    rim = list(range(1, n))
+    edges = [(0, v) for v in rim]
+    edges += [(rim[i], rim[(i + 1) % len(rim)]) for i in range(len(rim))]
+    return Graph(n, edges, name="wheel-{}".format(n))
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b} with the left part ``0..a-1`` and right part ``a..a+b-1``."""
+    edges = [(i, a + j) for i in range(a) for j in range(b)]
+    return Graph(a + b, edges, name="kbipartite-{}x{}".format(a, b))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A rows x cols grid.
+
+    Grids have Theta(binomial) many shortest paths between opposite
+    corners, so they exercise the paper's floating-point machinery.
+    """
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+    return Graph(rows * cols, edges, name="grid-{}x{}".format(rows, cols))
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube Q_dim on ``2**dim`` nodes.
+
+    sigma between antipodal nodes is ``dim!`` — exponential in the
+    diameter, the canonical "Large Value Challenge" instance.
+    """
+    n = 1 << dim
+    edges = [
+        (v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)
+    ]
+    return Graph(n, edges, name="hypercube-{}".format(dim))
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """A complete ``branching``-ary tree of the given height."""
+    if branching < 1:
+        raise GraphError("branching factor must be >= 1")
+    edges: List[Edge] = []
+    count = 1
+    frontier = [0]
+    for _ in range(height):
+        nxt = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = count
+                count += 1
+                edges.append((parent, child))
+                nxt.append(child)
+        frontier = nxt
+    return Graph(count, edges, name="tree-b{}-h{}".format(branching, height))
+
+
+def lollipop_graph(clique: int, tail: int) -> Graph:
+    """K_clique with a path of ``tail`` nodes attached (classic BC testbed).
+
+    The junction node has very high betweenness, making this a good
+    sanity graph for centrality code.
+    """
+    edges = list(itertools.combinations(range(clique), 2))
+    prev = clique - 1
+    for i in range(tail):
+        edges.append((prev, clique + i))
+        prev = clique + i
+    return Graph(clique + tail, edges, name="lollipop-{}-{}".format(clique, tail))
+
+
+def barbell_graph(clique: int, bridge: int) -> Graph:
+    """Two K_clique blobs joined by a path of ``bridge`` inner nodes."""
+    edges = list(itertools.combinations(range(clique), 2))
+    offset = clique + bridge
+    edges += [
+        (offset + a, offset + b) for a, b in itertools.combinations(range(clique), 2)
+    ]
+    chain = [clique - 1] + [clique + i for i in range(bridge)] + [offset]
+    edges += [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
+    return Graph(
+        2 * clique + bridge, edges, name="barbell-{}-{}".format(clique, bridge)
+    )
+
+
+def diamond_chain_graph(k: int) -> Graph:
+    """A chain of k diamonds: sigma grows as 2**k on 3k + 1 nodes.
+
+    Node layout: junctions ``j_0 .. j_k`` with two parallel middle nodes
+    between consecutive junctions.  The number of shortest paths from
+    j_0 to j_k is exactly 2**k while the diameter is only 2k, making
+    this the minimal deterministic witness of the paper's "Large Value
+    Challenge": exact path counts need Theta(k) = Theta(N) bits on the
+    wire, overflowing any O(log N)-bit message.
+    """
+    if k < 1:
+        raise GraphError("need at least one diamond")
+    edges: List[Edge] = []
+    junction = 0
+    next_id = 1
+    for _ in range(k):
+        top, bottom, nxt = next_id, next_id + 1, next_id + 2
+        next_id += 3
+        edges += [
+            (junction, top),
+            (junction, bottom),
+            (top, nxt),
+            (bottom, nxt),
+        ]
+        junction = nxt
+    return Graph(3 * k + 1, edges, name="diamonds-{}".format(k))
+
+
+def ladder_graph(n: int) -> Graph:
+    """The ladder: two paths of length n joined rung by rung."""
+    edges: List[Edge] = []
+    for i in range(n - 1):
+        edges.append((i, i + 1))
+        edges.append((n + i, n + i + 1))
+    edges += [(i, n + i) for i in range(n)]
+    return Graph(2 * n, edges, name="ladder-{}".format(n))
+
+
+def circulant_graph(n: int, offsets: Sequence[int]) -> Graph:
+    """The circulant C_n(offsets): i ~ i ± k (mod n) for each offset k.
+
+    Vertex-transitive, so every centrality is uniform — a useful
+    symmetry oracle for centrality tests.
+    """
+    if n < 3:
+        raise GraphError("circulant needs at least 3 nodes")
+    edge_set = set()
+    for k in offsets:
+        k = k % n
+        if k == 0:
+            raise GraphError("offset 0 would create self loops")
+        for v in range(n):
+            if v != (v + k) % n:
+                edge_set.add(canonical_edge(v, (v + k) % n))
+    return Graph(n, sorted(edge_set), name="circulant-{}-{}".format(
+        n, "_".join(str(k) for k in offsets)))
+
+
+def caveman_graph(cliques: int, size: int) -> Graph:
+    """A connected caveman graph: ``cliques`` K_size's joined in a ring.
+
+    One edge of each clique is rewired to the next clique, producing a
+    clustered small-world — the classic model of tightly-knit social
+    groups with a few brokers, which is exactly the structure
+    betweenness centrality highlights.
+    """
+    if cliques < 2 or size < 2:
+        raise GraphError("need at least 2 cliques of size >= 2")
+    edges: List[Edge] = []
+    for c in range(cliques):
+        base = c * size
+        members = range(base, base + size)
+        edges.extend(
+            (u, v) for u, v in itertools.combinations(members, 2)
+        )
+    # connect clique c's node 1 to clique (c+1)'s node 0
+    edge_set = set(edges)
+    for c in range(cliques):
+        nxt = (c + 1) % cliques
+        a = c * size + min(1, size - 1)
+        b = nxt * size
+        edge_set.add(canonical_edge(a, b))
+    return Graph(
+        cliques * size, sorted(edge_set),
+        name="caveman-{}x{}".format(cliques, size),
+    )
+
+
+# ----------------------------------------------------------------------
+# random families
+# ----------------------------------------------------------------------
+def erdos_renyi_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p): each pair is an edge independently with probability p."""
+    rng = random.Random(seed)
+    edges = [
+        (u, v) for u, v in itertools.combinations(range(n), 2) if rng.random() < p
+    ]
+    return Graph(n, edges, name="er-{}-p{:.3g}".format(n, p))
+
+
+def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """G(n, m): exactly ``m`` edges sampled uniformly without replacement."""
+    all_pairs = list(itertools.combinations(range(n), 2))
+    if m > len(all_pairs):
+        raise GraphError("m too large for simple graph")
+    rng = random.Random(seed)
+    return Graph(n, rng.sample(all_pairs, m), name="gnm-{}-{}".format(n, m))
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """A uniformly random labelled tree via a Prüfer sequence."""
+    if n <= 1:
+        return Graph(n, [], name="rtree-{}".format(n))
+    if n == 2:
+        return Graph(2, [(0, 1)], name="rtree-2")
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in prufer:
+        degree[v] += 1
+    edges: List[Edge] = []
+    for v in prufer:
+        for leaf in range(n):
+            if degree[leaf] == 1:
+                edges.append(canonical_edge(leaf, v))
+                degree[leaf] -= 1
+                degree[v] -= 1
+                break
+    last = [v for v in range(n) if degree[v] == 1]
+    edges.append(canonical_edge(last[0], last[1]))
+    return Graph(n, edges, name="rtree-{}".format(n))
+
+
+def barabasi_albert_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Preferential attachment: each new node attaches to ``m`` nodes.
+
+    Starts from a star on ``m + 1`` nodes; attachment targets are drawn
+    proportionally to degree via the repeated-nodes trick.
+    """
+    if m < 1 or m >= n:
+        raise GraphError("need 1 <= m < n")
+    rng = random.Random(seed)
+    edges: List[Edge] = [(0, i) for i in range(1, m + 1)]
+    repeated: List[int] = [0] * m + list(range(1, m + 1))
+    for new in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            edges.append(canonical_edge(new, t))
+            repeated.append(t)
+            repeated.append(new)
+    return Graph(n, edges, name="ba-{}-m{}".format(n, m))
+
+
+def watts_strogatz_graph(n: int, k: int, beta: float, seed: int = 0) -> Graph:
+    """Small-world ring lattice with rewiring probability ``beta``.
+
+    ``k`` must be even; each node starts connected to its ``k`` nearest
+    ring neighbors, then each clockwise edge is rewired with probability
+    ``beta`` to a uniformly random non-duplicate target.
+    """
+    if k % 2 or k >= n:
+        raise GraphError("k must be even and < n")
+    rng = random.Random(seed)
+    edge_set = set()
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            edge_set.add(canonical_edge(v, (v + j) % n))
+    edges = sorted(edge_set)
+    result = set(edges)
+    for (u, v) in edges:
+        if rng.random() < beta:
+            candidates = [
+                w
+                for w in range(n)
+                if w != u and canonical_edge(u, w) not in result
+            ]
+            if candidates:
+                result.discard((u, v))
+                result.add(canonical_edge(u, rng.choice(candidates)))
+    return Graph(n, sorted(result), name="ws-{}-k{}-b{:.3g}".format(n, k, beta))
+
+
+def random_geometric_graph(n: int, radius: float, seed: int = 0) -> Graph:
+    """Nodes at uniform points of the unit square, edges within ``radius``.
+
+    A standard model for wireless/sensor networks, the motivating domain
+    for distributed centrality computation.
+    """
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    r2 = radius * radius
+    edges = [
+        (u, v)
+        for u, v in itertools.combinations(range(n), 2)
+        if (points[u][0] - points[v][0]) ** 2 + (points[u][1] - points[v][1]) ** 2
+        <= r2
+    ]
+    return Graph(n, edges, name="rgg-{}-r{:.3g}".format(n, radius))
+
+
+def connected_erdos_renyi_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p) patched into a connected graph.
+
+    Components beyond the first are joined by one extra edge each (from
+    a random node of the component to a random node of the running giant
+    component), so the result is connected but otherwise ER-like.
+    """
+    g = erdos_renyi_graph(n, p, seed)
+    return ensure_connected(g, seed=seed ^ 0x9E3779B9)
+
+
+def ensure_connected(graph: Graph, seed: int = 0) -> Graph:
+    """Return ``graph`` with minimal extra edges making it connected."""
+    comps = connected_components(graph)
+    if len(comps) <= 1:
+        return graph
+    rng = random.Random(seed)
+    extra: List[Edge] = []
+    base = comps[0]
+    for comp in comps[1:]:
+        extra.append(canonical_edge(rng.choice(base), rng.choice(comp)))
+        base = base + comp
+    return Graph(
+        graph.num_nodes,
+        list(graph.edges()) + extra,
+        name=graph.name + "-connected",
+    )
+
+
+# ----------------------------------------------------------------------
+# named datasets
+# ----------------------------------------------------------------------
+_KARATE_EDGES: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
+    (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2),
+    (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30), (2, 3),
+    (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32), (3, 7),
+    (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16), (6, 16),
+    (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33),
+    (15, 32), (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+    (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
+    (24, 25), (24, 27), (24, 31), (25, 31), (26, 29), (26, 33), (27, 33),
+    (28, 31), (28, 33), (29, 32), (29, 33), (30, 32), (30, 33), (31, 32),
+    (31, 33), (32, 33),
+)
+
+
+def karate_club_graph() -> Graph:
+    """Zachary's karate club (34 nodes, 78 edges).
+
+    The classic social network; node 0 is the instructor ("Mr. Hi") and
+    node 33 the club administrator ("John A.").  Used by the social
+    network example to rank brokers by betweenness.
+    """
+    return Graph(34, _KARATE_EDGES, name="karate-club")
+
+
+_FLORENTINE_FAMILIES = (
+    "Acciaiuoli", "Albizzi", "Barbadori", "Bischeri", "Castellani",
+    "Ginori", "Guadagni", "Lamberteschi", "Medici", "Pazzi", "Peruzzi",
+    "Ridolfi", "Salviati", "Strozzi", "Tornabuoni",
+)
+
+_FLORENTINE_EDGES = (
+    ("Acciaiuoli", "Medici"),
+    ("Albizzi", "Ginori"),
+    ("Albizzi", "Guadagni"),
+    ("Albizzi", "Medici"),
+    ("Barbadori", "Castellani"),
+    ("Barbadori", "Medici"),
+    ("Bischeri", "Guadagni"),
+    ("Bischeri", "Peruzzi"),
+    ("Bischeri", "Strozzi"),
+    ("Castellani", "Peruzzi"),
+    ("Castellani", "Strozzi"),
+    ("Guadagni", "Lamberteschi"),
+    ("Guadagni", "Tornabuoni"),
+    ("Medici", "Ridolfi"),
+    ("Medici", "Salviati"),
+    ("Medici", "Tornabuoni"),
+    ("Pazzi", "Salviati"),
+    ("Peruzzi", "Strozzi"),
+    ("Ridolfi", "Strozzi"),
+    ("Ridolfi", "Tornabuoni"),
+)
+
+
+def florentine_families_graph() -> Tuple[Graph, List[str]]:
+    """Padgett's Florentine families marriage network (15 nodes).
+
+    The canonical small social network where betweenness explains
+    power: the Medici sit on far more shortest paths than any richer
+    family.  Returns ``(graph, labels)`` with labels[i] the family name
+    of node i (alphabetical order).
+
+    Note: like networkx's version this includes the isolated-by-
+    marriage Pucci family's *exclusion* — only the 15 connected
+    families appear.
+    """
+    index = {name: i for i, name in enumerate(_FLORENTINE_FAMILIES)}
+    edges = [(index[a], index[b]) for a, b in _FLORENTINE_EDGES]
+    return (
+        Graph(len(_FLORENTINE_FAMILIES), edges, name="florentine"),
+        list(_FLORENTINE_FAMILIES),
+    )
+
+
+def figure1_graph() -> Graph:
+    """The 5-node example graph of Figure 1 in the paper.
+
+    Nodes 0..4 correspond to v1..v5.  Edges: v1–v2, v2–v3, v2–v5, v3–v4,
+    v5–v4.  The paper works through every sending time on this graph and
+    derives CB(v2) = 7/2.
+    """
+    return Graph(5, [(0, 1), (1, 2), (1, 4), (2, 3), (4, 3)], name="figure1")

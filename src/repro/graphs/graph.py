@@ -1,0 +1,292 @@
+"""Core undirected simple graph type used throughout the library.
+
+The distributed algorithm of the paper operates on undirected, unweighted,
+connected graphs whose nodes carry O(log N)-bit identifiers.  We model
+nodes as the integers ``0 .. N-1`` (dense identifiers make the simulator's
+bit accounting exact: an ID costs ``ceil(log2 N)`` bits) and keep the
+structure immutable after construction so that a graph can be shared
+freely between the simulator, the baselines, and the analysis code.
+
+Graphs are built either directly from an edge iterable via
+:class:`Graph`, or incrementally via :class:`GraphBuilder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    EmptyGraphError,
+    InvalidEdgeError,
+    UnknownNodeError,
+)
+
+Edge = Tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the edge ``{u, v}`` as an ordered pair ``(min, max)``."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """An immutable undirected simple graph on nodes ``0 .. N-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node identifiers are ``0 .. num_nodes - 1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self loops and duplicate edges
+        (in either orientation) are rejected with
+        :class:`~repro.exceptions.InvalidEdgeError`.
+
+    Examples
+    --------
+    >>> g = Graph(3, [(0, 1), (1, 2)])
+    >>> g.num_nodes, g.num_edges
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_num_nodes", "_adjacency", "_edges", "_name")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Edge] = (),
+        name: Optional[str] = None,
+    ):
+        if num_nodes < 0:
+            raise EmptyGraphError("number of nodes must be non-negative")
+        self._num_nodes = int(num_nodes)
+        adjacency: List[List[int]] = [[] for _ in range(self._num_nodes)]
+        seen = set()
+        edge_list: List[Edge] = []
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise InvalidEdgeError("self loop at node {}".format(u))
+            if not (0 <= u < self._num_nodes and 0 <= v < self._num_nodes):
+                raise InvalidEdgeError(
+                    "edge ({}, {}) references a node outside 0..{}".format(
+                        u, v, self._num_nodes - 1
+                    )
+                )
+            key = canonical_edge(u, v)
+            if key in seen:
+                raise InvalidEdgeError("duplicate edge ({}, {})".format(u, v))
+            seen.add(key)
+            edge_list.append(key)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        for nbrs in adjacency:
+            nbrs.sort()
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(nbrs) for nbrs in adjacency
+        )
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_list))
+        self._name = name or "graph"
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes N."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges M."""
+        return len(self._edges)
+
+    @property
+    def name(self) -> str:
+        """Human-readable label used in reports and benchmarks."""
+        return self._name
+
+    def nodes(self) -> range:
+        """All node identifiers, as a ``range``."""
+        return range(self._num_nodes)
+
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges as canonical ``(min, max)`` pairs, sorted."""
+        return self._edges
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """The sorted neighbor tuple of node ``v``."""
+        self._check_node(v)
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to ``v``."""
+        self._check_node(v)
+        return len(self._adjacency[v])
+
+    def max_degree(self) -> int:
+        """The maximum degree, or 0 for an empty graph."""
+        if self._num_nodes == 0:
+            return 0
+        return max(len(nbrs) for nbrs in self._adjacency)
+
+    def has_node(self, v: int) -> bool:
+        """Whether ``v`` is a valid node identifier."""
+        return 0 <= v < self._num_nodes
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        if not (self.has_node(u) and self.has_node(v)):
+            return False
+        # adjacency tuples are sorted, but linear scan is fine for the
+        # degrees seen in simulations; avoids importing bisect everywhere.
+        return v in self._adjacency[u]
+
+    def _check_node(self, v: int) -> None:
+        if not (0 <= v < self._num_nodes):
+            raise UnknownNodeError(v)
+
+    # ------------------------------------------------------------------
+    # derived constructions
+    # ------------------------------------------------------------------
+    def with_name(self, name: str) -> "Graph":
+        """Return the same graph re-labelled as ``name`` (cheap copy)."""
+        g = Graph.__new__(Graph)
+        g._num_nodes = self._num_nodes
+        g._adjacency = self._adjacency
+        g._edges = self._edges
+        g._name = name
+        return g
+
+    def relabel(self, permutation: Sequence[int]) -> "Graph":
+        """Return the graph with node i renamed to ``permutation[i]``.
+
+        ``permutation`` must be a permutation of ``0 .. N-1``.  Useful
+        for symmetry/metamorphic testing: every centrality commutes
+        with relabeling.
+        """
+        if sorted(permutation) != list(range(self._num_nodes)):
+            raise InvalidEdgeError(
+                "relabel needs a permutation of 0..{}".format(
+                    self._num_nodes - 1
+                )
+            )
+        return Graph(
+            self._num_nodes,
+            [(permutation[u], permutation[v]) for u, v in self._edges],
+            name=self._name + "-relabelled",
+        )
+
+    def subgraph(self, keep: Sequence[int]) -> "Graph":
+        """Induced subgraph on ``keep``, with nodes relabelled ``0..k-1``.
+
+        The relabelling preserves the relative order of ``keep``.
+        """
+        keep = list(dict.fromkeys(keep))  # dedupe, preserve order
+        for v in keep:
+            self._check_node(v)
+        index = {v: i for i, v in enumerate(keep)}
+        sub_edges = [
+            (index[u], index[v])
+            for (u, v) in self._edges
+            if u in index and v in index
+        ]
+        return Graph(len(keep), sub_edges, name=self._name + "-sub")
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._num_nodes))
+
+    def __contains__(self, v: object) -> bool:
+        return isinstance(v, int) and self.has_node(v)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_nodes, self._edges))
+
+    def __repr__(self) -> str:
+        return "Graph(name={!r}, N={}, M={})".format(
+            self._name, self._num_nodes, self.num_edges
+        )
+
+
+class GraphBuilder:
+    """Incremental builder producing an immutable :class:`Graph`.
+
+    Unlike :class:`Graph`'s constructor, the builder tolerates duplicate
+    ``add_edge`` calls (they are idempotent) and supports arbitrary
+    hashable node labels, which are mapped to dense integer identifiers
+    on :meth:`build`.  This is the convenient entry point for loading
+    real edge lists.
+
+    Examples
+    --------
+    >>> b = GraphBuilder()
+    >>> b.add_edge("a", "b").add_edge("b", "c").add_edge("a", "b")
+    GraphBuilder(nodes=3, edges=2)
+    >>> g, labels = b.build_with_labels()
+    >>> g.num_edges
+    2
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        self._index: Dict[object, int] = {}
+        self._labels: List[object] = []
+        self._edges: set = set()
+        self._name = name
+
+    def add_node(self, label: object) -> int:
+        """Register ``label`` (idempotent) and return its dense id."""
+        if label not in self._index:
+            self._index[label] = len(self._labels)
+            self._labels.append(label)
+        return self._index[label]
+
+    def add_edge(self, a: object, b: object) -> "GraphBuilder":
+        """Add the undirected edge ``{a, b}``; duplicates are ignored."""
+        ia, ib = self.add_node(a), self.add_node(b)
+        if ia == ib:
+            raise InvalidEdgeError("self loop at node {!r}".format(a))
+        self._edges.add(canonical_edge(ia, ib))
+        return self
+
+    def add_edges(self, edges: Iterable[Tuple[object, object]]) -> "GraphBuilder":
+        """Add every edge in ``edges``."""
+        for a, b in edges:
+            self.add_edge(a, b)
+        return self
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes registered so far."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Distinct edges registered so far."""
+        return len(self._edges)
+
+    def build(self) -> Graph:
+        """Return the immutable graph (labels discarded)."""
+        return Graph(len(self._labels), sorted(self._edges), name=self._name)
+
+    def build_with_labels(self) -> Tuple[Graph, List[object]]:
+        """Return ``(graph, labels)`` where ``labels[i]`` is node i's label."""
+        return self.build(), list(self._labels)
+
+    def __repr__(self) -> str:
+        return "GraphBuilder(nodes={}, edges={})".format(
+            self.num_nodes, self.num_edges
+        )

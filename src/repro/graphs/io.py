@@ -1,0 +1,168 @@
+"""Graph serialization: edge lists and JSON.
+
+Edge-list format: one ``u v`` pair per line, ``#`` comments and blank
+lines ignored, with an optional ``# nodes: N`` header to preserve
+isolated nodes.  Node tokens may be arbitrary strings; they are mapped
+to dense integer ids in first-seen order unless they already parse as
+the dense range.
+
+JSON format: ``{"name": ..., "nodes": N, "edges": [[u, v], ...]}`` for
+unweighted graphs and ``"edges": [[u, v, w], ...]`` with
+``"weighted": true`` for weighted ones.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import List, Optional, Tuple, Union
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph, GraphBuilder
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in edge-list format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_edge_list(graph))
+
+
+def dumps_edge_list(graph: Graph) -> str:
+    """Serialize ``graph`` to an edge-list string."""
+    out = io.StringIO()
+    out.write("# name: {}\n".format(graph.name))
+    out.write("# nodes: {}\n".format(graph.num_nodes))
+    for u, v in graph.edges():
+        out.write("{} {}\n".format(u, v))
+    return out.getvalue()
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph from an edge-list file written by :func:`write_edge_list`.
+
+    Also accepts generic whitespace-separated edge lists produced by
+    other tools (e.g. SNAP dumps); unknown node labels are relabelled to
+    a dense range in order of first appearance.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads_edge_list(fh.read())
+
+
+def loads_edge_list(text: str) -> Graph:
+    """Parse an edge-list string into a :class:`Graph`."""
+    name: Optional[str] = None
+    declared_nodes: Optional[int] = None
+    pairs: List[Tuple[str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("name:"):
+                name = body[len("name:"):].strip()
+            elif body.startswith("nodes:"):
+                declared_nodes = int(body[len("nodes:"):].strip())
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphError(
+                "line {}: expected 'u v', got {!r}".format(lineno, raw)
+            )
+        pairs.append((parts[0], parts[1]))
+
+    dense = _try_dense_ints(pairs, declared_nodes)
+    if dense is not None:
+        num_nodes, edges = dense
+        return Graph(num_nodes, edges, name=name)
+
+    builder = GraphBuilder(name=name)
+    if declared_nodes is not None:
+        for i in range(declared_nodes):
+            builder.add_node(str(i))
+    builder.add_edges(pairs)
+    return builder.build()
+
+
+def _try_dense_ints(
+    pairs: List[Tuple[str, str]], declared_nodes: Optional[int]
+) -> Optional[Tuple[int, List[Tuple[int, int]]]]:
+    """Interpret tokens as a dense 0..N-1 integer labelling if possible."""
+    try:
+        edges = [(int(a), int(b)) for a, b in pairs]
+    except ValueError:
+        return None
+    max_seen = max((max(u, v) for u, v in edges), default=-1)
+    if any(min(u, v) < 0 for u, v in edges):
+        return None
+    num_nodes = max_seen + 1
+    if declared_nodes is not None:
+        if declared_nodes < num_nodes:
+            raise GraphError(
+                "declared {} nodes but edges mention node {}".format(
+                    declared_nodes, max_seen
+                )
+            )
+        num_nodes = declared_nodes
+    return num_nodes, edges
+
+
+# ----------------------------------------------------------------------
+# JSON format (unweighted and weighted graphs)
+# ----------------------------------------------------------------------
+def dumps_json(graph) -> str:
+    """Serialize a :class:`Graph` or :class:`WeightedGraph` to JSON."""
+    from repro.graphs.weighted import WeightedGraph
+
+    payload = {
+        "name": graph.name,
+        "nodes": graph.num_nodes,
+    }
+    if isinstance(graph, WeightedGraph):
+        payload["weighted"] = True
+        payload["edges"] = [[u, v, w] for u, v, w in graph.edges()]
+    else:
+        payload["weighted"] = False
+        payload["edges"] = [[u, v] for u, v in graph.edges()]
+    return json.dumps(payload, indent=2)
+
+
+def loads_json(text: str):
+    """Parse :func:`dumps_json` output back into a graph.
+
+    Returns a :class:`Graph` or, when ``"weighted": true``, a
+    :class:`~repro.graphs.weighted.WeightedGraph`.
+    """
+    from repro.graphs.weighted import WeightedGraph
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise GraphError("invalid graph JSON: {}".format(err)) from err
+    try:
+        num_nodes = int(payload["nodes"])
+        edges = payload["edges"]
+        weighted = bool(payload.get("weighted", False))
+        name = payload.get("name")
+    except (KeyError, TypeError) as err:
+        raise GraphError("graph JSON missing field: {}".format(err)) from err
+    if weighted:
+        return WeightedGraph(
+            num_nodes, [(int(u), int(v), int(w)) for u, v, w in edges], name=name
+        )
+    return Graph(num_nodes, [(int(u), int(v)) for u, v in edges], name=name)
+
+
+def write_json(graph, path: PathLike) -> None:
+    """Write a graph to ``path`` in JSON format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_json(graph))
+
+
+def read_json(path: PathLike):
+    """Read a graph written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads_json(fh.read())

@@ -1,0 +1,198 @@
+"""Sequential graph property computations (BFS, diameter, connectivity).
+
+These are the *centralized* reference routines used to validate the
+distributed algorithm's outputs and to parameterize experiments.  They
+are deliberately simple: plain BFS over adjacency tuples, O(N + M) per
+source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import EmptyGraphError, GraphNotConnectedError
+from repro.graphs.graph import Graph
+
+UNREACHED = -1
+
+
+def bfs_distances(graph: Graph, source: int) -> List[int]:
+    """Distances from ``source`` to every node; ``-1`` when unreachable."""
+    dist = [UNREACHED] * graph.num_nodes
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if dist[w] == UNREACHED:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+    return dist
+
+
+def bfs_layers(graph: Graph, source: int) -> List[List[int]]:
+    """Nodes grouped by distance from ``source`` (unreachable omitted)."""
+    dist = bfs_distances(graph, source)
+    ecc = max(dist)
+    layers: List[List[int]] = [[] for _ in range(ecc + 1)]
+    for v, d in enumerate(dist):
+        if d != UNREACHED:
+            layers[d].append(v)
+    return layers
+
+
+def bfs_parents(graph: Graph, source: int) -> List[Optional[int]]:
+    """A BFS spanning-tree parent array (parent of source is ``None``).
+
+    Ties are broken toward the smallest-id parent, matching the
+    deterministic tie-breaking the simulator uses, so tests can compare
+    tree shapes directly.
+    """
+    dist = bfs_distances(graph, source)
+    parents: List[Optional[int]] = [None] * graph.num_nodes
+    for v in graph.nodes():
+        if v == source or dist[v] == UNREACHED:
+            continue
+        for w in graph.neighbors(v):
+            if dist[w] == dist[v] - 1:
+                parents[v] = w
+                break  # neighbors are sorted, so this is the smallest id
+    return parents
+
+
+def shortest_path_counts(graph: Graph, source: int) -> List[int]:
+    """The number of shortest paths sigma_sv from ``source`` to each node.
+
+    Unreachable nodes get count 0.  Counts are exact Python integers and
+    may be exponential in the diameter — this is precisely the paper's
+    "Large Value Challenge".
+    """
+    dist = bfs_distances(graph, source)
+    sigma = [0] * graph.num_nodes
+    sigma[source] = 1
+    order = sorted(
+        (v for v in graph.nodes() if dist[v] != UNREACHED),
+        key=lambda v: dist[v],
+    )
+    for v in order:
+        if v == source:
+            continue
+        sigma[v] = sum(
+            sigma[w] for w in graph.neighbors(v) if dist[w] == dist[v] - 1
+        )
+    return sigma
+
+
+def predecessor_sets(graph: Graph, source: int) -> List[Tuple[int, ...]]:
+    """P_s(v): predecessors of each node on shortest paths from ``source``."""
+    dist = bfs_distances(graph, source)
+    preds: List[Tuple[int, ...]] = [()] * graph.num_nodes
+    for v in graph.nodes():
+        if v == source or dist[v] == UNREACHED:
+            continue
+        preds[v] = tuple(
+            w for w in graph.neighbors(v) if dist[w] == dist[v] - 1
+        )
+    return preds
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if graph.num_nodes == 0:
+        return True
+    return UNREACHED not in bfs_distances(graph, 0)
+
+
+def require_connected(graph: Graph) -> None:
+    """Raise :class:`GraphNotConnectedError` unless ``graph`` is connected."""
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("algorithm requires at least one node")
+    if not is_connected(graph):
+        raise GraphNotConnectedError(
+            "graph {!r} is not connected".format(graph.name)
+        )
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components as sorted node lists, ordered by smallest node."""
+    seen = [False] * graph.num_nodes
+    components: List[List[int]] = []
+    for start in graph.nodes():
+        if seen[start]:
+            continue
+        comp = []
+        queue = deque([start])
+        seen[start] = True
+        while queue:
+            v = queue.popleft()
+            comp.append(v)
+            for w in graph.neighbors(v):
+                if not seen[w]:
+                    seen[w] = True
+                    queue.append(w)
+        components.append(sorted(comp))
+    return components
+
+
+def eccentricity(graph: Graph, v: int) -> int:
+    """Maximum distance from ``v`` to any node (graph must be connected)."""
+    dist = bfs_distances(graph, v)
+    if UNREACHED in dist:
+        raise GraphNotConnectedError("eccentricity undefined: not connected")
+    return max(dist)
+
+
+def eccentricities(graph: Graph) -> List[int]:
+    """Eccentricity of every node (one BFS per node)."""
+    return [eccentricity(graph, v) for v in graph.nodes()]
+
+
+def diameter(graph: Graph) -> int:
+    """The diameter max_{u,v} d(u, v) of a connected graph."""
+    require_connected(graph)
+    return max(eccentricities(graph))
+
+
+def radius(graph: Graph) -> int:
+    """The radius min_v ecc(v) of a connected graph."""
+    require_connected(graph)
+    return min(eccentricities(graph))
+
+
+def all_pairs_distances(graph: Graph) -> List[List[int]]:
+    """Dense N x N distance matrix via one BFS per node."""
+    return [bfs_distances(graph, v) for v in graph.nodes()]
+
+
+def distance_sum(graph: Graph, v: int) -> int:
+    """Sum of distances from ``v`` to all nodes (connected graphs)."""
+    dist = bfs_distances(graph, v)
+    if UNREACHED in dist:
+        raise GraphNotConnectedError("distance sum undefined: not connected")
+    return sum(dist)
+
+
+def max_shortest_path_count(graph: Graph) -> int:
+    """max_{s,t} sigma_st over all pairs — the paper's "large value".
+
+    On graphs like hypercube-ish grids this grows exponentially with the
+    diameter, which is why exact counts cannot ride in O(log N)-bit
+    messages (Section V of the paper).
+    """
+    best = 0
+    for s in graph.nodes():
+        sigma = shortest_path_counts(graph, s)
+        local = max(sigma)
+        if local > best:
+            best = local
+    return best
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Map degree -> number of nodes having that degree."""
+    hist: Dict[int, int] = {}
+    for v in graph.nodes():
+        d = graph.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist

@@ -1,0 +1,175 @@
+"""The Figure 3 construction: the betweenness lower-bound gadget.
+
+The refinement of the diameter gadget whose *betweenness values* encode
+the disjointness answer (Lemma 9):
+
+    ``CB(F_i) = 1.5`` if X_i equals some Y_j, else ``CB(F_i) = 1``,
+
+so computing betweenness to within 0.499 relative error solves sparse
+set disjointness across the O(log N)-width cut (Theorem 6).
+
+Topology: L_i and L'_i are now adjacent (distance 1); S_j attaches to
+L_i for i in X_j and T_j to L'_i for i not in Y_j, as before; each S_i
+gets a pendant flag node F_i; and four hubs close the metric:
+
+* P adjacent to every F_i and to Q, A and B;
+* Q adjacent to every T_j and to P;
+* A adjacent to every L_i and to P;
+* B adjacent to every S_j, to every F_i, and to P.
+
+The paper's prose lists only the four "connected to F/T/L/S
+respectively" attachments plus the proof-path edges B–P and P–Q.  Two
+further edges are *forced* by the proof's claim that the only shortest
+paths through F_i have endpoint S_i (checked exhaustively by our test
+suite):
+
+* ``B–F_k`` for all k: otherwise d(S_i, F_k) = 3 with one of its three
+  shortest paths running S_i → F_i → P → F_k, adding spurious 1/3
+  contributions to CB(F_i);
+* ``A–P``: otherwise d(L_p, P) = 3 with shortest paths
+  L_p → S_j → F_j → P, adding spurious contributions to CB(F_j).
+
+With them, exhaustive verification confirms CB(F_i) ∈ {1, 1.5} exactly
+as Lemma 9 states.  See DESIGN.md ("reconstruction choices").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import LowerBoundParameterError
+from repro.graphs.graph import Graph
+from repro.lowerbound.subsets import Subset, half_size
+
+
+@dataclass
+class BCGadget:
+    """The built Figure 3 gadget with named node handles."""
+
+    graph: Graph
+    m: int
+    n: int
+    x_family: List[Subset]
+    y_family: List[Subset]
+    left: List[int] = field(default_factory=list)
+    right: List[int] = field(default_factory=list)
+    s: List[int] = field(default_factory=list)
+    t: List[int] = field(default_factory=list)
+    f: List[int] = field(default_factory=list)
+    a: int = -1
+    b: int = -1
+    p: int = -1
+    q: int = -1
+    left_side: frozenset = frozenset()
+
+    def expected_flag_centrality(self, i: int) -> Fraction:
+        """Lemma 9: CB(F_i) = 3/2 if X_i ∈ Y (as a set), else 1."""
+        if self.x_family[i] in set(self.y_family):
+            return Fraction(3, 2)
+        return Fraction(1)
+
+    def expected_distance_s_t(self, i: int, j: int) -> int:
+        """d(S_i, T_j) = 3 if X_i != Y_j else 4 (proof of Lemma 9)."""
+        return 3 if self.x_family[i] != self.y_family[j] else 4
+
+    def families_intersect(self) -> bool:
+        """The disjointness predicate the gadget encodes."""
+        return bool(set(self.x_family) & set(self.y_family))
+
+
+def build_bc_gadget(
+    x_family: Sequence[Subset],
+    y_family: Sequence[Subset],
+    m: int,
+    reconstruction_edges: bool = True,
+) -> BCGadget:
+    """Construct the Figure 3 gadget for the given subset families.
+
+    ``y_family`` must contain pairwise distinct subsets so that at most
+    one Y_j can match a given X_i (otherwise CB(F_i) would exceed 1.5).
+
+    ``reconstruction_edges=False`` builds the graph exactly as the
+    paper's *prose* describes (only the four hub attachments plus B–P
+    and P–Q) — on which Lemma 9 does **not** hold; the flag centralities
+    pick up spurious contributions from (S_i, F_k) and (L_p, P) pairs.
+    The test suite demonstrates this, which is why the default adds the
+    B–F_k and A–P edges (see the module docstring).
+    """
+    half = half_size(m)
+    n = len(x_family)
+    if len(y_family) != n:
+        raise LowerBoundParameterError("families must have equal size")
+    if len(set(y_family)) != n:
+        raise LowerBoundParameterError("Y subsets must be pairwise distinct")
+    for subset in list(x_family) + list(y_family):
+        if len(subset) != half or not all(0 <= e < m for e in subset):
+            raise LowerBoundParameterError(
+                "every subset must have size m/2 within {{0..{}}}".format(m - 1)
+            )
+
+    next_id = 0
+
+    def take() -> int:
+        nonlocal next_id
+        nid = next_id
+        next_id += 1
+        return nid
+
+    edges: List[Tuple[int, int]] = []
+    left = [take() for _ in range(m)]
+    right = [take() for _ in range(m)]
+    for i in range(m):
+        edges.append((left[i], right[i]))
+
+    s = [take() for _ in range(n)]
+    for j in range(n):
+        for i in sorted(x_family[j]):
+            edges.append((left[i], s[j]))
+
+    t = [take() for _ in range(n)]
+    for j in range(n):
+        for i in range(m):
+            if i not in y_family[j]:
+                edges.append((right[i], t[j]))
+
+    f = [take() for _ in range(n)]
+    for i in range(n):
+        edges.append((s[i], f[i]))
+
+    a, b, p, q = take(), take(), take(), take()
+    for i in range(m):
+        edges.append((a, left[i]))
+    for j in range(n):
+        edges.append((b, s[j]))
+        if reconstruction_edges:
+            edges.append((b, f[j]))  # reconstruction choice (module doc)
+        edges.append((p, f[j]))
+        edges.append((q, t[j]))
+    edges.append((p, q))
+    edges.append((b, p))
+    if reconstruction_edges:
+        edges.append((a, p))  # reconstruction choice (see module doc)
+
+    graph = Graph(next_id, edges, name="bc-gadget-m{}-n{}".format(m, n))
+    # P sits on the left side: the only crossing edges are the m pairs
+    # L_i -- L'_i plus P -- Q, so the cut has width m + 1 = O(log N).
+    left_side = frozenset(set(left) | set(s) | set(f) | {a, b, p})
+    return BCGadget(
+        graph=graph,
+        m=m,
+        n=n,
+        x_family=list(x_family),
+        y_family=list(y_family),
+        left=left,
+        right=right,
+        s=s,
+        t=t,
+        f=f,
+        a=a,
+        b=b,
+        p=p,
+        q=q,
+        left_side=left_side,
+    )

@@ -1,0 +1,210 @@
+"""The Figure 2 construction: the diameter lower-bound gadget.
+
+Given families X, Y of size-(m/2) subsets of {0..m-1} and a parameter
+x >= 8, the gadget's diameter is
+
+    * ``x``     when no X_i equals any Y_j  (X ∩ Y = ∅), and
+    * ``x + 2`` otherwise                               (Lemma 8),
+
+while only ``m + 1 = O(log N)`` edges cross the left/right cut, so any
+distributed diameter protocol solves sparse set disjointness with
+O(m log N) bits per round across the cut — the Theorem 5 argument.
+
+Topology (left to right):
+
+* left terminals L_0..L_{m-1} and right terminals L'_0..L'_{m-1},
+  joined pairwise by paths of length x - 6;
+* per subset X_j: a node S_j adjacent to L_i for every i in X_j, plus a
+  pendant chain S_j — S''_j — S'_j;
+* per subset Y_j: a node T_j adjacent to L'_i for every i NOT in Y_j
+  (note the complement — this is what encodes equality as
+  unreachability), plus a chain T_j — T''_j — T'_j;
+* hubs A (adjacent to every L_i) and B (adjacent to every L'_i) joined
+  by another path of length x - 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import LowerBoundParameterError
+from repro.graphs.graph import Graph
+from repro.lowerbound.subsets import Subset, half_size
+
+
+@dataclass
+class DiameterGadget:
+    """The built gadget with named node handles.
+
+    Attributes map role names to node ids: ``left[i]`` is L_i,
+    ``right[i]`` is L'_i, ``s[j]``/``s1[j]``/``s2[j]`` are
+    S_j/S'_j/S''_j, similarly for t, and ``a``/``b`` the two hubs.
+    ``left_side`` is the node set used as the communication cut
+    (everything built from X plus the left path halves plus A's half).
+    """
+
+    graph: Graph
+    x: int
+    m: int
+    n: int
+    x_family: List[Subset]
+    y_family: List[Subset]
+    left: List[int] = field(default_factory=list)
+    right: List[int] = field(default_factory=list)
+    s: List[int] = field(default_factory=list)
+    s_prime: List[int] = field(default_factory=list)
+    s_dprime: List[int] = field(default_factory=list)
+    t: List[int] = field(default_factory=list)
+    t_prime: List[int] = field(default_factory=list)
+    t_dprime: List[int] = field(default_factory=list)
+    a: int = -1
+    b: int = -1
+    left_side: frozenset = frozenset()
+
+    def expected_distance(self, i: int, j: int) -> int:
+        """Lemma 8: d(S'_i, T'_j) = x if X_i != Y_j else x + 2."""
+        return self.x if self.x_family[i] != self.y_family[j] else self.x + 2
+
+    def expected_diameter(self) -> int:
+        """Lemma 8: D = x if the families are disjoint, else x + 2."""
+        intersects = bool(set(self.x_family) & set(self.y_family))
+        return self.x + 2 if intersects else self.x
+
+    def cut_width(self) -> int:
+        """Edges crossing the left/right cut (= m + 1 inter-side paths)."""
+        crossing = 0
+        for u, v in self.graph.edges():
+            if (u in self.left_side) != (v in self.left_side):
+                crossing += 1
+        return crossing
+
+
+def build_diameter_gadget(
+    x_family: Sequence[Subset],
+    y_family: Sequence[Subset],
+    x: int,
+    m: int,
+) -> DiameterGadget:
+    """Construct the Figure 2 gadget for the given families.
+
+    Parameters
+    ----------
+    x_family, y_family:
+        n size-(m/2) subsets of {0..m-1} each.
+    x:
+        The target diameter parameter; must be >= 8 (the constant slack
+        the construction needs, cf. Theorem 5).
+    m:
+        The ground-set size (even).
+    """
+    if x < 8:
+        raise LowerBoundParameterError("the construction requires x >= 8")
+    half = half_size(m)
+    n = len(x_family)
+    if len(y_family) != n:
+        raise LowerBoundParameterError("families must have equal size")
+    for subset in list(x_family) + list(y_family):
+        if len(subset) != half or not all(0 <= e < m for e in subset):
+            raise LowerBoundParameterError(
+                "every subset must have size m/2 within {{0..{}}}".format(m - 1)
+            )
+
+    ids = _IdAllocator()
+    edges: List[Tuple[int, int]] = []
+
+    left = [ids.take() for _ in range(m)]
+    right = [ids.take() for _ in range(m)]
+    left_side_nodes = set(left)
+
+    # L_i -- (path of length x-6) -- L'_i ; the first half of each path
+    # belongs to the left side of the cut.
+    for i in range(m):
+        path_nodes = _path(ids, edges, left[i], right[i], x - 6)
+        left_side_nodes.update(path_nodes[: len(path_nodes) // 2])
+
+    s, s_p, s_pp = [], [], []
+    for j in range(n):
+        sj = ids.take()
+        s.append(sj)
+        for i in sorted(x_family[j]):
+            edges.append((left[i], sj))
+        spp = ids.take()  # S''_j sits between S_j and S'_j
+        sp = ids.take()
+        s_pp.append(spp)
+        s_p.append(sp)
+        edges.append((sj, spp))
+        edges.append((spp, sp))
+        left_side_nodes.update((sj, spp, sp))
+
+    t, t_p, t_pp = [], [], []
+    for j in range(n):
+        tj = ids.take()
+        t.append(tj)
+        for i in range(m):
+            if i not in y_family[j]:
+                edges.append((right[i], tj))
+        tpp = ids.take()
+        tp = ids.take()
+        t_pp.append(tpp)
+        t_p.append(tp)
+        edges.append((tj, tpp))
+        edges.append((tpp, tp))
+
+    a = ids.take()
+    b = ids.take()
+    left_side_nodes.add(a)
+    for i in range(m):
+        edges.append((a, left[i]))
+        edges.append((b, right[i]))
+    ab_path = _path(ids, edges, a, b, x - 6)
+    left_side_nodes.update(ab_path[: len(ab_path) // 2])
+
+    graph = Graph(ids.count, edges, name="diameter-gadget-x{}-m{}-n{}".format(x, m, n))
+    return DiameterGadget(
+        graph=graph,
+        x=x,
+        m=m,
+        n=n,
+        x_family=list(x_family),
+        y_family=list(y_family),
+        left=left,
+        right=right,
+        s=s,
+        s_prime=s_p,
+        s_dprime=s_pp,
+        t=t,
+        t_prime=t_p,
+        t_dprime=t_pp,
+        a=a,
+        b=b,
+        left_side=frozenset(left_side_nodes),
+    )
+
+
+class _IdAllocator:
+    """Dense node-id dispenser for gadget construction."""
+
+    def __init__(self):
+        self.count = 0
+
+    def take(self) -> int:
+        nid = self.count
+        self.count += 1
+        return nid
+
+
+def _path(
+    ids: _IdAllocator,
+    edges: List[Tuple[int, int]],
+    u: int,
+    v: int,
+    length: int,
+) -> List[int]:
+    """Add a u-v path of the given edge count; returns interior nodes."""
+    if length < 1:
+        raise LowerBoundParameterError("path length must be >= 1")
+    interior = [ids.take() for _ in range(length - 1)]
+    chain = [u] + interior + [v]
+    edges.extend(zip(chain, chain[1:]))
+    return interior

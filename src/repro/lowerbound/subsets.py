@@ -1,0 +1,179 @@
+"""Subset-family machinery for the Section IX lower-bound gadgets.
+
+Both gadget constructions are parameterized by two families
+X = (X_1..X_n) and Y = (Y_1..Y_n) of size-(m/2) subsets of
+M = {0, .., m-1}; the hard question ("is some X_i equal to some Y_j?")
+is exactly the sparse set disjointness instance of Corollary 2, with
+subsets encoded as numbers by lexicographic rank.
+
+This module provides deterministic and seeded family generators, the
+(un)ranking bijection between size-k subsets and integers, and the
+binomial bound ``C(m, m/2) >= n**2`` the paper uses to size m = O(log n).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from itertools import combinations
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import LowerBoundParameterError
+
+Subset = FrozenSet[int]
+
+
+def half_size(m: int) -> int:
+    """The subset cardinality m/2 used throughout Section IX."""
+    if m < 2 or m % 2:
+        raise LowerBoundParameterError("m must be a positive even integer")
+    return m // 2
+
+
+def minimal_m(n: int, squared: bool = True) -> int:
+    """Smallest even m with C(m, m/2) >= n**2 (or >= n).
+
+    The paper sets ``m = O(log n)`` so that the middle binomial majorizes
+    the number of possible encoded values; ``squared=False`` relaxes to
+    merely fitting n distinct subsets (enough to *instantiate* a gadget).
+    """
+    if n < 1:
+        raise LowerBoundParameterError("need n >= 1")
+    target = n * n if squared else n
+    m = 2
+    while math.comb(m, m // 2) < target:
+        m += 2
+    return m
+
+
+def subset_rank(subset: Sequence[int], m: int) -> int:
+    """Lexicographic rank of a size-k subset of {0..m-1} (Corollary 2).
+
+    This is the combinatorial number system: the rank counts size-k
+    subsets lexicographically smaller than ``subset``.
+    """
+    elems = sorted(subset)
+    k = len(elems)
+    rank = 0
+    prev = -1
+    for index, value in enumerate(elems):
+        for skipped in range(prev + 1, value):
+            rank += math.comb(m - skipped - 1, k - index - 1)
+        prev = value
+    return rank
+
+
+def subset_unrank(rank: int, m: int, k: int) -> Subset:
+    """Inverse of :func:`subset_rank`: the rank-th size-k subset."""
+    total = math.comb(m, k)
+    if not 0 <= rank < total:
+        raise LowerBoundParameterError(
+            "rank {} outside [0, {})".format(rank, total)
+        )
+    out: List[int] = []
+    value = 0
+    remaining = k
+    while remaining:
+        count = math.comb(m - value - 1, remaining - 1)
+        if rank < count:
+            out.append(value)
+            remaining -= 1
+        else:
+            rank -= count
+        value += 1
+    return frozenset(out)
+
+
+def all_half_subsets(m: int) -> List[Subset]:
+    """Every size-(m/2) subset of {0..m-1}, in lexicographic order."""
+    k = half_size(m)
+    return [frozenset(c) for c in combinations(range(m), k)]
+
+
+def random_family(
+    n: int, m: int, seed: int = 0, distinct: bool = True
+) -> List[Subset]:
+    """n seeded-random size-(m/2) subsets of {0..m-1}.
+
+    With ``distinct=True`` (default) the subsets are pairwise different,
+    which the BC gadget needs so that at most one Y_j matches each X_i.
+    """
+    k = half_size(m)
+    total = math.comb(m, k)
+    if distinct and n > total:
+        raise LowerBoundParameterError(
+            "cannot pick {} distinct subsets out of {}".format(n, total)
+        )
+    rng = random.Random(seed)
+    if distinct:
+        ranks = rng.sample(range(total), n)
+    else:
+        ranks = [rng.randrange(total) for _ in range(n)]
+    return [subset_unrank(r, m, k) for r in ranks]
+
+
+def family_pair(
+    n: int,
+    m: Optional[int] = None,
+    seed: int = 0,
+    force_intersection: Optional[bool] = None,
+) -> Tuple[List[Subset], List[Subset], int]:
+    """A matched (X, Y, m) instance for the gadgets.
+
+    ``force_intersection=True`` plants exactly one common subset
+    (X and Y share one element as *sets of subsets*), ``False``
+    guarantees none, ``None`` leaves it to chance.
+
+    Returns ``(X, Y, m)``.
+    """
+    if m is None:
+        # Room for 2n distinct subsets so that a disjoint Y family can
+        # always be drawn outside X.
+        m = minimal_m(n, squared=False)
+        while math.comb(m, m // 2) < 2 * n:
+            m += 2
+    rng = random.Random(seed)
+    x_family = random_family(n, m, seed=rng.randrange(1 << 30))
+    y_family = random_family(n, m, seed=rng.randrange(1 << 30))
+    x_set = set(x_family)
+    if force_intersection is True:
+        if not x_set & set(y_family):
+            y_family[rng.randrange(n)] = x_family[rng.randrange(n)]
+            y_family = _dedupe(y_family, m, keep=set(x_family), rng=rng)
+    elif force_intersection is False:
+        pool = [s for s in all_half_subsets(m) if s not in x_set]
+        if len(pool) < n:
+            raise LowerBoundParameterError(
+                "m too small to avoid intersection with n={} subsets".format(n)
+            )
+        y_family = rng.sample(pool, n)
+    return x_family, y_family, m
+
+
+def _dedupe(family, m, keep, rng):
+    """Repair accidental duplicates introduced by planting a match.
+
+    Keeps the first occurrence of each subset; replacements are drawn
+    from unused subsets (still allowing members of ``keep``).
+    """
+    seen = set()
+    used = set(family)
+    out = []
+    for subset in family:
+        if subset not in seen:
+            seen.add(subset)
+            out.append(subset)
+            continue
+        pool = [s for s in all_half_subsets(m) if s not in used]
+        replacement = rng.choice(pool)
+        used.add(replacement)
+        seen.add(replacement)
+        out.append(replacement)
+    return out
+
+
+def families_intersect(
+    x_family: Sequence[Subset], y_family: Sequence[Subset]
+) -> bool:
+    """Whether some X_i equals some Y_j — the disjointness predicate."""
+    return bool(set(x_family) & set(y_family))

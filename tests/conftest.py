@@ -1,0 +1,45 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    connected_erdos_renyi_graph,
+    ensure_connected,
+    erdos_renyi_graph,
+    figure1_graph,
+    karate_club_graph,
+)
+
+
+@pytest.fixture
+def figure1():
+    """The paper's 5-node worked example (v1..v5 = nodes 0..4)."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def karate():
+    """Zachary's karate club graph."""
+    return karate_club_graph()
+
+
+@st.composite
+def connected_graphs(draw, min_nodes: int = 2, max_nodes: int = 14):
+    """A seeded random connected graph (reproducible via our generators)."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    density = draw(st.sampled_from([0.15, 0.3, 0.5, 0.8]))
+    return connected_erdos_renyi_graph(n, density, seed=seed)
+
+
+@st.composite
+def arbitrary_graphs(draw, min_nodes: int = 1, max_nodes: int = 14):
+    """A seeded random graph that may be disconnected."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    density = draw(st.sampled_from([0.0, 0.1, 0.3, 0.6]))
+    return erdos_renyi_graph(n, density, seed=seed)

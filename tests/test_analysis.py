@@ -1,0 +1,83 @@
+"""Tests for the analysis helpers: tables and complexity fitting."""
+
+import pytest
+
+from repro.analysis import (
+    format_value,
+    linear_fit,
+    power_law_exponent,
+    print_table,
+    render_table,
+    rounds_per_node,
+)
+
+
+class TestTables:
+    def test_render_alignment(self):
+        out = render_table(
+            ["name", "value"], [["alpha", 1], ["b", 123456]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+        # columns align
+        assert lines[3].index("|") == lines[4].index("|")
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(0.0) == "0"
+        assert format_value(1.5) == "1.5"
+        assert format_value(1e-9) == "1.000e-09"
+        assert format_value("x") == "x"
+        assert format_value(12345678.0) == "1.235e+07"
+
+    def test_print_table(self, capsys):
+        print_table(["a"], [[1]])
+        captured = capsys.readouterr()
+        assert "a" in captured.out
+
+
+class TestFitting:
+    def test_perfect_linear(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_noisy_linear_r2(self):
+        xs = list(range(10))
+        ys = [2 * x + 1 + (0.1 if x % 2 else -0.1) for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.r_squared > 0.99
+
+    def test_constant_y(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [2])
+        with pytest.raises(ValueError):
+            linear_fit([2, 2], [1, 3])
+
+    def test_power_law_exponent_linear_data(self):
+        xs = [10, 20, 40, 80]
+        ys = [7 * x for x in xs]
+        assert power_law_exponent(xs, ys) == pytest.approx(1.0)
+
+    def test_power_law_exponent_quadratic_data(self):
+        xs = [10, 20, 40, 80]
+        ys = [x * x for x in xs]
+        assert power_law_exponent(xs, ys) == pytest.approx(2.0)
+
+    def test_power_law_requires_positive(self):
+        with pytest.raises(ValueError):
+            power_law_exponent([0, 1], [1, 2])
+
+    def test_rounds_per_node(self):
+        assert rounds_per_node([(10, 70), (20, 140)]) == [7.0, 7.0]

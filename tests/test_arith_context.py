@@ -1,0 +1,169 @@
+"""Tests for the arithmetic contexts and the error-bound formulas."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arithmetic import (
+    ExactContext,
+    LFloat,
+    LFloatArithmetic,
+    compound_bound,
+    corollary1_error,
+    error_profile,
+    lemma1_bound,
+    make_context,
+    max_relative_error,
+    recommended_precision,
+    relative_error,
+    theorem1_bound,
+)
+
+
+class TestExactContext:
+    def setup_method(self):
+        self.ctx = ExactContext()
+
+    def test_sigma_ops(self):
+        assert self.ctx.sigma_one() == 1
+        assert self.ctx.sigma_add(2, 3) == 5
+
+    def test_psi_ops(self):
+        assert self.ctx.psi_zero() == 0
+        assert self.ctx.psi_add(Fraction(1, 2), Fraction(1, 3)) == Fraction(5, 6)
+
+    def test_reciprocal(self):
+        assert self.ctx.reciprocal(4) == Fraction(1, 4)
+
+    def test_dependency(self):
+        assert self.ctx.dependency(Fraction(3, 2), 4) == 6
+
+    def test_value_bits_grow_with_magnitude(self):
+        assert self.ctx.value_bits(1) == 1
+        assert self.ctx.value_bits(2**100) == 101
+        assert self.ctx.value_bits(Fraction(3, 8)) == 2 + 4
+
+    def test_to_float(self):
+        assert self.ctx.to_float(Fraction(1, 2)) == 0.5
+
+    def test_to_exact(self):
+        assert self.ctx.to_exact(7) == 7
+
+
+class TestLFloatArithmetic:
+    def setup_method(self):
+        self.ctx = LFloatArithmetic(12)
+
+    def test_sigma_one(self):
+        assert self.ctx.sigma_one().to_fraction() == 1
+
+    def test_sigma_add_ceil_overestimates(self):
+        x = LFloat.from_int(4097, 12)
+        total = self.ctx.sigma_add(x, x)
+        assert total.to_fraction() >= 2 * x.to_fraction()
+
+    def test_psi_add_floor_underestimates(self):
+        third_ish = self.ctx.reciprocal(LFloat.from_int(3, 12))
+        total = self.ctx.psi_add(third_ish, third_ish)
+        assert total.to_fraction() <= Fraction(2, 3)
+
+    def test_reciprocal_below_exact(self):
+        f = LFloat.from_int(3, 12)
+        assert self.ctx.reciprocal(f).to_fraction() <= Fraction(1, 3)
+
+    def test_dependency_product(self):
+        psi = LFloat.from_int(3, 12)
+        sigma = LFloat.from_int(2, 12)
+        assert self.ctx.dependency(psi, sigma).to_fraction() == 6
+
+    def test_value_bits_constant(self):
+        small = self.ctx.sigma_one()
+        huge = LFloat.from_int(2**900, 12)
+        assert self.ctx.value_bits(small) == self.ctx.value_bits(huge) == 25
+
+    def test_name(self):
+        assert self.ctx.name == "lfloat-12"
+
+    @given(st.lists(st.integers(1, 10**9), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_sigma_chain_one_sided(self, values):
+        """Accumulated sigma stays >= the exact sum (inequality 17's basis)."""
+        from repro.arithmetic import Rounding
+
+        ctx = LFloatArithmetic(16)
+        acc = LFloat.from_int(values[0], 16, Rounding.CEIL)
+        for v in values[1:]:
+            acc = ctx.sigma_add(acc, LFloat.from_int(v, 16, Rounding.CEIL))
+        assert acc.to_fraction() >= sum(values)
+
+
+class TestMakeContext:
+    def test_exact(self):
+        assert isinstance(make_context("exact"), ExactContext)
+
+    def test_lfloat_auto(self):
+        ctx = make_context("lfloat", num_nodes=256)
+        assert isinstance(ctx, LFloatArithmetic)
+        assert ctx.precision == recommended_precision(256)
+
+    def test_lfloat_explicit(self):
+        assert make_context("lfloat-20").precision == 20
+
+    def test_passthrough(self):
+        ctx = ExactContext()
+        assert make_context(ctx) is ctx
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_context("decimal")
+
+    def test_recommended_precision_floor(self):
+        assert recommended_precision(2) == 8
+        assert recommended_precision(1024) == 30
+
+    def test_recommended_precision_needs_node(self):
+        with pytest.raises(ValueError):
+            recommended_precision(0)
+
+
+class TestErrorBounds:
+    def test_lemma1(self):
+        assert lemma1_bound(11) == 2**-10
+
+    def test_compound_grows(self):
+        assert compound_bound(16, 0) == 0
+        assert compound_bound(16, 10) > compound_bound(16, 5)
+
+    def test_compound_approximates_linear(self):
+        bound = compound_bound(24, 100)
+        assert bound == pytest.approx(100 * 2**-23, rel=1e-3)
+
+    def test_theorem1_bound_positive(self):
+        assert theorem1_bound(20, 50, 10) > 0
+
+    def test_corollary1_scaling(self):
+        assert corollary1_error(100, 3.0) == pytest.approx(0.01)
+        assert corollary1_error(1, 3.0) == 0.0
+
+    def test_relative_error(self):
+        assert relative_error(1.1, Fraction(1)) == pytest.approx(0.1)
+        assert relative_error(0.0, Fraction(0)) == 0.0
+        assert math.isinf(relative_error(1.0, Fraction(0)))
+
+    def test_max_relative_error(self):
+        measured = {0: 1.0, 1: 2.2}
+        exact = {0: Fraction(1), 1: Fraction(2)}
+        assert max_relative_error(measured, exact) == pytest.approx(0.1)
+
+    def test_error_profile(self):
+        measured = {0: 1.0, 1: 2.2, 2: 0.0}
+        exact = {0: Fraction(1), 1: Fraction(2), 2: Fraction(0)}
+        profile = error_profile(measured, exact)
+        assert profile["count"] == 2
+        assert profile["max"] == pytest.approx(0.1)
+        assert profile["mean"] == pytest.approx(0.05)
+
+    def test_error_profile_empty(self):
+        assert error_profile({}, {})["count"] == 0

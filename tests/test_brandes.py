@@ -1,0 +1,184 @@
+"""Tests for the centralized Brandes baseline (Algorithm 1)."""
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.centrality import (
+    accumulate_dependencies,
+    accumulate_psi,
+    brandes_betweenness,
+    dependency_matrix,
+    pair_dependencies,
+    single_node_betweenness,
+    single_source_shortest_paths,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    karate_club_graph,
+    lollipop_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.convert import to_networkx
+
+from .conftest import arbitrary_graphs, connected_graphs
+
+
+class TestKnownValues:
+    def test_path_graph(self):
+        bc = brandes_betweenness(path_graph(5), exact=True)
+        # interior of P5: node 1 bridges {0}x{2,3,4}, node 2 {0,1}x{3,4}
+        assert bc == {
+            0: 0,
+            1: Fraction(3),
+            2: Fraction(4),
+            3: Fraction(3),
+            4: 0,
+        }
+
+    def test_star_center(self):
+        bc = brandes_betweenness(star_graph(6), exact=True)
+        assert bc[0] == Fraction(5 * 4, 2)
+        assert all(bc[v] == 0 for v in range(1, 6))
+
+    def test_cycle_symmetry(self):
+        bc = brandes_betweenness(cycle_graph(7), exact=True)
+        assert len(set(bc.values())) == 1
+
+    def test_complete_graph_zero(self):
+        bc = brandes_betweenness(complete_graph(6), exact=True)
+        assert all(value == 0 for value in bc.values())
+
+    def test_figure1_paper_values(self):
+        """CB(v2) = 7/2 as worked out at the end of Section VII."""
+        bc = brandes_betweenness(figure1_graph(), exact=True)
+        assert bc[1] == Fraction(7, 2)
+        assert bc[0] == 0
+
+    def test_figure1_dependency_walkthrough(self):
+        """delta_{v1.}(v2) = 3 per the paper's Eq. (14) walkthrough."""
+        deps = dependency_matrix(figure1_graph(), exact=True)
+        assert deps[0][1] == Fraction(3)
+        # CB(v2) = (delta_v1(v2) + delta_v3(v2) + delta_v4(v2) +
+        #           delta_v5(v2)) / 2 = 7/2
+        total = deps[0][1] + deps[2][1] + deps[3][1] + deps[4][1]
+        assert total / 2 == Fraction(7, 2)
+
+    def test_lollipop_junction_dominates(self):
+        g = lollipop_graph(5, 4)
+        bc = brandes_betweenness(g, exact=True)
+        junction = 4  # last clique node, where the tail attaches
+        assert bc[junction] == max(bc.values())
+
+
+class TestAgainstNetworkx:
+    @given(arbitrary_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_unnormalized_matches(self, graph):
+        mine = brandes_betweenness(graph)
+        theirs = nx.betweenness_centrality(to_networkx(graph), normalized=False)
+        for v in graph.nodes():
+            assert mine[v] == pytest.approx(theirs[v], abs=1e-9)
+
+    @given(connected_graphs(min_nodes=3))
+    @settings(max_examples=30, deadline=None)
+    def test_normalized_matches(self, graph):
+        mine = brandes_betweenness(graph, normalized=True)
+        theirs = nx.betweenness_centrality(to_networkx(graph), normalized=True)
+        for v in graph.nodes():
+            assert mine[v] == pytest.approx(theirs[v], abs=1e-9)
+
+    def test_karate_club_spot_values(self):
+        mine = brandes_betweenness(karate_club_graph())
+        theirs = nx.betweenness_centrality(
+            to_networkx(karate_club_graph()), normalized=False
+        )
+        for v in (0, 33, 2, 31):
+            assert mine[v] == pytest.approx(theirs[v])
+
+
+class TestConventionsAndEdgeCases:
+    def test_exact_mode_returns_fractions(self):
+        bc = brandes_betweenness(path_graph(4), exact=True)
+        assert all(isinstance(v, Fraction) for v in bc.values())
+
+    def test_float_mode_returns_floats(self):
+        bc = brandes_betweenness(path_graph(4))
+        assert all(isinstance(v, float) for v in bc.values())
+
+    def test_tiny_graphs(self):
+        assert brandes_betweenness(Graph(1)) == {0: 0.0}
+        assert brandes_betweenness(Graph(2, [(0, 1)])) == {0: 0.0, 1: 0.0}
+
+    def test_normalized_tiny_graph_zero(self):
+        bc = brandes_betweenness(Graph(2, [(0, 1)]), normalized=True)
+        assert bc == {0: 0.0, 1: 0.0}
+
+    def test_disconnected_ok(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        bc = brandes_betweenness(g, exact=True)
+        assert bc[1] == 1
+        assert bc[4] == 1
+
+    def test_single_node_helper(self):
+        assert single_node_betweenness(path_graph(3), 1) == 1
+
+
+class TestSSSPInternals:
+    def test_sssp_result_fields(self):
+        g = figure1_graph()
+        result = single_source_shortest_paths(g, 0)
+        assert result.dist == [0, 1, 2, 3, 2]
+        assert result.sigma == [1, 1, 1, 2, 1]
+        assert result.preds[3] == [2, 4]
+        assert result.order[0] == 0
+        # order is sorted by distance
+        dists = [result.dist[v] for v in result.order]
+        assert dists == sorted(dists)
+
+    def test_accumulate_exact_vs_float(self):
+        g = karate_club_graph()
+        result = single_source_shortest_paths(g, 0)
+        exact = accumulate_dependencies(result, exact=True)
+        approx = accumulate_dependencies(result, exact=False)
+        for a, b in zip(exact, approx):
+            assert float(a) == pytest.approx(b, abs=1e-9)
+
+    def test_psi_is_delta_over_sigma(self):
+        """Eq. (14): psi_s(v) = delta_s(v) / sigma_sv."""
+        g = figure1_graph()
+        result = single_source_shortest_paths(g, 0)
+        delta = accumulate_dependencies(result, exact=True)
+        psi = accumulate_psi(result, exact=True)
+        for v in g.nodes():
+            if v == 0:
+                continue
+            assert psi[v] == Fraction(delta[v]) / result.sigma[v]
+
+    def test_psi_figure1_walkthrough(self):
+        """psi_{v1}(v5) = psi_{v1}(v3) = 1/2 (Section VII example)."""
+        result = single_source_shortest_paths(figure1_graph(), 0)
+        psi = accumulate_psi(result, exact=True)
+        assert psi[4] == Fraction(1, 2)
+        assert psi[2] == Fraction(1, 2)
+
+    def test_pair_dependencies_sum_to_dependency(self):
+        """delta_s(v) = sum_t delta_st(v) (Eq. 8)."""
+        g = figure1_graph()
+        pairs = pair_dependencies(g, 0)
+        delta = accumulate_dependencies(
+            single_source_shortest_paths(g, 0), exact=True
+        )
+        for v in g.nodes():
+            if v == 0:
+                continue
+            total = sum(
+                value for (t, node), value in pairs.items() if node == v
+            )
+            assert total == delta[v]

@@ -1,0 +1,293 @@
+"""End-to-end tests of the distributed algorithm (Algorithms 2 + 3).
+
+The central correctness statement: with exact arithmetic the distributed
+protocol reproduces Brandes' output *exactly* (as rationals) on every
+connected graph, while satisfying the CONGEST model's per-edge bandwidth
+limit on every round; with L-float arithmetic the relative error obeys
+the Theorem 1 / Corollary 1 envelope.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.arithmetic import recommended_precision, theorem1_bound
+from repro.centrality import brandes_betweenness
+from repro.core import distributed_betweenness
+from repro.exceptions import GraphNotConnectedError
+from repro.graphs import (
+    Graph,
+    balanced_tree,
+    les_miserables_graph,
+    barbell_graph,
+    complete_graph,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    diameter,
+    diamond_chain_graph,
+    figure1_graph,
+    grid_graph,
+    hypercube_graph,
+    karate_club_graph,
+    lollipop_graph,
+    path_graph,
+    shortest_path_counts,
+    star_graph,
+    watts_strogatz_graph,
+)
+
+from .conftest import connected_graphs
+
+FAMILIES = [
+    figure1_graph(),
+    path_graph(9),
+    cycle_graph(10),
+    star_graph(9),
+    complete_graph(8),
+    grid_graph(4, 5),
+    balanced_tree(2, 3),
+    lollipop_graph(5, 4),
+    barbell_graph(4, 3),
+    hypercube_graph(3),
+    diamond_chain_graph(5),
+    karate_club_graph(),
+    watts_strogatz_graph(16, 4, 0.3, seed=5),
+    connected_erdos_renyi_graph(18, 0.2, seed=11),
+    les_miserables_graph()[0],
+]
+
+
+@pytest.mark.parametrize("graph", FAMILIES, ids=lambda g: g.name)
+class TestExactCorrectness:
+    def test_matches_brandes_exactly(self, graph):
+        result = distributed_betweenness(graph, arithmetic="exact")
+        reference = brandes_betweenness(graph, exact=True)
+        assert result.betweenness_exact == reference
+
+    def test_diameter_learned_correctly(self, graph):
+        result = distributed_betweenness(graph, arithmetic="exact")
+        assert result.diameter == diameter(graph)
+
+    def test_congest_budget_respected_with_lfloat(self, graph):
+        result = distributed_betweenness(graph, arithmetic="lfloat")
+        wire_bits = max(1, math.ceil(math.log2(graph.num_nodes)))
+        assert result.stats.max_edge_bits_per_round <= 32 * wire_bits
+
+    def test_rounds_linear_in_n(self, graph):
+        result = distributed_betweenness(graph, arithmetic="lfloat")
+        # Theorem 3 with a generous implementation constant: the tree
+        # preamble, DFS walk, counting and aggregation phases are each
+        # O(N), and small graphs carry O(1) additive slack.
+        assert result.rounds <= 14 * graph.num_nodes + 40
+
+
+class TestHypothesisExactness:
+    @given(connected_graphs(max_nodes=12))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs_exact(self, graph):
+        result = distributed_betweenness(graph, arithmetic="exact")
+        assert result.betweenness_exact == brandes_betweenness(
+            graph, exact=True
+        )
+
+
+class TestLFloatAccuracy:
+    @pytest.mark.parametrize("graph", FAMILIES, ids=lambda g: g.name)
+    def test_error_within_theorem1_envelope(self, graph):
+        precision = recommended_precision(graph.num_nodes)
+        result = distributed_betweenness(graph, arithmetic="lfloat")
+        reference = brandes_betweenness(graph, exact=True)
+        bound = theorem1_bound(precision, graph.num_nodes, result.diameter)
+        for v in graph.nodes():
+            exact = reference[v]
+            if exact == 0:
+                assert result.betweenness[v] == pytest.approx(0.0, abs=1e-12)
+            else:
+                err = abs(result.betweenness[v] / float(exact) - 1.0)
+                assert err <= bound
+
+    def test_higher_precision_reduces_error(self):
+        graph = karate_club_graph()
+        reference = brandes_betweenness(graph, exact=True)
+
+        def max_err(precision):
+            result = distributed_betweenness(
+                graph, arithmetic="lfloat-{}".format(precision)
+            )
+            return max(
+                abs(result.betweenness[v] / float(reference[v]) - 1.0)
+                for v in graph.nodes()
+                if reference[v] != 0
+            )
+
+        assert max_err(24) < max_err(10)
+
+    def test_exponential_sigma_handled(self):
+        """Diamond chains have sigma = 2^k; L-floats keep messages small."""
+        graph = diamond_chain_graph(12)
+        assert max(shortest_path_counts(graph, 0)) == 2**12
+        result = distributed_betweenness(graph, arithmetic="lfloat")
+        reference = brandes_betweenness(graph, exact=True)
+        for v in graph.nodes():
+            if reference[v]:
+                err = abs(result.betweenness[v] / float(reference[v]) - 1.0)
+                assert err < 1e-3
+
+
+class TestProtocolInternals:
+    def test_start_times_satisfy_separation(self):
+        """Lemma 4's prerequisite: T_t >= T_s + d(s, t) + 1."""
+        from repro.core import verify_separation
+
+        for graph in (karate_club_graph(), grid_graph(4, 4), path_graph(8)):
+            result = distributed_betweenness(graph, arithmetic="exact")
+            assert verify_separation(graph, result.start_times)
+
+    def test_start_times_match_tree_walk_schedule(self):
+        """The simulator's DFS timing equals the analytic tree walk."""
+        from repro.core import bfs_start_times
+
+        graph = karate_club_graph()
+        result = distributed_betweenness(graph, arithmetic="exact")
+        analytic = bfs_start_times(graph, root=0, mode="tree_walk")
+        offset = result.start_times[0]
+        for v in graph.nodes():
+            assert result.start_times[v] == analytic[v] + offset
+
+    def test_ledgers_record_correct_sigma_and_distance(self):
+        from repro.graphs import bfs_distances
+
+        graph = grid_graph(3, 4)
+        result = distributed_betweenness(graph, arithmetic="exact")
+        for node in result.nodes:
+            for record in node.ledger:
+                dist = bfs_distances(graph, record.source)
+                sigma = shortest_path_counts(graph, record.source)
+                assert record.dist == dist[node.node_id]
+                assert record.sigma == sigma[node.node_id]
+
+    def test_ledger_predecessors_match(self):
+        from repro.graphs import predecessor_sets
+
+        graph = karate_club_graph()
+        result = distributed_betweenness(graph, arithmetic="exact")
+        for node in result.nodes[:8]:
+            for record in node.ledger:
+                expected = predecessor_sets(graph, record.source)
+                assert record.preds == expected[node.node_id]
+
+    def test_dependencies_match_brandes_recursion(self):
+        from repro.centrality import (
+            accumulate_dependencies,
+            single_source_shortest_paths,
+        )
+
+        graph = figure1_graph()
+        result = distributed_betweenness(graph, arithmetic="exact")
+        for s in graph.nodes():
+            delta = accumulate_dependencies(
+                single_source_shortest_paths(graph, s), exact=True
+            )
+            for v in graph.nodes():
+                if v == s:
+                    continue
+                assert result.dependency(s, v) == delta[v]
+
+    def test_figure1_walkthrough_values(self):
+        """delta_{v1.}(v2) = 3 and CB(v2) = 7/2, as in Section VII."""
+        result = distributed_betweenness(figure1_graph(), arithmetic="exact")
+        assert result.dependency(0, 1) == Fraction(3)
+        assert result.betweenness_exact[1] == Fraction(7, 2)
+
+    def test_at_most_one_fresh_wave_per_round(self):
+        """Lemma 4's effect: <= 1 BFS/aggregation message per edge-round.
+
+        max_edge_messages_per_round stays at a small constant (wave +
+        token + control may share an edge, never two waves).
+        """
+        result = distributed_betweenness(
+            karate_club_graph(), arithmetic="exact"
+        )
+        assert result.stats.max_edge_messages_per_round <= 3
+
+
+class TestAPIBehaviour:
+    def test_root_choice_does_not_change_values(self):
+        graph = karate_club_graph()
+        base = distributed_betweenness(graph, arithmetic="exact", root=0)
+        other = distributed_betweenness(graph, arithmetic="exact", root=17)
+        assert base.betweenness_exact == other.betweenness_exact
+        assert base.diameter == other.diameter
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphNotConnectedError):
+            distributed_betweenness(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_unknown_root(self):
+        with pytest.raises(KeyError):
+            distributed_betweenness(path_graph(3), root=9)
+
+    def test_single_node_graph(self):
+        result = distributed_betweenness(Graph(1), arithmetic="exact")
+        assert result.betweenness_exact == {0: Fraction(0)}
+        assert result.diameter == 0
+
+    def test_two_node_graph(self):
+        result = distributed_betweenness(Graph(2, [(0, 1)]), arithmetic="exact")
+        assert result.betweenness_exact == {0: 0, 1: 0}
+        assert result.diameter == 1
+
+    def test_normalized_output(self):
+        graph = star_graph(6)
+        result = distributed_betweenness(graph, arithmetic="exact")
+        normalized = result.normalized()
+        assert normalized[0] == pytest.approx(1.0)
+
+    def test_distances_method(self):
+        from repro.graphs import bfs_distances
+
+        graph = path_graph(5)
+        result = distributed_betweenness(graph, arithmetic="exact")
+        table = result.distances()
+        for v in graph.nodes():
+            dist = bfs_distances(graph, v)
+            for s in graph.nodes():
+                assert table[v][s] == dist[s]
+
+    def test_result_repr_fields(self):
+        result = distributed_betweenness(path_graph(3), arithmetic="exact")
+        assert result.arithmetic == "exact"
+        assert result.root == 0
+        assert result.rounds == result.stats.rounds
+
+
+class TestSpaceProfile:
+    def test_ledger_space_bounds(self):
+        """Per-node state is O(N * (1 + deg)): the distributed footprint."""
+        graph = karate_club_graph()
+        result = distributed_betweenness(graph, arithmetic="exact")
+        n = graph.num_nodes
+        total_links = 0
+        for node in result.nodes:
+            summary = node.ledger.storage_summary()
+            assert summary["records"] == n
+            assert summary["pred_links"] <= n * graph.degree(node.node_id)
+            assert summary["words"] == summary["fields"] + summary["pred_links"]
+            total_links += summary["pred_links"]
+        # network-wide predecessor storage equals the number of
+        # (source, edge-on-a-shortest-path) incidences <= 2 M N
+        assert total_links <= 2 * graph.num_edges * n
+
+    def test_predecessor_links_match_structure(self):
+        from repro.graphs import predecessor_sets
+
+        graph = grid_graph(3, 4)
+        result = distributed_betweenness(graph, arithmetic="exact")
+        for node in result.nodes:
+            expected = sum(
+                len(predecessor_sets(graph, s)[node.node_id])
+                for s in graph.nodes()
+            )
+            assert node.ledger.predecessor_links() == expected

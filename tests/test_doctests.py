@@ -1,0 +1,25 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Keeps every ``>>>`` example in the source truthful — a stale docstring
+example fails the suite.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_EXAMPLES = [
+    "repro.graphs.graph",
+    "repro.centrality.brandes",
+    "repro.core.pipeline",
+    "repro.core.weighted",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_EXAMPLES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, "{} lost its examples".format(module_name)
+    assert results.failed == 0

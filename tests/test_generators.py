@@ -1,0 +1,324 @@
+"""Tests for the graph generators."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    balanced_tree,
+    barabasi_albert_graph,
+    barbell_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    diameter,
+    diamond_chain_graph,
+    ensure_connected,
+    erdos_renyi_graph,
+    figure1_graph,
+    gnm_random_graph,
+    grid_graph,
+    hypercube_graph,
+    is_connected,
+    karate_club_graph,
+    ladder_graph,
+    lollipop_graph,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    shortest_path_counts,
+    star_graph,
+    watts_strogatz_graph,
+    wheel_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert diameter(g) == 4
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.nodes())
+        assert diameter(g) == 3
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert diameter(g) == 1
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert diameter(g) == 2
+
+    def test_wheel(self):
+        g = wheel_graph(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 3 for v in range(1, 7))
+
+    def test_wheel_too_small(self):
+        with pytest.raises(GraphError):
+            wheel_graph(3)
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_nodes == 7
+        assert g.num_edges == 12
+        assert not g.has_edge(0, 1)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert diameter(g) == 5
+
+    def test_hypercube(self):
+        g = hypercube_graph(3)
+        assert g.num_nodes == 8
+        assert g.num_edges == 12
+        assert all(g.degree(v) == 3 for v in g.nodes())
+        assert diameter(g) == 3
+
+    def test_hypercube_antipodal_path_count(self):
+        g = hypercube_graph(4)
+        sigma = shortest_path_counts(g, 0)
+        assert sigma[0b1111] == math.factorial(4)
+
+    def test_balanced_tree(self):
+        g = balanced_tree(2, 3)
+        assert g.num_nodes == 15
+        assert g.num_edges == 14
+        assert is_connected(g)
+
+    def test_balanced_tree_bad_branching(self):
+        with pytest.raises(GraphError):
+            balanced_tree(0, 2)
+
+    def test_lollipop(self):
+        g = lollipop_graph(4, 3)
+        assert g.num_nodes == 7
+        assert g.num_edges == 6 + 3
+        assert is_connected(g)
+
+    def test_barbell(self):
+        g = barbell_graph(4, 2)
+        assert g.num_nodes == 10
+        assert is_connected(g)
+        assert g.num_edges == 2 * 6 + 3
+
+    def test_ladder(self):
+        g = ladder_graph(4)
+        assert g.num_nodes == 8
+        assert g.num_edges == 3 + 3 + 4
+
+    def test_diamond_chain_sigma_growth(self):
+        k = 6
+        g = diamond_chain_graph(k)
+        assert g.num_nodes == 3 * k + 1
+        sigma = shortest_path_counts(g, 0)
+        assert sigma[g.num_nodes - 1] == 2**k
+        assert diameter(g) == 2 * k
+
+    def test_diamond_chain_needs_positive_k(self):
+        with pytest.raises(GraphError):
+            diamond_chain_graph(0)
+
+    def test_figure1_structure(self):
+        g = figure1_graph()
+        assert g.num_nodes == 5
+        assert g.num_edges == 5
+        assert diameter(g) == 3
+        # v1-v2, v2-v3, v2-v5, v3-v4, v5-v4
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and g.has_edge(1, 4)
+        assert g.has_edge(2, 3) and g.has_edge(4, 3)
+
+    def test_karate_club(self):
+        g = karate_club_graph()
+        assert g.num_nodes == 34
+        assert g.num_edges == 78
+        assert is_connected(g)
+        assert g.degree(33) == 17
+        assert g.degree(0) == 16
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_deterministic_per_seed(self):
+        a = erdos_renyi_graph(20, 0.3, seed=5)
+        b = erdos_renyi_graph(20, 0.3, seed=5)
+        c = erdos_renyi_graph(20, 0.3, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_erdos_renyi_extreme_probabilities(self):
+        assert erdos_renyi_graph(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi_graph(10, 1.1, seed=1).num_edges == 45
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(10, 17, seed=2)
+        assert g.num_edges == 17
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(4, 7, seed=0)
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            g = random_tree(12, seed=seed)
+            assert g.num_edges == 11
+            assert is_connected(g)
+
+    def test_random_tree_tiny(self):
+        assert random_tree(1).num_edges == 0
+        assert random_tree(2).num_edges == 1
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert_graph(30, 2, seed=3)
+        assert g.num_nodes == 30
+        assert is_connected(g)
+        # star seed contributes m edges, every later node adds m more
+        assert g.num_edges == 2 + (30 - 3) * 2
+
+    def test_barabasi_albert_bad_m(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 5, seed=0)
+
+    def test_watts_strogatz_zero_beta_is_lattice(self):
+        g = watts_strogatz_graph(10, 4, 0.0, seed=0)
+        assert g.num_edges == 20
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_watts_strogatz_rewired_keeps_edge_count(self):
+        g = watts_strogatz_graph(12, 4, 0.5, seed=7)
+        assert g.num_edges == 24
+
+    def test_watts_strogatz_odd_k_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_random_geometric_radius_monotone(self):
+        small = random_geometric_graph(25, 0.2, seed=4)
+        large = random_geometric_graph(25, 0.6, seed=4)
+        assert small.num_edges <= large.num_edges
+
+    def test_ensure_connected(self):
+        g = erdos_renyi_graph(30, 0.02, seed=9)
+        patched = ensure_connected(g, seed=1)
+        assert is_connected(patched)
+        assert patched.num_edges >= g.num_edges
+
+    def test_ensure_connected_noop_when_connected(self):
+        g = path_graph(5)
+        assert ensure_connected(g) is g
+
+    def test_connected_erdos_renyi(self):
+        for seed in range(4):
+            assert is_connected(connected_erdos_renyi_graph(25, 0.05, seed))
+
+
+class TestNewFamilies:
+    def test_circulant_regular(self):
+        from repro.graphs import circulant_graph
+
+        g = circulant_graph(10, [1, 3])
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.num_edges == 20
+
+    def test_circulant_uniform_betweenness(self):
+        from repro.centrality import brandes_betweenness
+        from repro.graphs import circulant_graph
+
+        bc = brandes_betweenness(circulant_graph(9, [1, 2]), exact=True)
+        assert len(set(bc.values())) == 1
+
+    def test_circulant_errors(self):
+        from repro.graphs import circulant_graph
+        from repro.exceptions import GraphError
+        import pytest as _pytest
+
+        with _pytest.raises(GraphError):
+            circulant_graph(2, [1])
+        with _pytest.raises(GraphError):
+            circulant_graph(6, [0])
+
+    def test_caveman_structure(self):
+        from repro.graphs import caveman_graph, is_connected
+
+        g = caveman_graph(4, 5)
+        assert g.num_nodes == 20
+        assert is_connected(g)
+        # cliques intact plus 4 ring links
+        assert g.num_edges == 4 * 10 + 4
+
+    def test_caveman_errors(self):
+        from repro.graphs import caveman_graph
+        from repro.exceptions import GraphError
+        import pytest as _pytest
+
+        with _pytest.raises(GraphError):
+            caveman_graph(1, 4)
+
+    def test_florentine_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graphs import florentine_families_graph
+
+        g, labels = florentine_families_graph()
+        nxg = nx.florentine_families_graph()
+        mine = {frozenset((labels[u], labels[v])) for u, v in g.edges()}
+        assert mine == {frozenset(e) for e in nxg.edges()}
+
+    def test_florentine_medici_power(self):
+        """Padgett's observation: the Medici dominate betweenness."""
+        from repro.centrality import brandes_betweenness
+        from repro.graphs import florentine_families_graph
+
+        g, labels = florentine_families_graph()
+        bc = brandes_betweenness(g)
+        medici = labels.index("Medici")
+        assert bc[medici] == max(bc.values())
+        # ... by a wide margin (Padgett: nearly double the runner-up)
+        runner_up = max(v for node, v in bc.items() if node != medici)
+        assert bc[medici] > 1.5 * runner_up
+
+    def test_les_miserables_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graphs import les_miserables_graph
+
+        g, labels = les_miserables_graph()
+        nxg = nx.les_miserables_graph()
+        mine = {frozenset((labels[u], labels[v])) for u, v in g.edges()}
+        assert mine == {frozenset(e) for e in nxg.edges()}
+        assert g.num_nodes == 77 and g.num_edges == 254
+
+    def test_les_miserables_weights_match_networkx(self):
+        import networkx as nx
+
+        from repro.graphs import les_miserables_weighted_graph
+
+        g, labels = les_miserables_weighted_graph()
+        nxg = nx.les_miserables_graph()
+        for u, v, w in g.edges():
+            assert nxg[labels[u]][labels[v]]["weight"] == w
+
+    def test_les_miserables_valjean_dominates(self):
+        """The classic result: Valjean has by far the highest betweenness."""
+        from repro.centrality import brandes_betweenness
+        from repro.graphs import les_miserables_graph
+
+        g, labels = les_miserables_graph()
+        bc = brandes_betweenness(g)
+        valjean = labels.index("Valjean")
+        assert bc[valjean] == max(bc.values())
+        runner_up = max(v for node, v in bc.items() if node != valjean)
+        assert bc[valjean] > 2 * runner_up

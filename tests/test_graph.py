@@ -1,0 +1,164 @@
+"""Tests for the core Graph and GraphBuilder types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import (
+    EmptyGraphError,
+    InvalidEdgeError,
+    UnknownNodeError,
+)
+from repro.graphs import Graph, GraphBuilder, canonical_edge
+
+
+class TestGraphConstruction:
+    def test_basic_counts(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+
+    def test_isolated_nodes_allowed(self):
+        g = Graph(5, [(0, 1)])
+        assert g.degree(4) == 0
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            Graph(-1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            Graph(2, [(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            Graph(2, [(0, 1), (1, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            Graph(2, [(0, 2)])
+
+    def test_edges_canonicalized_and_sorted(self):
+        g = Graph(4, [(3, 2), (1, 0)])
+        assert g.edges() == ((0, 1), (2, 3))
+
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2) == (0, 1, 3)
+
+    def test_unknown_node_raises(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(UnknownNodeError):
+            g.neighbors(5)
+        with pytest.raises(UnknownNodeError):
+            g.degree(-1)
+
+
+class TestGraphQueries:
+    def test_has_edge_both_orientations(self):
+        g = Graph(3, [(0, 2)])
+        assert g.has_edge(0, 2)
+        assert g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_has_edge_out_of_range_is_false(self):
+        g = Graph(2, [(0, 1)])
+        assert not g.has_edge(0, 9)
+
+    def test_contains_and_iter(self):
+        g = Graph(3, [(0, 1)])
+        assert 2 in g
+        assert 3 not in g
+        assert list(g) == [0, 1, 2]
+        assert len(g) == 3
+
+    def test_max_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+
+    def test_equality_and_hash(self):
+        g1 = Graph(3, [(0, 1)])
+        g2 = Graph(3, [(1, 0)])
+        g3 = Graph(3, [(0, 2)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+        assert g1 != "not a graph"
+
+    def test_with_name_shares_structure(self):
+        g = Graph(3, [(0, 1)], name="a")
+        h = g.with_name("b")
+        assert h.name == "b"
+        assert h == g
+
+    def test_repr_mentions_counts(self):
+        g = Graph(3, [(0, 1)], name="tri")
+        assert "N=3" in repr(g)
+        assert "tri" in repr(g)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.edges() == ((0, 1), (1, 2))
+
+    def test_subgraph_dedupes_keep_list(self):
+        g = Graph(3, [(0, 1)])
+        sub = g.subgraph([0, 1, 0])
+        assert sub.num_nodes == 2
+
+    def test_subgraph_unknown_node(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(UnknownNodeError):
+            g.subgraph([0, 7])
+
+
+class TestCanonicalEdge:
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_canonical_edge_sorted(self, u, v):
+        a, b = canonical_edge(u, v)
+        assert a <= b
+        assert {a, b} == {u, v}
+
+
+class TestGraphBuilder:
+    def test_idempotent_add_edge(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y").add_edge("y", "x")
+        assert b.num_edges == 1
+        assert b.num_nodes == 2
+
+    def test_labels_dense_in_first_seen_order(self):
+        b = GraphBuilder()
+        b.add_edge("c", "a").add_edge("a", "b")
+        g, labels = b.build_with_labels()
+        assert labels == ["c", "a", "b"]
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+    def test_add_node_isolated(self):
+        b = GraphBuilder()
+        b.add_node("solo")
+        b.add_edge("x", "y")
+        assert b.build().num_nodes == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            GraphBuilder().add_edge("a", "a")
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2), (0, 1)])
+        assert b.build().num_edges == 2
+
+    def test_builder_repr(self):
+        b = GraphBuilder()
+        b.add_edge(1, 2)
+        assert "nodes=2" in repr(b)

@@ -1,0 +1,103 @@
+"""Tests for edge-list serialization and networkx conversion."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Graph,
+    dumps_edge_list,
+    karate_club_graph,
+    loads_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.graphs.convert import from_networkx, to_networkx
+
+
+class TestEdgeListRoundtrip:
+    def test_roundtrip_string(self):
+        g = karate_club_graph()
+        assert loads_edge_list(dumps_edge_list(g)) == g
+
+    def test_roundtrip_file(self, tmp_path):
+        g = Graph(4, [(0, 1), (2, 3)], name="pair")
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded == g
+        assert loaded.name == "pair"
+
+    def test_isolated_nodes_preserved_via_header(self):
+        g = Graph(5, [(0, 1)])
+        assert loads_edge_list(dumps_edge_list(g)).num_nodes == 5
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\n0 1\n# another\n1 2\n"
+        g = loads_edge_list(text)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_string_labels_relabelled(self):
+        g = loads_edge_list("alice bob\nbob carol\n")
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError):
+            loads_edge_list("justone\n")
+
+    def test_declared_nodes_too_small_raises(self):
+        with pytest.raises(GraphError):
+            loads_edge_list("# nodes: 2\n0 5\n")
+
+    def test_extra_columns_tolerated(self):
+        g = loads_edge_list("0 1 weight=3\n")
+        assert g.num_edges == 1
+
+    def test_negative_ids_treated_as_labels(self):
+        g = loads_edge_list("-1 0\n")
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+
+
+class TestNetworkxConversion:
+    def test_to_networkx(self):
+        g = Graph(3, [(0, 1), (1, 2)], name="p3")
+        nxg = to_networkx(g)
+        assert sorted(nxg.nodes()) == [0, 1, 2]
+        assert nxg.number_of_edges() == 2
+
+    def test_from_networkx_roundtrip(self):
+        g = karate_club_graph()
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_from_networkx_relabels_sorted(self):
+        nxg = nx.Graph()
+        nxg.add_edge(10, 20)
+        nxg.add_edge(20, 5)
+        g = from_networkx(nxg)
+        # sorted labels [5, 10, 20] -> ids [0, 1, 2]
+        assert g.has_edge(1, 2)
+        assert g.has_edge(0, 2)
+
+    def test_from_networkx_drops_self_loops(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.num_edges == 1
+
+    def test_from_networkx_rejects_directed(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_from_networkx_rejects_multigraph(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.MultiGraph([(0, 1)]))
+
+    def test_from_networkx_unsortable_labels(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", 1)
+        g = from_networkx(nxg)
+        assert g.num_nodes == 2

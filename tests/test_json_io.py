@@ -1,0 +1,61 @@
+"""Tests for the JSON graph serialization."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Graph,
+    WeightedGraph,
+    dumps_json,
+    karate_club_graph,
+    loads_json,
+    read_json,
+    write_json,
+)
+
+
+class TestJsonRoundtrip:
+    def test_unweighted(self):
+        g = karate_club_graph()
+        assert loads_json(dumps_json(g)) == g
+
+    def test_name_preserved(self):
+        g = Graph(3, [(0, 1)], name="tiny")
+        assert loads_json(dumps_json(g)).name == "tiny"
+
+    def test_isolated_nodes_preserved(self):
+        g = Graph(5, [(0, 1)])
+        assert loads_json(dumps_json(g)).num_nodes == 5
+
+    def test_weighted(self):
+        wg = WeightedGraph(4, [(0, 1, 3), (1, 2, 1), (2, 3, 7)], name="w")
+        restored = loads_json(dumps_json(wg))
+        assert isinstance(restored, WeightedGraph)
+        assert restored.edges() == wg.edges()
+        assert restored.name == "w"
+
+    def test_file_roundtrip(self, tmp_path):
+        g = Graph(4, [(0, 1), (2, 3)])
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        assert read_json(path) == g
+
+    def test_weighted_file_roundtrip(self, tmp_path):
+        wg = WeightedGraph(2, [(0, 1, 9)])
+        path = tmp_path / "wg.json"
+        write_json(wg, path)
+        assert read_json(path).edges() == wg.edges()
+
+
+class TestJsonErrors:
+    def test_invalid_json(self):
+        with pytest.raises(GraphError):
+            loads_json("{not json")
+
+    def test_missing_fields(self):
+        with pytest.raises(GraphError):
+            loads_json('{"name": "x"}')
+
+    def test_wrong_shape(self):
+        with pytest.raises(GraphError):
+            loads_json("[1, 2, 3]")

@@ -1,0 +1,239 @@
+"""Tests for the L-bit floating point format (Section VI, Lemma 1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arithmetic import LFloat, Rounding, lfloat_sum
+from repro.exceptions import ArithmeticModeError, LFloatRangeError
+
+# Exponents are bounded by 2**L - 1, so with L >= 8 any value below
+# 2**255 fits; the strategies stay comfortably inside that envelope and
+# format overflow is exercised by its own dedicated test.
+PRECISIONS = st.integers(min_value=8, max_value=24)
+POSITIVE_INTS = st.integers(min_value=1, max_value=10**24)
+
+
+class TestConstruction:
+    def test_zero(self):
+        z = LFloat.zero(8)
+        assert z.is_zero
+        assert z.to_fraction() == 0
+        assert z.to_float() == 0.0
+
+    def test_small_ints_exact(self):
+        for value in range(1, 17):
+            f = LFloat.from_int(value, 8)
+            assert f.to_fraction() == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ArithmeticModeError):
+            LFloat.from_int(-1, 8)
+        with pytest.raises(ArithmeticModeError):
+            LFloat.from_fraction(Fraction(-1, 2), 8)
+
+    def test_precision_too_small(self):
+        with pytest.raises(ArithmeticModeError):
+            LFloat.from_int(1, 1)
+
+    def test_unnormalized_mantissa_rejected(self):
+        with pytest.raises(ArithmeticModeError):
+            LFloat(1, 0, 8)  # mantissa below 2**(L-1)
+
+    def test_exponent_out_of_range(self):
+        with pytest.raises(LFloatRangeError):
+            LFloat(1 << 7, 1 << 9, 8)
+
+    def test_value_overflows_small_format(self):
+        # L = 4 bounds the exponent by 15, so 2**20 cannot be encoded;
+        # this is the failure mode of choosing L too small for the graph.
+        with pytest.raises(LFloatRangeError):
+            LFloat.from_int(1 << 20, 4)
+
+    def test_small_precision_small_values_ok(self):
+        f = LFloat.from_int(100, 4, Rounding.CEIL)
+        assert f.to_fraction() >= 100
+        assert f.to_fraction() <= Fraction(100) * (1 + Fraction(2) ** -3)
+
+    @given(POSITIVE_INTS, PRECISIONS)
+    @settings(max_examples=150, deadline=None)
+    def test_mantissa_normalized(self, value, precision):
+        f = LFloat.from_int(value, precision)
+        assert (1 << (precision - 1)) <= f.mantissa < (1 << precision)
+
+
+class TestLemma1CeilEstimate:
+    """Lemma 1: the ceil estimate a of b satisfies 0 <= a/b - 1 <= 2**(1-L)."""
+
+    @given(POSITIVE_INTS, PRECISIONS)
+    @settings(max_examples=200, deadline=None)
+    def test_ceil_overestimates_within_bound(self, value, precision):
+        estimate = LFloat.from_int(value, precision, Rounding.CEIL)
+        ratio = estimate.to_fraction() / value
+        assert ratio >= 1
+        assert ratio - 1 <= Fraction(2) ** (1 - precision)
+
+    @given(POSITIVE_INTS, PRECISIONS)
+    @settings(max_examples=200, deadline=None)
+    def test_floor_underestimates_within_bound(self, value, precision):
+        estimate = LFloat.from_int(value, precision, Rounding.FLOOR)
+        ratio = estimate.to_fraction() / value
+        assert ratio <= 1
+        assert 1 - ratio <= Fraction(2) ** (1 - precision)
+
+    @given(POSITIVE_INTS, PRECISIONS)
+    @settings(max_examples=200, deadline=None)
+    def test_nearest_within_half_bound(self, value, precision):
+        estimate = LFloat.from_int(value, precision, Rounding.NEAREST)
+        error = abs(estimate.to_fraction() / value - 1)
+        assert error <= Fraction(2) ** (-precision)
+
+    @given(
+        st.fractions(
+            min_value=Fraction(1, 10**12), max_value=Fraction(10**12)
+        ),
+        PRECISIONS,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_fraction_ceil_bound(self, value, precision):
+        estimate = LFloat.from_fraction(value, precision, Rounding.CEIL)
+        ratio = estimate.to_fraction() / value
+        assert 1 <= ratio <= 1 + Fraction(2) ** (1 - precision)
+
+
+class TestArithmetic:
+    def test_exact_addition_of_small_values(self):
+        a = LFloat.from_int(3, 10)
+        b = LFloat.from_int(5, 10)
+        assert (a + b).to_fraction() == 8
+
+    def test_add_zero_identity(self):
+        a = LFloat.from_int(7, 8)
+        z = LFloat.zero(8)
+        assert (a + z).to_fraction() == 7
+        assert (z + a).to_fraction() == 7
+
+    def test_mul(self):
+        a = LFloat.from_int(6, 12)
+        b = LFloat.from_int(7, 12)
+        assert a.mul(b).to_fraction() == 42
+
+    def test_mul_zero(self):
+        a = LFloat.from_int(6, 12)
+        assert a.mul(LFloat.zero(12)).is_zero
+
+    def test_div(self):
+        a = LFloat.from_int(1, 12)
+        b = LFloat.from_int(4, 12)
+        assert a.div(b).to_fraction() == Fraction(1, 4)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            LFloat.from_int(1, 8).div(LFloat.zero(8))
+
+    def test_reciprocal_power_of_two_exact(self):
+        f = LFloat.from_int(8, 10)
+        assert f.reciprocal().to_fraction() == Fraction(1, 8)
+
+    def test_reciprocal_of_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            LFloat.zero(8).reciprocal()
+
+    @given(POSITIVE_INTS, PRECISIONS)
+    @settings(max_examples=150, deadline=None)
+    def test_reciprocal_floor_bound(self, value, precision):
+        f = LFloat.from_int(value, precision, Rounding.CEIL)
+        r = f.reciprocal(Rounding.FLOOR)
+        exact = 1 / f.to_fraction()
+        assert r.to_fraction() <= exact
+        assert r.to_fraction() >= exact / (1 + Fraction(2) ** (1 - precision))
+
+    @given(POSITIVE_INTS, POSITIVE_INTS, PRECISIONS)
+    @settings(max_examples=150, deadline=None)
+    def test_add_single_rounding(self, a, b, precision):
+        """One addition incurs at most one rounding of the exact sum."""
+        fa = LFloat.from_int(a, precision, Rounding.CEIL)
+        fb = LFloat.from_int(b, precision, Rounding.CEIL)
+        exact = fa.to_fraction() + fb.to_fraction()
+        total = fa.add(fb, Rounding.CEIL)
+        assert total.to_fraction() >= exact
+        assert total.to_fraction() <= exact * (1 + Fraction(2) ** (1 - precision))
+
+    def test_mixed_precision_rejected(self):
+        with pytest.raises(ArithmeticModeError):
+            LFloat.from_int(1, 8).add(LFloat.from_int(1, 10))
+
+    def test_int_and_fraction_coercion(self):
+        a = LFloat.from_int(2, 10)
+        assert (a + 3).to_fraction() == 5
+        assert (a * Fraction(1, 2)).to_fraction() == 1
+        assert (3 + a).to_fraction() == 5
+
+    def test_unsupported_operand(self):
+        with pytest.raises(ArithmeticModeError):
+            LFloat.from_int(1, 8).add("x")  # type: ignore[arg-type]
+
+
+class TestComparisons:
+    def test_ordering(self):
+        a = LFloat.from_int(3, 10)
+        b = LFloat.from_int(4, 10)
+        assert a < b and a <= b and b > a and b >= a
+        assert a == LFloat.from_int(3, 10)
+        assert a == 3
+        assert hash(a) == hash(LFloat.from_int(3, 10))
+
+    def test_eq_other_type(self):
+        assert LFloat.from_int(1, 8) != "one"
+
+
+class TestEncoding:
+    @given(POSITIVE_INTS, PRECISIONS, st.sampled_from(list(Rounding)))
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_roundtrip(self, value, precision, mode):
+        f = LFloat.from_int(value, precision, mode)
+        word = f.encode()
+        assert 0 <= word < (1 << f.bit_size())
+        g = LFloat.decode(word, precision)
+        assert g.to_fraction() == f.to_fraction()
+
+    def test_negative_exponent_roundtrip(self):
+        f = LFloat.from_fraction(Fraction(1, 1000), 12)
+        assert LFloat.decode(f.encode(), 12).to_fraction() == f.to_fraction()
+
+    def test_bit_size(self):
+        assert LFloat.from_int(5, 16).bit_size() == 33  # 2L + 1
+
+    def test_huge_exponent_within_format(self):
+        # sigma can be ~(N/D)**D; with L = 16 exponents up to 2**16 - 1
+        # are representable, covering sigma ~ 2**65000.
+        f = LFloat.from_int(2**60000, 16, Rounding.CEIL)
+        assert f.exponent == 60001
+        ratio = f.to_fraction() / (2**60000)
+        assert 1 <= ratio <= 1 + Fraction(2) ** -15
+
+
+class TestSum:
+    def test_lfloat_sum_left_to_right(self):
+        values = [LFloat.from_int(i, 10) for i in range(1, 6)]
+        total = lfloat_sum(values, 10)
+        assert total.to_fraction() == 15
+
+    def test_lfloat_sum_empty(self):
+        assert lfloat_sum([], 10).is_zero
+
+    @given(
+        st.lists(st.integers(1, 10**6), min_size=1, max_size=20),
+        PRECISIONS,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_floor_sum_compound_bound(self, values, precision):
+        """k floor-rounded adds keep a one-sided (1+eta)^k envelope."""
+        floats = [LFloat.from_int(v, precision, Rounding.FLOOR) for v in values]
+        total = lfloat_sum(floats, precision, Rounding.FLOOR)
+        exact = sum(values)
+        eta = Fraction(2) ** (1 - precision)
+        k = 2 * len(values)  # one rounding per input + per addition
+        assert total.to_fraction() <= exact
+        assert total.to_fraction() >= exact / (1 + eta) ** k

@@ -1,0 +1,229 @@
+"""Tests for the Section IX gadgets: Lemma 8, Lemma 9, Theorems 5/6."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.centrality import brandes_betweenness
+from repro.exceptions import LowerBoundParameterError
+from repro.graphs import bfs_distances, diameter, is_connected
+from repro.lowerbound import (
+    build_bc_gadget,
+    build_diameter_gadget,
+    cut_capacity_per_round,
+    disjointness_bits_lower_bound,
+    family_pair,
+    information_lower_bound_rounds,
+    optimality_gap,
+    solve_disjointness_via_bc,
+    theorem_lower_bound,
+)
+
+
+def make_families(n, m, seed, intersect):
+    return family_pair(n, m=m, seed=seed, force_intersection=intersect)
+
+
+class TestDiameterGadget:
+    @pytest.mark.parametrize("intersect", [True, False])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lemma8_diameter_dichotomy(self, intersect, seed):
+        x_family, y_family, m = make_families(4, 6, seed, intersect)
+        gadget = build_diameter_gadget(x_family, y_family, x=9, m=m)
+        assert is_connected(gadget.graph)
+        expected = gadget.x + 2 if intersect else gadget.x
+        assert diameter(gadget.graph) == expected
+        assert gadget.expected_diameter() == expected
+
+    @pytest.mark.parametrize("x", [8, 9, 12])
+    def test_lemma8_pairwise_distances(self, x):
+        x_family, y_family, m = make_families(3, 6, 2, True)
+        gadget = build_diameter_gadget(x_family, y_family, x=x, m=m)
+        for i in range(gadget.n):
+            dist = bfs_distances(gadget.graph, gadget.s_prime[i])
+            for j in range(gadget.n):
+                assert (
+                    dist[gadget.t_prime[j]] == gadget.expected_distance(i, j)
+                )
+
+    def test_equal_subsets_forces_detour(self):
+        """When X_i = Y_j, S_i cannot reach T_j left-to-right directly."""
+        x_family, y_family, m = make_families(3, 6, 0, True)
+        gadget = build_diameter_gadget(x_family, y_family, x=8, m=m)
+        matches = [
+            (i, j)
+            for i in range(3)
+            for j in range(3)
+            if gadget.x_family[i] == gadget.y_family[j]
+        ]
+        assert matches  # the pair was forced
+        i, j = matches[0]
+        assert gadget.expected_distance(i, j) == gadget.x + 2
+
+    def test_cut_width_is_m_plus_one(self):
+        x_family, y_family, m = make_families(4, 6, 1, None)
+        gadget = build_diameter_gadget(x_family, y_family, x=10, m=m)
+        assert gadget.cut_width() == m + 1
+
+    def test_x_below_8_rejected(self):
+        x_family, y_family, m = make_families(2, 4, 0, None)
+        with pytest.raises(LowerBoundParameterError):
+            build_diameter_gadget(x_family, y_family, x=7, m=m)
+
+    def test_mismatched_families_rejected(self):
+        x_family, y_family, m = make_families(3, 6, 0, None)
+        with pytest.raises(LowerBoundParameterError):
+            build_diameter_gadget(x_family[:2], y_family, x=9, m=m)
+
+    def test_wrong_subset_size_rejected(self):
+        x_family, y_family, m = make_families(2, 6, 0, None)
+        bad = [frozenset({0})] + list(x_family[1:])
+        with pytest.raises(LowerBoundParameterError):
+            build_diameter_gadget(bad, y_family, x=9, m=m)
+
+    def test_node_count_scales_with_x(self):
+        x_family, y_family, m = make_families(2, 4, 0, None)
+        small = build_diameter_gadget(x_family, y_family, x=8, m=m)
+        large = build_diameter_gadget(x_family, y_family, x=16, m=m)
+        # each of the m + 1 inter-side paths grows by 8 interior nodes
+        assert (
+            large.graph.num_nodes - small.graph.num_nodes == 8 * (m + 1)
+        )
+
+
+class TestBCGadget:
+    @pytest.mark.parametrize("intersect", [True, False])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lemma9_flag_centralities(self, intersect, seed):
+        x_family, y_family, m = make_families(4, 6, seed, intersect)
+        gadget = build_bc_gadget(x_family, y_family, m)
+        bc = brandes_betweenness(gadget.graph, exact=True)
+        for i in range(gadget.n):
+            assert bc[gadget.f[i]] == gadget.expected_flag_centrality(i)
+
+    def test_flag_values_are_1_or_3_halves_only(self):
+        x_family, y_family, m = make_families(5, 6, 3, True)
+        gadget = build_bc_gadget(x_family, y_family, m)
+        bc = brandes_betweenness(gadget.graph, exact=True)
+        values = {bc[f] for f in gadget.f}
+        assert values <= {Fraction(1), Fraction(3, 2)}
+        assert Fraction(3, 2) in values
+
+    def test_s_t_distances(self):
+        x_family, y_family, m = make_families(4, 6, 1, True)
+        gadget = build_bc_gadget(x_family, y_family, m)
+        for i in range(gadget.n):
+            dist = bfs_distances(gadget.graph, gadget.s[i])
+            for j in range(gadget.n):
+                assert dist[gadget.t[j]] == gadget.expected_distance_s_t(i, j)
+
+    def test_cut_width_is_m_plus_one(self):
+        x_family, y_family, m = make_families(4, 6, 0, None)
+        gadget = build_bc_gadget(x_family, y_family, m)
+        crossing = sum(
+            1
+            for u, v in gadget.graph.edges()
+            if (u in gadget.left_side) != (v in gadget.left_side)
+        )
+        assert crossing == m + 1
+
+    def test_duplicate_y_rejected(self):
+        x_family, y_family, m = make_families(3, 6, 0, None)
+        dup = [y_family[0], y_family[0], y_family[1]]
+        with pytest.raises(LowerBoundParameterError):
+            build_bc_gadget(x_family, dup, m)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=12, deadline=None)
+    def test_lemma9_random_instances(self, seed):
+        x_family, y_family, m = family_pair(3, m=6, seed=seed)
+        gadget = build_bc_gadget(x_family, y_family, m)
+        bc = brandes_betweenness(gadget.graph, exact=True)
+        for i in range(gadget.n):
+            assert bc[gadget.f[i]] == gadget.expected_flag_centrality(i)
+
+
+class TestReduction:
+    """Theorem 6 made operational: distributed BC answers disjointness."""
+
+    @pytest.mark.parametrize("intersect", [True, False])
+    def test_end_to_end(self, intersect):
+        x_family, y_family, m = make_families(3, 6, 4, intersect)
+        outcome = solve_disjointness_via_bc(x_family, y_family, m)
+        assert outcome.correct
+        assert outcome.intersects == intersect
+        assert outcome.cut_width == m + 1
+        assert outcome.cut_bits > 0
+
+    def test_flag_values_within_0499_relative_error(self):
+        """Any 0.499-relative-error BC computation distinguishes 1 vs 1.5."""
+        x_family, y_family, m = make_families(3, 6, 5, True)
+        outcome = solve_disjointness_via_bc(x_family, y_family, m)
+        for value in outcome.flag_values:
+            nearest = min((1.0, 1.5), key=lambda t: abs(value - t))
+            assert abs(value / nearest - 1.0) < 0.499
+
+
+class TestBoundFormulas:
+    def test_disjointness_bits(self):
+        assert disjointness_bits_lower_bound(1024) == 1024 * 10
+        assert disjointness_bits_lower_bound(1) == 0.0
+
+    def test_cut_capacity(self):
+        assert cut_capacity_per_round(7, 1024) == 70
+
+    def test_information_bound_includes_diameter(self):
+        base = information_lower_bound_rounds(64, 7, 100)
+        with_d = information_lower_bound_rounds(64, 7, 100, diameter=9)
+        assert with_d == base + 9
+
+    def test_theorem_bound(self):
+        assert theorem_lower_bound(1024, 10) == 10 + 1024 / 10
+
+    def test_optimality_gap_order_log_n(self):
+        # the paper's algorithm runs in c*N rounds; the gap to the lower
+        # bound is Theta(log N) up to constants
+        import math
+
+        n, d = 1024, 10
+        gap = optimality_gap(8 * n, n, d)
+        assert gap <= 16 * math.log2(n)
+        assert gap >= 1.0
+
+
+class TestReconstructionNecessity:
+    """The prose-only Figure 3 graph does NOT satisfy Lemma 9.
+
+    These tests document *why* the B-F_k and A-P edges were added: on
+    the literal prose construction the flag centralities pick up
+    spurious pair dependencies and leave the {1, 3/2} dichotomy.
+    """
+
+    def test_prose_only_gadget_breaks_lemma9(self):
+        x_family, y_family, m = make_families(3, 6, 7, True)
+        gadget = build_bc_gadget(
+            x_family, y_family, m, reconstruction_edges=False
+        )
+        bc = brandes_betweenness(gadget.graph, exact=True)
+        flag_values = {bc[f] for f in gadget.f}
+        assert not flag_values <= {Fraction(1), Fraction(3, 2)}
+
+    def test_spurious_contribution_source_identified(self):
+        """Without B-F_k, one of S_i's three shortest paths to F_k runs
+        through F_i — the concrete failure mode the docs describe."""
+        from repro.centrality.naive import _all_shortest_paths
+
+        x_family, y_family, m = make_families(3, 6, 7, True)
+        gadget = build_bc_gadget(
+            x_family, y_family, m, reconstruction_edges=False
+        )
+        s0, f0, f1 = gadget.s[0], gadget.f[0], gadget.f[1]
+        paths = _all_shortest_paths(gadget.graph, s0, f1)
+        assert any(f0 in path for path in paths)
+
+    def test_reconstructed_gadget_fixes_it(self):
+        x_family, y_family, m = make_families(3, 6, 7, True)
+        gadget = build_bc_gadget(x_family, y_family, m)
+        bc = brandes_betweenness(gadget.graph, exact=True)
+        assert {bc[f] for f in gadget.f} <= {Fraction(1), Fraction(3, 2)}

@@ -1,0 +1,173 @@
+"""Metamorphic properties: identities that must hold on *every* graph.
+
+These tests don't compare against an oracle implementation — they
+compare the algorithms against *themselves* under transformations with
+known effects.  They catch bug classes oracles can miss (e.g. an oracle
+and the implementation sharing a convention error):
+
+* **relabeling equivariance**: permuting node ids permutes every
+  centrality (distributed run included — the protocol must not depend
+  on id order beyond tie-breaking);
+* **the pendant-leaf identity**: attaching a new leaf ℓ to node v adds
+  exactly δ_{v·}(u) to CB(u) for every u ≠ v, and (N−1) to CB(v) —
+  because every new pair (ℓ, t) routes ℓ → v → t, contributing the same
+  fractions as pairs (v, t) do, plus v itself on all of them;
+* **edge-doubling via subdivision**: subdividing every edge once scales
+  all distances by 2 and preserves real-pair path counts;
+* **component additivity**: BC of a disjoint union is the per-component
+  BC.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.centrality import (
+    accumulate_dependencies,
+    brandes_betweenness,
+    single_source_shortest_paths,
+    stress_centrality,
+)
+from repro.core import distributed_betweenness
+from repro.exceptions import InvalidEdgeError
+from repro.graphs import (
+    Graph,
+    WeightedGraph,
+    bfs_distances,
+    karate_club_graph,
+    path_graph,
+    shortest_path_counts,
+    subdivide,
+)
+
+from .conftest import arbitrary_graphs, connected_graphs
+
+
+@st.composite
+def graph_with_permutation(draw, max_nodes=10):
+    graph = draw(connected_graphs(max_nodes=max_nodes))
+    permutation = draw(st.permutations(range(graph.num_nodes)))
+    return graph, list(permutation)
+
+
+class TestRelabelingEquivariance:
+    @given(graph_with_permutation())
+    @settings(max_examples=20, deadline=None)
+    def test_brandes_commutes(self, data):
+        graph, perm = data
+        relabelled = graph.relabel(perm)
+        original = brandes_betweenness(graph, exact=True)
+        shuffled = brandes_betweenness(relabelled, exact=True)
+        for v in graph.nodes():
+            assert shuffled[perm[v]] == original[v]
+
+    @given(graph_with_permutation(max_nodes=8))
+    @settings(max_examples=10, deadline=None)
+    def test_distributed_commutes(self, data):
+        graph, perm = data
+        relabelled = graph.relabel(perm)
+        original = distributed_betweenness(graph, arithmetic="exact")
+        shuffled = distributed_betweenness(relabelled, arithmetic="exact")
+        for v in graph.nodes():
+            assert (
+                shuffled.betweenness_exact[perm[v]]
+                == original.betweenness_exact[v]
+            )
+
+    @given(graph_with_permutation())
+    @settings(max_examples=15, deadline=None)
+    def test_stress_commutes(self, data):
+        graph, perm = data
+        original = stress_centrality(graph)
+        shuffled = stress_centrality(graph.relabel(perm))
+        for v in graph.nodes():
+            assert shuffled[perm[v]] == original[v]
+
+    def test_relabel_validates(self):
+        with pytest.raises(InvalidEdgeError):
+            path_graph(3).relabel([0, 0, 1])
+        with pytest.raises(InvalidEdgeError):
+            path_graph(3).relabel([0, 1])
+
+    def test_relabel_identity(self):
+        g = karate_club_graph()
+        assert g.relabel(list(g.nodes())) == g
+
+
+class TestPendantLeafIdentity:
+    @given(connected_graphs(max_nodes=10), st.integers(0, 1_000_000))
+    @settings(max_examples=20, deadline=None)
+    def test_leaf_attachment_shifts_bc_by_dependency(self, graph, v_seed):
+        v = v_seed % graph.num_nodes
+        n = graph.num_nodes
+        extended = Graph(
+            n + 1, list(graph.edges()) + [(v, n)], name="pendant"
+        )
+        before = brandes_betweenness(graph, exact=True)
+        after = brandes_betweenness(extended, exact=True)
+        delta = accumulate_dependencies(
+            single_source_shortest_paths(graph, v), exact=True
+        )
+        for u in graph.nodes():
+            if u == v:
+                assert after[u] == before[u] + (n - 1)
+            else:
+                assert after[u] == before[u] + delta[u]
+        assert after[n] == 0  # the new leaf is never interior
+
+    def test_leaf_identity_distributed(self):
+        graph = karate_club_graph()
+        v = 2
+        extended = Graph(
+            35, list(graph.edges()) + [(v, 34)], name="karate-pendant"
+        )
+        before = distributed_betweenness(graph, arithmetic="exact")
+        after = distributed_betweenness(extended, arithmetic="exact")
+        assert (
+            after.betweenness_exact[v]
+            == before.betweenness_exact[v] + graph.num_nodes - 1
+        )
+        for u in graph.nodes():
+            if u != v:
+                expected = before.betweenness_exact[u] + Fraction(
+                    before.dependency(v, u)
+                )
+                assert after.betweenness_exact[u] == expected
+
+
+class TestSubdivisionScaling:
+    @given(connected_graphs(max_nodes=9))
+    @settings(max_examples=15, deadline=None)
+    def test_uniform_weight2_doubles_distances(self, graph):
+        weighted = WeightedGraph(
+            graph.num_nodes, [(u, v, 2) for u, v in graph.edges()]
+        )
+        sub = subdivide(weighted)
+        for s in range(min(3, graph.num_nodes)):
+            base = bfs_distances(graph, s)
+            doubled = bfs_distances(sub.graph, s)
+            counts = shortest_path_counts(graph, s)
+            sub_counts = shortest_path_counts(sub.graph, s)
+            for v in graph.nodes():
+                assert doubled[v] == 2 * base[v]
+                assert sub_counts[v] == counts[v]
+
+
+class TestComponentAdditivity:
+    @given(arbitrary_graphs(max_nodes=8), arbitrary_graphs(max_nodes=8))
+    @settings(max_examples=15, deadline=None)
+    def test_disjoint_union(self, g1, g2):
+        offset = g1.num_nodes
+        union = Graph(
+            g1.num_nodes + g2.num_nodes,
+            list(g1.edges())
+            + [(u + offset, v + offset) for u, v in g2.edges()],
+        )
+        bc1 = brandes_betweenness(g1, exact=True)
+        bc2 = brandes_betweenness(g2, exact=True)
+        bc_union = brandes_betweenness(union, exact=True)
+        for v in g1.nodes():
+            assert bc_union[v] == bc1[v]
+        for v in g2.nodes():
+            assert bc_union[v + offset] == bc2[v]

@@ -1,0 +1,168 @@
+"""Tests for the naive BC oracles and the other centrality indices."""
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.centrality import (
+    brandes_betweenness,
+    closeness_centrality,
+    enumerate_betweenness,
+    graph_centrality,
+    naive_betweenness,
+    stress_centrality,
+)
+from repro.exceptions import GraphNotConnectedError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    karate_club_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.convert import to_networkx
+
+from .conftest import arbitrary_graphs, connected_graphs
+
+
+class TestNaiveBetweenness:
+    @given(arbitrary_graphs(max_nodes=10))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brandes_exactly(self, graph):
+        assert naive_betweenness(graph) == brandes_betweenness(
+            graph, exact=True
+        )
+
+    def test_normalized(self):
+        g = star_graph(5)
+        bc = naive_betweenness(g, normalized=True)
+        assert bc[0] == 1
+        bc_tiny = naive_betweenness(Graph(2, [(0, 1)]), normalized=True)
+        assert bc_tiny == {0: 0, 1: 0}
+
+    def test_figure1(self):
+        assert naive_betweenness(figure1_graph())[1] == Fraction(7, 2)
+
+
+class TestEnumerationOracle:
+    @given(connected_graphs(max_nodes=7))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_brandes_exactly(self, graph):
+        assert enumerate_betweenness(graph) == brandes_betweenness(
+            graph, exact=True
+        )
+
+    def test_diamond(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        bc = enumerate_betweenness(g)
+        assert bc[1] == Fraction(1, 2)
+        assert bc[2] == Fraction(1, 2)
+
+
+class TestCloseness:
+    @given(connected_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx_up_to_convention(self, graph):
+        # networkx closeness multiplies by (N - 1); Eq. (1) does not.
+        mine = closeness_centrality(graph)
+        theirs = nx.closeness_centrality(to_networkx(graph))
+        n = graph.num_nodes
+        for v in graph.nodes():
+            assert mine[v] * (n - 1) == pytest.approx(theirs[v])
+
+    def test_exact_mode(self):
+        cc = closeness_centrality(path_graph(3), exact=True)
+        assert cc[1] == Fraction(1, 2)
+        assert cc[0] == Fraction(1, 3)
+
+    def test_disconnected_raises(self):
+        with pytest.raises(GraphNotConnectedError):
+            closeness_centrality(Graph(2))
+
+    def test_single_node(self):
+        assert closeness_centrality(Graph(1)) == {0: 0.0}
+
+
+class TestGraphCentrality:
+    def test_star(self):
+        cg = graph_centrality(star_graph(5), exact=True)
+        assert cg[0] == Fraction(1)
+        assert cg[1] == Fraction(1, 2)
+
+    def test_path(self):
+        cg = graph_centrality(path_graph(5))
+        assert cg[2] == pytest.approx(1 / 2)
+        assert cg[0] == pytest.approx(1 / 4)
+
+    def test_disconnected_raises(self):
+        with pytest.raises(GraphNotConnectedError):
+            graph_centrality(Graph(3, [(0, 1)]))
+
+    def test_single_node(self):
+        assert graph_centrality(Graph(1)) == {0: 0.0}
+
+
+class TestStress:
+    def test_path(self):
+        # interior node of P4: paths 0-1-2, 0-1-2-3, (1-2-3 for node 2)
+        stress = stress_centrality(path_graph(4))
+        assert stress == {0: 0, 1: 2, 2: 2, 3: 0}
+
+    def test_star(self):
+        stress = stress_centrality(star_graph(5))
+        assert stress[0] == 6  # C(4, 2) leaf pairs
+        assert stress[1] == 0
+
+    def test_complete_zero(self):
+        assert all(
+            v == 0 for v in stress_centrality(complete_graph(5)).values()
+        )
+
+    def test_cycle(self):
+        # C5 has five distance-2 pairs, each with one interior node, so
+        # every node is interior to exactly one shortest path.
+        stress = stress_centrality(cycle_graph(5))
+        assert set(stress.values()) == {1}
+
+    @given(arbitrary_graphs(max_nodes=9))
+    @settings(max_examples=20, deadline=None)
+    def test_stress_equals_brute_force(self, graph):
+        """CS(v) = number of shortest paths with v interior (Eq. 3)."""
+        from repro.centrality.naive import _all_shortest_paths
+
+        expected = {v: 0 for v in graph.nodes()}
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s >= t:
+                    continue
+                for path in _all_shortest_paths(graph, s, t):
+                    for v in path[1:-1]:
+                        expected[v] += 1
+        assert stress_centrality(graph) == expected
+
+    def test_stress_bc_relation_on_unique_path_graphs(self):
+        """On trees sigma == 1 everywhere, so stress == betweenness."""
+        from repro.graphs import random_tree
+
+        g = random_tree(15, seed=2)
+        stress = stress_centrality(g)
+        bc = brandes_betweenness(g, exact=True)
+        assert all(stress[v] == bc[v] for v in g.nodes())
+
+    def test_karate_against_networkx_generic(self):
+        """Cross-check stress via networkx path enumeration on karate."""
+        g = karate_club_graph()
+        nxg = to_networkx(g)
+        expected = {v: 0 for v in g.nodes()}
+        for s in g.nodes():
+            for t in g.nodes():
+                if s >= t:
+                    continue
+                for path in nx.all_shortest_paths(nxg, s, t):
+                    for v in path[1:-1]:
+                        expected[v] += 1
+        assert stress_centrality(g) == expected

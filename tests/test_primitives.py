@@ -1,0 +1,185 @@
+"""Tests for the reusable CONGEST primitives (BFS tree, convergecast,
+leader election) and the root-election pipeline integration."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.centrality import brandes_betweenness
+from repro.congest import (
+    LeaderElectionNode,
+    Simulator,
+    elect_root,
+    make_bfs_tree_factory,
+    make_convergecast_factory,
+    run_protocol,
+)
+from repro.core import distributed_betweenness
+from repro.exceptions import SimulationNotTerminatedError
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    complete_graph,
+    cycle_graph,
+    eccentricity,
+    grid_graph,
+    karate_club_graph,
+    path_graph,
+    star_graph,
+)
+
+from .conftest import connected_graphs
+
+
+class TestBfsTreePrimitive:
+    @pytest.mark.parametrize("root", [0, 5, 33])
+    def test_depths_and_census(self, root):
+        graph = karate_club_graph()
+        nodes, stats = run_protocol(graph, make_bfs_tree_factory(root))
+        dist = bfs_distances(graph, root)
+        for node in nodes:
+            assert node.depth == dist[node.node_id]
+        assert nodes[root].census == graph.num_nodes
+        assert stats.rounds <= 3 * eccentricity(graph, root) + 6
+
+    def test_parent_child_consistency(self):
+        graph = grid_graph(4, 4)
+        nodes, _ = run_protocol(graph, make_bfs_tree_factory(0))
+        for node in nodes:
+            for child in node.children:
+                assert nodes[child].parent == node.node_id
+        # the tree spans: N - 1 parent pointers
+        assert sum(1 for n in nodes if n.parent is not None) == 15
+
+    def test_single_node(self):
+        nodes, _ = run_protocol(Graph(1), make_bfs_tree_factory(0))
+        assert nodes[0].census == 1
+        assert nodes[0].depth == 0
+
+
+class TestConvergecastPrimitive:
+    def test_max_over_tree(self):
+        graph = path_graph(6)
+        tree_nodes, _ = run_protocol(graph, make_bfs_tree_factory(0))
+        parents = {n.node_id: n.parent for n in tree_nodes}
+        children = {n.node_id: n.children for n in tree_nodes}
+        values = {v: (v * 7) % 13 for v in graph.nodes()}
+        nodes, stats = run_protocol(
+            graph, make_convergecast_factory(parents, children, values)
+        )
+        assert nodes[0].result == max(values.values())
+        assert stats.rounds <= graph.num_nodes + 2
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(9), cycle_graph(8), star_graph(7), complete_graph(6),
+         grid_graph(3, 4), karate_club_graph()],
+        ids=lambda g: g.name,
+    )
+    def test_min_id_wins(self, graph):
+        leader, rounds = elect_root(graph)
+        assert leader == 0
+        # O(D) rounds with a small constant
+        from repro.graphs import diameter
+
+        assert rounds <= 5 * diameter(graph) + 8
+
+    @given(connected_graphs(min_nodes=2, max_nodes=10))
+    @settings(max_examples=15, deadline=None)
+    def test_all_nodes_agree(self, graph):
+        nodes, _ = run_protocol(graph, LeaderElectionNode)
+        leaders = {node.leader for node in nodes}
+        assert leaders == {0}
+
+    def test_seeded_election_varies_and_agrees(self):
+        graph = karate_club_graph()
+        leaders = set()
+        for seed in range(8):
+            leader, _ = elect_root(graph, seed=seed)
+            assert graph.has_node(leader)
+            leaders.add(leader)
+        assert len(leaders) >= 3  # pseudo-random spread
+
+    def test_seeded_election_deterministic(self):
+        graph = grid_graph(3, 3)
+        assert elect_root(graph, seed=5) == elect_root(graph, seed=5)
+
+    def test_single_node_elects_itself(self):
+        leader, _ = elect_root(Graph(1))
+        assert leader == 0
+
+    def test_two_nodes(self):
+        leader, _ = elect_root(Graph(2, [(0, 1)]))
+        assert leader == 0
+
+    def test_messages_stay_small(self):
+        graph = karate_club_graph()
+        sim = Simulator(graph, LeaderElectionNode)
+        sim.run()
+        assert sim.stats.max_edge_bits_per_round <= sim.bit_budget
+
+
+class TestRootElectionPipeline:
+    def test_root_none_elects_and_computes(self):
+        graph = karate_club_graph()
+        result = distributed_betweenness(graph, arithmetic="exact", root=None)
+        assert result.root == 0  # min-id election
+        assert result.betweenness_exact == brandes_betweenness(
+            graph, exact=True
+        )
+
+    def test_root_none_on_path(self):
+        graph = path_graph(8)
+        result = distributed_betweenness(graph, root=None)
+        assert result.root == 0
+        assert result.diameter == 7
+
+
+class TestGenericConvergecastAndBroadcast:
+    def _tree(self, graph, root=0):
+        from repro.congest import make_bfs_tree_factory
+
+        nodes, _ = run_protocol(graph, make_bfs_tree_factory(root))
+        parents = {n.node_id: n.parent for n in nodes}
+        children = {n.node_id: n.children for n in nodes}
+        return parents, children
+
+    def test_sum_reduction(self):
+        import operator
+
+        from repro.congest import make_convergecast_factory
+
+        graph = grid_graph(3, 3)
+        parents, children = self._tree(graph)
+        values = {v: v + 1 for v in graph.nodes()}
+        nodes, _ = run_protocol(
+            graph,
+            make_convergecast_factory(
+                parents, children, values, combine=operator.add
+            ),
+        )
+        assert nodes[0].result == sum(values.values())
+
+    def test_min_reduction(self):
+        from repro.congest import make_convergecast_factory
+
+        graph = cycle_graph(7)
+        parents, children = self._tree(graph)
+        values = {v: (v * 5) % 11 for v in graph.nodes()}
+        nodes, _ = run_protocol(
+            graph, make_convergecast_factory(parents, children, values, min)
+        )
+        assert nodes[0].result == min(values.values())
+
+    def test_broadcast_reaches_all(self):
+        from repro.congest import make_broadcast_factory
+        from repro.graphs import eccentricity
+
+        graph = karate_club_graph()
+        _parents, children = self._tree(graph)
+        nodes, stats = run_protocol(
+            graph, make_broadcast_factory(children, root=0, value=424242)
+        )
+        assert all(n.received == 424242 for n in nodes)
+        assert stats.rounds <= eccentricity(graph, 0) + 3

@@ -1,0 +1,161 @@
+"""Tests for sequential graph properties, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import EmptyGraphError, GraphNotConnectedError
+from repro.graphs import (
+    Graph,
+    all_pairs_distances,
+    bfs_distances,
+    bfs_layers,
+    bfs_parents,
+    connected_components,
+    degree_histogram,
+    diameter,
+    distance_sum,
+    eccentricities,
+    eccentricity,
+    grid_graph,
+    is_connected,
+    karate_club_graph,
+    max_shortest_path_count,
+    path_graph,
+    predecessor_sets,
+    radius,
+    require_connected,
+    shortest_path_counts,
+    star_graph,
+)
+from repro.graphs.convert import to_networkx
+
+from .conftest import arbitrary_graphs, connected_graphs
+
+
+class TestBFS:
+    def test_distances_on_path(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+        assert bfs_distances(g, 2) == [2, 1, 0, 1, 2]
+
+    def test_unreachable_marked(self):
+        g = Graph(3, [(0, 1)])
+        assert bfs_distances(g, 0) == [0, 1, -1]
+
+    @given(arbitrary_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_distances_match_networkx(self, graph):
+        nxg = to_networkx(graph)
+        for source in range(min(3, graph.num_nodes)):
+            expected = nx.single_source_shortest_path_length(nxg, source)
+            mine = bfs_distances(graph, source)
+            for v in graph.nodes():
+                assert mine[v] == expected.get(v, -1)
+
+    def test_layers(self):
+        g = star_graph(4)
+        assert bfs_layers(g, 0) == [[0], [1, 2, 3]]
+
+    def test_parents_prefer_smallest_id(self):
+        # both 0 and 1 are valid parents of 3; parent must be 0
+        g = Graph(4, [(0, 2), (1, 2), (0, 3), (1, 3), (0, 1)])
+        parents = bfs_parents(g, 2)
+        assert parents[3] == 0
+
+    def test_parents_of_source_is_none(self):
+        g = path_graph(3)
+        assert bfs_parents(g, 1)[1] is None
+
+
+class TestSigmaAndPreds:
+    def test_sigma_diamond(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert shortest_path_counts(g, 0) == [1, 1, 1, 2]
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_sigma_matches_networkx(self, graph):
+        nxg = to_networkx(graph)
+        sigma = shortest_path_counts(graph, 0)
+        for v in graph.nodes():
+            expected = len(list(nx.all_shortest_paths(nxg, 0, v)))
+            assert sigma[v] == expected
+
+    def test_sigma_unreachable_zero(self):
+        g = Graph(3, [(0, 1)])
+        assert shortest_path_counts(g, 0)[2] == 0
+
+    def test_predecessors(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        preds = predecessor_sets(g, 0)
+        assert preds[3] == (1, 2)
+        assert preds[0] == ()
+
+    def test_max_shortest_path_count_grid(self):
+        # opposite corners of a 3x3 grid: C(4, 2) = 6 shortest paths
+        assert max_shortest_path_count(grid_graph(3, 3)) == 6
+
+
+class TestConnectivity:
+    def test_is_connected(self):
+        assert is_connected(path_graph(4))
+        assert not is_connected(Graph(3, [(0, 1)]))
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(1))
+
+    def test_require_connected_errors(self):
+        with pytest.raises(GraphNotConnectedError):
+            require_connected(Graph(2))
+        with pytest.raises(EmptyGraphError):
+            require_connected(Graph(0))
+
+    def test_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        assert connected_components(g) == [[0, 1], [2, 3], [4]]
+
+    @given(arbitrary_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_components_partition_nodes(self, graph):
+        comps = connected_components(graph)
+        seen = sorted(v for comp in comps for v in comp)
+        assert seen == list(graph.nodes())
+
+
+class TestMetrics:
+    def test_diameter_radius_path(self):
+        g = path_graph(7)
+        assert diameter(g) == 6
+        assert radius(g) == 3
+
+    def test_eccentricity(self):
+        g = star_graph(5)
+        assert eccentricity(g, 0) == 1
+        assert eccentricity(g, 1) == 2
+        assert eccentricities(g) == [1, 2, 2, 2, 2]
+
+    def test_eccentricity_disconnected_raises(self):
+        with pytest.raises(GraphNotConnectedError):
+            eccentricity(Graph(2), 0)
+
+    def test_distance_sum(self):
+        g = path_graph(4)
+        assert distance_sum(g, 0) == 6
+        with pytest.raises(GraphNotConnectedError):
+            distance_sum(Graph(2), 0)
+
+    @given(connected_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_diameter_matches_networkx(self, graph):
+        assert diameter(graph) == nx.diameter(to_networkx(graph))
+
+    def test_all_pairs_symmetric(self):
+        g = karate_club_graph()
+        dist = all_pairs_distances(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert dist[u][v] == dist[v][u]
+
+    def test_degree_histogram(self):
+        g = star_graph(4)
+        assert degree_histogram(g) == {3: 1, 1: 3}

@@ -1,0 +1,195 @@
+"""Tests for the protocol-family variants: stress, sampling, config knobs."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.centrality import brandes_betweenness, stress_centrality
+from repro.core import (
+    ProtocolConfig,
+    UNIT_STRESS,
+    distributed_betweenness,
+    distributed_sampled_betweenness,
+    distributed_stress,
+)
+from repro.graphs import (
+    cycle_graph,
+    figure1_graph,
+    grid_graph,
+    karate_club_graph,
+    lollipop_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+from .conftest import connected_graphs
+
+
+class TestProtocolConfig:
+    def test_defaults_are_paper_algorithm(self):
+        config = ProtocolConfig()
+        assert config.is_source(0) and config.is_target(0)
+        assert config.unit == "betweenness"
+        assert config.aggregate
+
+    def test_source_and_target_membership(self):
+        config = ProtocolConfig(sources=frozenset({1, 2}), targets=frozenset({2}))
+        assert config.is_source(1) and not config.is_source(0)
+        assert config.is_target(2) and not config.is_target(1)
+        assert config.expected_sources(10) == 2
+
+    def test_expected_sources_all_mode(self):
+        config = ProtocolConfig()
+        assert config.expected_sources(None) is None
+        assert config.expected_sources(7) == 7
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(unit="pagerank")
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(sources=frozenset())
+
+    def test_sets_coerced_frozen(self):
+        config = ProtocolConfig(sources={1, 2}, targets={3})
+        assert isinstance(config.sources, frozenset)
+        assert isinstance(config.targets, frozenset)
+
+
+class TestDistributedStress:
+    @pytest.mark.parametrize(
+        "graph",
+        [figure1_graph(), path_graph(7), star_graph(7), cycle_graph(9),
+         grid_graph(3, 4), lollipop_graph(4, 3), random_tree(12, seed=4),
+         karate_club_graph()],
+        ids=lambda g: g.name,
+    )
+    def test_matches_centralized_stress_exactly(self, graph):
+        result = distributed_stress(graph)
+        assert result.stress == stress_centrality(graph)
+
+    @given(connected_graphs(max_nodes=10))
+    @settings(max_examples=12, deadline=None)
+    def test_random_graphs(self, graph):
+        assert distributed_stress(graph).stress == stress_centrality(graph)
+
+    def test_integral_output(self):
+        result = distributed_stress(karate_club_graph())
+        assert all(isinstance(v, int) for v in result.stress.values())
+
+    def test_lfloat_mode_approximates(self):
+        graph = grid_graph(3, 4)
+        approx = distributed_stress(graph, arithmetic="lfloat")
+        exact = stress_centrality(graph)
+        for v in graph.nodes():
+            if exact[v]:
+                assert approx.stress[v] == pytest.approx(exact[v], rel=1e-2)
+
+    def test_result_metadata(self):
+        result = distributed_stress(path_graph(6))
+        assert result.diameter == 5
+        assert result.rounds > 0
+        assert result.arithmetic == "exact"
+
+
+class TestSampledDistributedBC:
+    def test_full_pivot_set_is_exact(self):
+        graph = karate_club_graph()
+        result = distributed_sampled_betweenness(
+            graph, graph.num_nodes, seed=1, arithmetic="exact"
+        )
+        exact = brandes_betweenness(graph)
+        for v in graph.nodes():
+            assert result.estimate[v] == pytest.approx(float(exact[v]))
+
+    def test_partial_pivots_reduce_messages(self):
+        graph = karate_club_graph()
+        sampled = distributed_sampled_betweenness(graph, 8, seed=2)
+        full = distributed_betweenness(graph)
+        assert sampled.stats.message_count < full.stats.message_count
+        assert len(sampled.pivots) == 8
+
+    def test_estimator_is_unbiased_ish(self):
+        """Averaging estimates over many seeds approaches the truth."""
+        graph = lollipop_graph(5, 4)
+        exact = brandes_betweenness(graph)
+        junction = 4
+        estimates = [
+            distributed_sampled_betweenness(graph, 3, seed=s).estimate[junction]
+            for s in range(12)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(float(exact[junction]), rel=0.5)
+
+    def test_deterministic_per_seed(self):
+        graph = grid_graph(3, 3)
+        a = distributed_sampled_betweenness(graph, 4, seed=5)
+        b = distributed_sampled_betweenness(graph, 4, seed=5)
+        assert a.estimate == b.estimate
+        assert a.pivots == b.pivots
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            distributed_sampled_betweenness(path_graph(4), 0)
+        with pytest.raises(ValueError):
+            distributed_sampled_betweenness(path_graph(4), 9)
+
+    def test_start_times_only_for_pivots(self):
+        graph = cycle_graph(10)
+        result = distributed_sampled_betweenness(
+            graph, 3, seed=7, arithmetic="exact"
+        )
+        # the underlying run recorded start times for pivots only
+        assert len(result.pivots) == 3
+
+    def test_diameter_bound_leq_true_diameter(self):
+        from repro.graphs import diameter
+
+        graph = grid_graph(4, 4)
+        result = distributed_sampled_betweenness(graph, 5, seed=3)
+        assert result.diameter_bound <= diameter(graph)
+
+
+class TestSourceSubsetInternals:
+    def test_non_source_nodes_skip_bfs(self):
+        graph = path_graph(6)
+        config = ProtocolConfig(sources=frozenset({0, 3}))
+        result = distributed_betweenness(
+            graph, arithmetic="exact", config=config
+        )
+        assert set(result.start_times) == {0, 3}
+        for node in result.nodes:
+            assert len(node.ledger) == 2
+
+    def test_subset_dependencies_match_brandes_per_source(self):
+        from repro.centrality import (
+            accumulate_dependencies,
+            single_source_shortest_paths,
+        )
+
+        graph = grid_graph(3, 3)
+        sources = frozenset({0, 4, 8})
+        result = distributed_betweenness(
+            graph,
+            arithmetic="exact",
+            config=ProtocolConfig(sources=sources),
+        )
+        for s in sources:
+            delta = accumulate_dependencies(
+                single_source_shortest_paths(graph, s), exact=True
+            )
+            for v in graph.nodes():
+                if v != s:
+                    assert result.dependency(s, v) == delta[v]
+
+    def test_lemma4_holds_for_subsets(self):
+        """The separation invariant covers any source subset."""
+        from repro.core import verify_separation
+
+        graph = karate_club_graph()
+        config = ProtocolConfig(sources=frozenset(range(0, 34, 3)))
+        result = distributed_betweenness(
+            graph, arithmetic="exact", config=config
+        )
+        assert verify_separation(graph, result.start_times)

@@ -1,0 +1,98 @@
+"""Tests for the closed-form round model (exact timing oracle)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import distributed_betweenness
+from repro.core.roundmodel import predict_rounds, rounds_upper_bound
+from repro.graphs import (
+    Graph,
+    balanced_tree,
+    complete_graph,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    diameter,
+    diamond_chain_graph,
+    figure1_graph,
+    grid_graph,
+    karate_club_graph,
+    path_graph,
+    star_graph,
+)
+
+from .conftest import connected_graphs
+
+GRAPHS = [
+    figure1_graph(),
+    path_graph(9),
+    cycle_graph(10),
+    star_graph(8),
+    grid_graph(4, 5),
+    complete_graph(7),
+    balanced_tree(2, 3),
+    karate_club_graph(),
+    Graph(1),
+    Graph(2, [(0, 1)]),
+    diamond_chain_graph(6),
+    connected_erdos_renyi_graph(20, 0.15, seed=3),
+]
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+class TestExactPredictions:
+    def test_total_rounds_exact(self, graph):
+        model = predict_rounds(graph)
+        run = distributed_betweenness(graph, arithmetic="exact")
+        assert model.total_rounds == run.rounds
+
+    def test_phase_anchors_exact(self, graph):
+        model = predict_rounds(graph)
+        run = distributed_betweenness(graph, arithmetic="exact")
+        root_node = run.nodes[0]
+        assert model.census_round == root_node.tree.census_round
+        assert model.start_times == run.start_times
+        assert model.t_max == max(run.start_times.values())
+        _d, t_max, base = root_node.counting.counting_result
+        assert model.agg_base == base
+        assert model.t_max == t_max
+        assert model.diameter == run.diameter
+
+    def test_model_independent_of_arithmetic(self, graph):
+        """Timing depends only on topology, never on the number format."""
+        model = predict_rounds(graph)
+        run = distributed_betweenness(graph, arithmetic="lfloat")
+        assert model.total_rounds == run.rounds
+
+
+class TestHypothesisAgreement:
+    @given(connected_graphs(max_nodes=11))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs_match(self, graph):
+        model = predict_rounds(graph)
+        run = distributed_betweenness(graph, arithmetic="exact")
+        assert model.total_rounds == run.rounds
+
+    @given(connected_graphs(min_nodes=3, max_nodes=10))
+    @settings(max_examples=10, deadline=None)
+    def test_alternate_roots_match(self, graph):
+        root = graph.num_nodes - 1
+        model = predict_rounds(graph, root=root)
+        run = distributed_betweenness(graph, arithmetic="exact", root=root)
+        assert model.total_rounds == run.rounds
+
+
+class TestUpperBound:
+    @pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+    def test_closed_form_bound_holds(self, graph):
+        model = predict_rounds(graph)
+        d = diameter(graph) if graph.num_nodes > 1 else 0
+        assert model.total_rounds <= rounds_upper_bound(graph.num_nodes, d)
+
+    def test_bound_is_linear(self):
+        assert rounds_upper_bound(1000, 10) == 6 * 1000 + 8 * 10 + 3
+
+    def test_model_internal_consistency(self):
+        model = predict_rounds(karate_club_graph())
+        assert model.horizon == model.agg_base + model.t_max + model.diameter
+        assert model.total_rounds == model.horizon + 2
+        assert model.completion_round >= max(model.last_settle.values())

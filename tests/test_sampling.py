@@ -1,0 +1,105 @@
+"""Tests for the sampling-based BC approximations (related work)."""
+
+import pytest
+
+from repro.centrality import (
+    adaptive_sampled_betweenness,
+    brandes_betweenness,
+    required_samples,
+    sampled_betweenness,
+)
+from repro.graphs import Graph, karate_club_graph, lollipop_graph, star_graph
+
+
+class TestPivotSampling:
+    def test_full_sample_equals_exact(self):
+        """k = N pivots without replacement == the exact computation."""
+        g = karate_club_graph()
+        exact = brandes_betweenness(g)
+        estimate = sampled_betweenness(g, num_samples=g.num_nodes, seed=1)
+        for v in g.nodes():
+            assert estimate[v] == pytest.approx(exact[v], abs=1e-9)
+
+    def test_deterministic_per_seed(self):
+        g = karate_club_graph()
+        a = sampled_betweenness(g, 10, seed=7)
+        b = sampled_betweenness(g, 10, seed=7)
+        c = sampled_betweenness(g, 10, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_estimate_reasonable_on_star(self):
+        g = star_graph(30)
+        estimate = sampled_betweenness(g, 10, seed=3)
+        exact = brandes_betweenness(g)
+        # hub value is huge, leaves are 0; ranking must hold
+        assert estimate[0] > max(estimate[v] for v in range(1, 30))
+        assert estimate[0] == pytest.approx(exact[0], rel=0.5)
+
+    def test_more_samples_than_nodes(self):
+        g = star_graph(5)
+        estimate = sampled_betweenness(g, 50, seed=0)
+        assert estimate[0] > 0
+
+    def test_zero_samples(self):
+        g = star_graph(5)
+        assert sampled_betweenness(g, 0) == {v: 0.0 for v in g.nodes()}
+
+    def test_normalized(self):
+        g = star_graph(6)
+        est = sampled_betweenness(g, g.num_nodes, seed=0, normalized=True)
+        assert est[0] == pytest.approx(1.0)
+
+    def test_normalized_tiny(self):
+        g = Graph(2, [(0, 1)])
+        assert sampled_betweenness(g, 2, normalized=True) == {0: 0.0, 1: 0.0}
+
+
+class TestRequiredSamples:
+    def test_formula(self):
+        assert required_samples(1000, 0.1, 0.1) == pytest.approx(
+            921.04, abs=1.0
+        )
+
+    def test_monotone_in_eps(self):
+        assert required_samples(100, 0.05, 0.1) > required_samples(
+            100, 0.1, 0.1
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            required_samples(10, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            required_samples(10, 0.1, 1.5)
+
+    def test_tiny_graph(self):
+        assert required_samples(1, 0.1, 0.1) == 1
+
+
+class TestAdaptiveSampling:
+    def test_high_centrality_node_stops_early(self):
+        g = lollipop_graph(8, 8)
+        junction = 7
+        estimate, used = adaptive_sampled_betweenness(
+            g, junction, c=2.0, seed=1
+        )
+        exact = brandes_betweenness(g)[junction]
+        assert used < g.num_nodes  # stopped before exhausting the budget
+        assert estimate == pytest.approx(exact, rel=0.8)
+
+    def test_low_centrality_node_uses_full_budget(self):
+        g = star_graph(20)
+        _estimate, used = adaptive_sampled_betweenness(g, 5, c=5.0, seed=1)
+        assert used == g.num_nodes
+
+    def test_budget_respected(self):
+        g = karate_club_graph()
+        _e, used = adaptive_sampled_betweenness(g, 0, seed=2, max_samples=7)
+        assert used <= 7
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            adaptive_sampled_betweenness(star_graph(4), 99)
+
+    def test_tiny_graph(self):
+        assert adaptive_sampled_betweenness(Graph(2, [(0, 1)]), 0) == (0.0, 0)

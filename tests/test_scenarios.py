@@ -1,0 +1,153 @@
+"""End-to-end user scenarios: realistic multi-step library workflows.
+
+Each test walks a complete journey a downstream user would take —
+load/generate data, run the distributed computation, cross-check,
+export — exercising the interplay of subsystems rather than any one
+unit.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    brandes_betweenness,
+    distributed_betweenness,
+    distributed_stress,
+    distributed_weighted_betweenness,
+    weighted_brandes_betweenness,
+)
+from repro.analysis import ExperimentRunner
+from repro.congest import Tracer, elect_root
+from repro.graphs import (
+    GraphBuilder,
+    WeightedGraph,
+    dumps_json,
+    karate_club_graph,
+    les_miserables_graph,
+    les_miserables_weighted_graph,
+    loads_json,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestFileToAnalysisPipeline:
+    def test_edge_list_roundtrip_to_bc(self, tmp_path):
+        """Write a network to disk, read it back, analyze, verify."""
+        graph = karate_club_graph()
+        path = tmp_path / "club.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        result = distributed_betweenness(loaded, arithmetic="exact")
+        assert result.betweenness_exact == brandes_betweenness(
+            graph, exact=True
+        )
+
+    def test_labelled_build_analyze_report(self, tmp_path):
+        """Build from labelled edges, analyze, export CSV."""
+        builder = GraphBuilder(name="team")
+        for a, b in [
+            ("ana", "bo"), ("bo", "cy"), ("cy", "dee"), ("dee", "ana"),
+            ("bo", "dee"), ("cy", "ed"),
+        ]:
+            builder.add_edge(a, b)
+        graph, labels = builder.build_with_labels()
+        result = distributed_betweenness(graph, arithmetic="exact")
+        broker = max(graph.nodes(), key=lambda v: result.betweenness[v])
+        assert labels[broker] == "cy"  # ed hangs off cy
+
+        runner = ExperimentRunner(arithmetic="exact")
+        runner.run_family("team", [graph])
+        csv_text = runner.to_csv(tmp_path / "team.csv")
+        assert "team" in csv_text
+
+    def test_weighted_json_workflow(self, tmp_path):
+        wg, labels = les_miserables_weighted_graph()
+        # persist, reload, verify identity
+        blob = dumps_json(wg)
+        reloaded = loads_json(blob)
+        assert isinstance(reloaded, WeightedGraph)
+        assert reloaded.edges() == wg.edges()
+
+
+class TestLesMiserablesStudy:
+    """The classic 77-node co-appearance study, end to end."""
+
+    def test_distributed_matches_brandes_at_scale(self):
+        graph, labels = les_miserables_graph()
+        result = distributed_betweenness(graph, arithmetic="exact")
+        reference = brandes_betweenness(graph, exact=True)
+        assert result.betweenness_exact == reference
+        valjean = labels.index("Valjean")
+        ranked = sorted(
+            graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
+        )
+        assert ranked[0] == valjean
+
+    def test_rounds_linear_at_n77(self):
+        graph, _ = les_miserables_graph()
+        result = distributed_betweenness(graph)
+        assert result.rounds <= 8 * graph.num_nodes
+        from repro.core import predict_rounds
+
+        assert predict_rounds(graph).total_rounds == result.rounds
+
+    def test_stress_and_bc_rank_same_protagonist(self):
+        graph, labels = les_miserables_graph()
+        stress = distributed_stress(graph)
+        valjean = labels.index("Valjean")
+        assert stress.stress[valjean] == max(stress.stress.values())
+
+
+class TestElectionToAnalysis:
+    def test_fully_in_model_study(self):
+        """Elect a root, run BC from it, confirm root-independence."""
+        graph = karate_club_graph()
+        leader, _rounds = elect_root(graph, seed=3)
+        via_leader = distributed_betweenness(
+            graph, arithmetic="exact", root=leader
+        )
+        via_zero = distributed_betweenness(graph, arithmetic="exact", root=0)
+        assert via_leader.betweenness_exact == via_zero.betweenness_exact
+
+
+class TestTraceArchiving:
+    def test_trace_to_json_archive(self, tmp_path):
+        """Archive a run's trace; reload and re-derive phase stats."""
+        graph = karate_club_graph()
+        tracer = Tracer()
+        result = distributed_betweenness(graph, tracer=tracer)
+        archive = tmp_path / "run.json"
+        archive.write_text(tracer.to_json())
+        payload = json.loads(archive.read_text())
+        assert len(payload["events"]) == result.stats.message_count
+        wave_rounds = [
+            e[0] for e in payload["events"] if e[3] == "BfsWave"
+        ]
+        agg_rounds = [
+            e[0] for e in payload["events"] if e[3] == "AggValue"
+        ]
+        assert max(wave_rounds) < min(agg_rounds)
+
+
+class TestWeightedTransitStudy:
+    def test_weighted_vs_unit_weights_disagree(self):
+        """Travel times change who the bottleneck is — the reason the
+        weighted extension matters."""
+        wg = WeightedGraph(
+            5,
+            [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (0, 4, 9)],
+            name="ring-with-slow-link",
+        )
+        weighted = distributed_weighted_betweenness(wg)
+        assert weighted.betweenness_exact == weighted_brandes_betweenness(
+            wg, exact=True
+        )
+        # with the slow link, nodes 1-3 carry through traffic...
+        assert weighted.betweenness[2] > 0
+        # ...whereas with unit weights the ring is symmetric
+        unit = WeightedGraph(5, [(u, v, 1) for u, v, _ in wg.edges()])
+        flat = distributed_weighted_betweenness(unit)
+        values = set(flat.betweenness.values())
+        assert len(values) == 1

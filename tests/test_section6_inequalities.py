@@ -1,0 +1,159 @@
+"""Direct verification of Section VI's lemmas on live protocol state.
+
+* **Lemma 2** (corrected): the paper states
+  psi_s(v) = sum over q in R_s(v) of 1/sigma_sq over the *set* of
+  descendants; the induction's last step silently assumes each
+  descendant is reached along a unique DAG path.  The correct identity
+  weights each q by its DAG-path multiplicity sigma^s_vq — these tests
+  verify the corrected form on every graph and exhibit a 5-node
+  counterexample to the literal one (see docs/reproduction_notes.md).
+* **Inequality (18)**: psi_hat <= psi (floor-rounded psi never
+  overshoots) and psi_hat >= psi / (1+eta)^k — checked by running the
+  protocol twice (exact and L-float) and comparing every node's psi for
+  every source, straight out of the ledgers.
+* **Inequality (17)'s basis**: sigma < sigma_hat < (1+eta)^k * sigma.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.centrality import (
+    accumulate_psi,
+    descendant_path_counts,
+    shortest_path_descendants,
+    single_source_shortest_paths,
+)
+from repro.core import distributed_betweenness
+from repro.graphs import (
+    figure1_graph,
+    grid_graph,
+    karate_club_graph,
+    lollipop_graph,
+)
+
+from .conftest import connected_graphs
+
+
+class TestLemma2Corrected:
+    @pytest.mark.parametrize(
+        "graph",
+        [figure1_graph(), grid_graph(3, 4), lollipop_graph(4, 3),
+         karate_club_graph()],
+        ids=lambda g: g.name,
+    )
+    def test_psi_equals_weighted_descendant_sum(self, graph):
+        for s in list(graph.nodes())[:6]:
+            result = single_source_shortest_paths(graph, s)
+            psi = accumulate_psi(result, exact=True)
+            for v in graph.nodes():
+                counts = descendant_path_counts(graph, s, v)
+                expected = sum(
+                    (
+                        Fraction(multiplicity, result.sigma[q])
+                        for q, multiplicity in counts.items()
+                    ),
+                    Fraction(0),
+                )
+                assert psi[v] == expected
+
+    @given(connected_graphs(max_nodes=10))
+    @settings(max_examples=15, deadline=None)
+    def test_corrected_lemma2_random(self, graph):
+        result = single_source_shortest_paths(graph, 0)
+        psi = accumulate_psi(result, exact=True)
+        for v in graph.nodes():
+            counts = descendant_path_counts(graph, 0, v)
+            expected = sum(
+                (
+                    Fraction(multiplicity, result.sigma[q])
+                    for q, multiplicity in counts.items()
+                ),
+                Fraction(0),
+            )
+            assert psi[v] == expected
+
+    def test_multiplicity_agrees_with_descendant_sets(self):
+        """The weighted form's support is exactly R_s(v)."""
+        graph = karate_club_graph()
+        descendants = shortest_path_descendants(graph, 0)
+        for v in list(graph.nodes())[:10]:
+            counts = descendant_path_counts(graph, 0, v)
+            assert set(counts) == descendants[v]
+
+    def test_literal_lemma2_counterexample(self):
+        """The paper's unweighted set form fails on a rejoining DAG.
+
+        Take s=0 with edges 0-1, 1-2, 1-3, 2-4, 3-4: node 4 is a
+        descendant of 1 along two branches.  psi_0(1) = 3 (matching
+        delta_{0.}(1) = 3), but the literal set formula gives
+        1 + 1 + 1/2 = 5/2.
+        """
+        from repro.graphs import Graph
+
+        graph = Graph(5, [(0, 1), (1, 2), (1, 3), (2, 4), (3, 4)])
+        result = single_source_shortest_paths(graph, 0)
+        psi = accumulate_psi(result, exact=True)
+        assert psi[1] == 3
+        descendants = shortest_path_descendants(graph, 0)
+        literal = sum(
+            (Fraction(1, result.sigma[q]) for q in descendants[1]),
+            Fraction(0),
+        )
+        assert literal == Fraction(5, 2)  # != psi: the set form is wrong
+        counts = descendant_path_counts(graph, 0, 1)
+        assert counts == {2: 1, 3: 1, 4: 2}
+
+    def test_empty_descendants_means_zero_psi(self):
+        """The Lemma's base case: R_s(v) = {} <=> psi_s(v) = 0."""
+        graph = figure1_graph()
+        result = single_source_shortest_paths(graph, 0)
+        psi = accumulate_psi(result, exact=True)
+        descendants = shortest_path_descendants(graph, 0)
+        for v in graph.nodes():
+            assert (psi[v] == 0) == (len(descendants[v]) == 0)
+
+
+class TestInequality18OnLiveRuns:
+    @pytest.mark.parametrize(
+        "graph",
+        [grid_graph(3, 4), karate_club_graph()],
+        ids=lambda g: g.name,
+    )
+    def test_psi_hat_one_sided(self, graph):
+        precision = 18
+        exact_run = distributed_betweenness(graph, arithmetic="exact")
+        float_run = distributed_betweenness(
+            graph, arithmetic="lfloat-{}".format(precision)
+        )
+        eta = Fraction(2) ** (1 - precision)
+        envelope = (1 + eta) ** (4 * graph.num_nodes)
+        exact_by_node = {node.node_id: node for node in exact_run.nodes}
+        for node in float_run.nodes:
+            reference = exact_by_node[node.node_id]
+            for record in node.ledger:
+                psi_hat = record.psi.to_fraction()
+                psi = reference.ledger.get(record.source).psi
+                assert psi_hat <= psi  # floor rounding: never overshoots
+                if psi:
+                    assert psi_hat >= psi / envelope
+
+    def test_sigma_hat_one_sided(self):
+        """sigma <= sigma_hat <= (1+eta)^k sigma for every ledger entry."""
+        graph = grid_graph(4, 4)
+        precision = 18
+        exact_run = distributed_betweenness(graph, arithmetic="exact")
+        float_run = distributed_betweenness(
+            graph, arithmetic="lfloat-{}".format(precision)
+        )
+        eta = Fraction(2) ** (1 - precision)
+        envelope = (1 + eta) ** graph.num_nodes
+        exact_by_node = {node.node_id: node for node in exact_run.nodes}
+        for node in float_run.nodes:
+            reference = exact_by_node[node.node_id]
+            for record in node.ledger:
+                sigma_hat = record.sigma.to_fraction()
+                sigma = reference.ledger.get(record.source).sigma
+                assert sigma_hat >= sigma  # ceil rounding
+                assert sigma_hat <= sigma * envelope

@@ -1,0 +1,118 @@
+"""Tests for the subset-family machinery (Corollary 2 encodings)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import LowerBoundParameterError
+from repro.lowerbound import (
+    all_half_subsets,
+    families_intersect,
+    family_pair,
+    half_size,
+    minimal_m,
+    random_family,
+    subset_rank,
+    subset_unrank,
+)
+
+
+class TestHalfSize:
+    def test_basic(self):
+        assert half_size(6) == 3
+
+    def test_odd_rejected(self):
+        with pytest.raises(LowerBoundParameterError):
+            half_size(5)
+
+    def test_zero_rejected(self):
+        with pytest.raises(LowerBoundParameterError):
+            half_size(0)
+
+
+class TestMinimalM:
+    def test_paper_example(self):
+        """Figure 2's caption: m = 4, n = 2 satisfies C(m, m/2) >= n^2."""
+        assert minimal_m(2) == 4
+
+    def test_logarithmic_growth(self):
+        # C(m, m/2) ~ 2^m / sqrt(m), so m ~ 2 log2 n + o(log n)
+        for n in (4, 16, 64, 256):
+            m = minimal_m(n)
+            assert math.comb(m, m // 2) >= n * n
+            assert math.comb(m - 2, (m - 2) // 2) < n * n
+            assert m <= 4 * math.log2(n) + 8
+
+    def test_relaxed(self):
+        assert minimal_m(3, squared=False) == 4
+
+    def test_invalid(self):
+        with pytest.raises(LowerBoundParameterError):
+            minimal_m(0)
+
+
+class TestRanking:
+    def test_first_and_last(self):
+        assert subset_rank([0, 1, 2], 6) == 0
+        assert subset_rank([3, 4, 5], 6) == math.comb(6, 3) - 1
+
+    def test_unrank_inverts_rank_exhaustively(self):
+        m, k = 8, 4
+        for rank in range(math.comb(m, k)):
+            subset = subset_unrank(rank, m, k)
+            assert subset_rank(sorted(subset), m) == rank
+
+    @given(st.integers(0, math.comb(12, 6) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, rank):
+        subset = subset_unrank(rank, 12, 6)
+        assert len(subset) == 6
+        assert subset_rank(sorted(subset), 12) == rank
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(LowerBoundParameterError):
+            subset_unrank(math.comb(6, 3), 6, 3)
+
+    def test_lexicographic_order(self):
+        subsets = [tuple(sorted(subset_unrank(r, 6, 3))) for r in range(5)]
+        assert subsets == sorted(subsets)
+
+
+class TestFamilies:
+    def test_all_half_subsets(self):
+        subsets = all_half_subsets(4)
+        assert len(subsets) == 6
+        assert all(len(s) == 2 for s in subsets)
+
+    def test_random_family_distinct(self):
+        family = random_family(10, 8, seed=3)
+        assert len(set(family)) == 10
+
+    def test_random_family_too_many(self):
+        with pytest.raises(LowerBoundParameterError):
+            random_family(10, 4, seed=0)
+
+    def test_random_family_with_replacement(self):
+        family = random_family(30, 4, seed=0, distinct=False)
+        assert len(family) == 30
+
+    def test_family_pair_forced_intersection(self):
+        for seed in range(6):
+            x, y, m = family_pair(5, seed=seed, force_intersection=True)
+            assert families_intersect(x, y)
+            assert len(set(y)) == len(y)
+
+    def test_family_pair_forced_disjoint(self):
+        for seed in range(6):
+            x, y, m = family_pair(5, seed=seed, force_intersection=False)
+            assert not families_intersect(x, y)
+
+    def test_family_pair_auto_m(self):
+        x, y, m = family_pair(4, seed=0)
+        assert len(x) == len(y) == 4
+        assert all(len(s) == m // 2 for s in x + y)
+
+    def test_family_pair_too_small_m_for_disjoint(self):
+        with pytest.raises(LowerBoundParameterError):
+            family_pair(4, m=4, seed=0, force_intersection=False)

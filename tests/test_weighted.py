@@ -1,0 +1,217 @@
+"""Tests for weighted graphs, subdivision, and weighted betweenness."""
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.centrality import brandes_betweenness, weighted_brandes_betweenness
+from repro.core import distributed_weighted_betweenness
+from repro.exceptions import (
+    GraphNotConnectedError,
+    InvalidEdgeError,
+    UnknownNodeError,
+)
+from repro.graphs import (
+    WeightedGraph,
+    dijkstra,
+    is_weighted_connected,
+    shortest_path_counts,
+    subdivide,
+    weighted_diameter,
+)
+from repro.graphs.properties import bfs_distances
+
+
+@st.composite
+def weighted_graphs(draw, min_nodes=2, max_nodes=8, max_weight=4):
+    """A connected random weighted graph (spanning tree + extra edges)."""
+    import random
+
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**16))
+    rng = random.Random(seed)
+    edges = {}
+    for v in range(1, n):
+        u = rng.randrange(v)
+        edges[(u, v)] = rng.randint(1, max_weight)
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            key = (min(a, b), max(a, b))
+            edges.setdefault(key, rng.randint(1, max_weight))
+    return WeightedGraph(n, [(u, v, w) for (u, v), w in edges.items()])
+
+
+class TestWeightedGraphType:
+    def test_basic(self):
+        g = WeightedGraph(3, [(0, 1, 2), (1, 2, 3)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.total_weight() == 5
+        assert g.neighbors(1) == ((0, 2), (2, 3))
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(InvalidEdgeError):
+            WeightedGraph(2, [(0, 0, 1)])
+        with pytest.raises(InvalidEdgeError):
+            WeightedGraph(2, [(0, 1, 0)])
+        with pytest.raises(InvalidEdgeError):
+            WeightedGraph(2, [(0, 1, 1), (1, 0, 2)])
+        with pytest.raises(InvalidEdgeError):
+            WeightedGraph(2, [(0, 3, 1)])
+
+    def test_unknown_node(self):
+        with pytest.raises(UnknownNodeError):
+            WeightedGraph(2, [(0, 1, 1)]).neighbors(5)
+
+    def test_connectivity(self):
+        assert is_weighted_connected(WeightedGraph(2, [(0, 1, 3)]))
+        assert not is_weighted_connected(WeightedGraph(3, [(0, 1, 1)]))
+        assert is_weighted_connected(WeightedGraph(0))
+
+
+class TestDijkstra:
+    def test_simple(self):
+        g = WeightedGraph(4, [(0, 1, 2), (1, 2, 2), (0, 2, 5), (2, 3, 1)])
+        dist, sigma = dijkstra(g, 0)
+        assert dist == [0, 2, 4, 5]
+        # two shortest 0->2 paths? 0-1-2 = 4, 0-2 = 5: just one
+        assert sigma[2] == 1
+
+    def test_tied_paths_counted(self):
+        g = WeightedGraph(4, [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)])
+        _dist, sigma = dijkstra(g, 0)
+        assert sigma[3] == 2
+
+    def test_unreachable(self):
+        g = WeightedGraph(3, [(0, 1, 2)])
+        dist, sigma = dijkstra(g, 0)
+        assert dist[2] == -1
+        assert sigma[2] == 0
+
+    @given(weighted_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx(self, graph):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(graph.nodes())
+        for u, v, w in graph.edges():
+            nxg.add_edge(u, v, weight=w)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        dist, _ = dijkstra(graph, 0)
+        for v in graph.nodes():
+            assert dist[v] == expected[v]
+
+    def test_weighted_diameter(self):
+        g = WeightedGraph(3, [(0, 1, 2), (1, 2, 3)])
+        assert weighted_diameter(g) == 5
+        with pytest.raises(GraphNotConnectedError):
+            weighted_diameter(WeightedGraph(3, [(0, 1, 1)]))
+
+
+class TestSubdivision:
+    def test_node_and_edge_counts(self):
+        g = WeightedGraph(3, [(0, 1, 3), (1, 2, 1)])
+        sub = subdivide(g)
+        assert sub.graph.num_nodes == 3 + 2  # weight-3 edge adds 2 virtuals
+        assert sub.graph.num_edges == g.total_weight()
+        assert sub.num_virtual == 2
+        assert sub.is_real(0) and not sub.is_real(3)
+
+    def test_chain_recorded(self):
+        g = WeightedGraph(2, [(0, 1, 4)])
+        sub = subdivide(g)
+        chain = sub.edge_chains[(0, 1)]
+        assert len(chain) == 3
+        assert sub.graph.has_edge(0, chain[0])
+        assert sub.graph.has_edge(chain[-1], 1)
+
+    @given(weighted_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_preserves_real_distances_and_counts(self, graph):
+        sub = subdivide(graph)
+        for s in graph.nodes():
+            wdist, wsigma = dijkstra(graph, s)
+            udist = bfs_distances(sub.graph, s)
+            usigma = shortest_path_counts(sub.graph, s)
+            for v in graph.nodes():
+                assert udist[v] == wdist[v]
+                assert usigma[v] == wsigma[v]
+
+
+class TestWeightedBrandes:
+    def test_unit_weights_match_unweighted(self):
+        from repro.graphs import karate_club_graph
+
+        club = karate_club_graph()
+        weighted = WeightedGraph(
+            club.num_nodes, [(u, v, 1) for u, v in club.edges()]
+        )
+        assert weighted_brandes_betweenness(
+            weighted, exact=True
+        ) == brandes_betweenness(club, exact=True)
+
+    @given(weighted_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx(self, graph):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(graph.nodes())
+        for u, v, w in graph.edges():
+            nxg.add_edge(u, v, weight=w)
+        theirs = nx.betweenness_centrality(
+            nxg, normalized=False, weight="weight"
+        )
+        mine = weighted_brandes_betweenness(graph)
+        for v in graph.nodes():
+            assert mine[v] == pytest.approx(theirs[v], abs=1e-9)
+
+    def test_normalized(self):
+        g = WeightedGraph(3, [(0, 1, 2), (1, 2, 2)])
+        bc = weighted_brandes_betweenness(g, normalized=True, exact=True)
+        assert bc[1] == Fraction(1)
+
+    def test_weights_change_routing(self):
+        # heavy direct edge: traffic reroutes through the middle node
+        g = WeightedGraph(3, [(0, 2, 10), (0, 1, 1), (1, 2, 1)])
+        bc = weighted_brandes_betweenness(g, exact=True)
+        assert bc[1] == 1
+
+
+class TestDistributedWeighted:
+    @given(weighted_graphs(max_nodes=6, max_weight=3))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_weighted_brandes_exactly(self, graph):
+        result = distributed_weighted_betweenness(graph, arithmetic="exact")
+        assert result.betweenness_exact == weighted_brandes_betweenness(
+            graph, exact=True
+        )
+
+    def test_virtual_nodes_hidden_from_output(self):
+        g = WeightedGraph(3, [(0, 1, 3), (1, 2, 2)])
+        result = distributed_weighted_betweenness(g)
+        assert set(result.betweenness) == set(g.nodes())
+        assert result.subdivision.num_virtual == 3
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphNotConnectedError):
+            distributed_weighted_betweenness(WeightedGraph(3, [(0, 1, 2)]))
+
+    def test_lfloat_mode(self):
+        g = WeightedGraph(4, [(0, 1, 2), (1, 2, 2), (2, 3, 2), (0, 3, 3)])
+        result = distributed_weighted_betweenness(g, arithmetic="lfloat")
+        reference = weighted_brandes_betweenness(g)
+        for v in g.nodes():
+            if reference[v]:
+                assert result.betweenness[v] == pytest.approx(
+                    reference[v], rel=1e-2
+                )
+
+    def test_rounds_scale_with_total_weight(self):
+        light = WeightedGraph(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        heavy = WeightedGraph(4, [(0, 1, 5), (1, 2, 5), (2, 3, 5)])
+        fast = distributed_weighted_betweenness(light)
+        slow = distributed_weighted_betweenness(heavy)
+        assert slow.rounds > fast.rounds
+        assert slow.subdivision.graph.num_nodes == 4 + 3 * 4
