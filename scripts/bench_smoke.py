@@ -1,0 +1,62 @@
+"""Quick engine-comparison smoke gate.
+
+Runs a reduced version of ``benchmarks/bench_engine.py`` (one small size
+plus one size at the N >= 200 regime the acceptance gate cares about),
+writes the same ``BENCH_engine.json`` artifact at the repo root, and
+exits non-zero if either
+
+* the two engines disagree on any output (results, rounds, statistics,
+  per-round series), or
+* the event engine is *slower* than the sweep at any N >= 200 instance.
+
+Usage::
+
+    python scripts/bench_smoke.py          # ~15 s on a 1-core container
+
+The full benchmark (more sizes, pytest-benchmark integration) lives in
+``benchmarks/bench_engine.py``; this script exists so CI and humans can
+get a pass/fail answer without pulling in the pytest machinery.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+sys.path.insert(0, str(ROOT / "src"))
+
+from benchmarks.bench_engine import measure, write_json, _print_rows  # noqa: E402
+
+SIZES = (64, 200)
+REPS = 2
+
+
+def main() -> int:
+    rows = measure(sizes=SIZES, reps=REPS)
+    payload = write_json(rows)
+    _print_rows(rows, "engine smoke (best of {} interleaved reps)".format(REPS))
+    print("wrote {}".format(ROOT / "BENCH_engine.json"))
+
+    failures = []
+    for row in rows:
+        if not row["identical_results"]:
+            failures.append(
+                "{family}-{n}: engines disagree on outputs".format(**row)
+            )
+        if row["n"] >= 200 and row["speedup"] <= 1.0:
+            failures.append(
+                "{family}-{n}: event engine slower than sweep "
+                "({event_seconds}s vs {sweep_seconds}s)".format(**row)
+            )
+    if failures:
+        for line in failures:
+            print("FAIL: " + line, file=sys.stderr)
+        return 1
+    big = min(row["speedup"] for row in rows if row["n"] >= 200)
+    print("OK: outputs identical; event >= sweep at N >= 200 "
+          "(min speedup {:.2f}x)".format(big))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

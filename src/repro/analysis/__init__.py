@@ -6,13 +6,14 @@ from repro.analysis.complexity import (
     power_law_exponent,
     rounds_per_node,
 )
-from repro.analysis.runner import ExperimentRunner, RunRecord
+from repro.analysis.runner import ExperimentRunner, RunRecord, run_many
 from repro.analysis.tables import format_value, print_table, render_table
 
 __all__ = [
     "ExperimentRunner",
     "LinearFit",
     "RunRecord",
+    "run_many",
     "format_value",
     "linear_fit",
     "power_law_exponent",

@@ -4,6 +4,12 @@ The scaling and compliance benchmarks all share a shape — build a grid
 of instances, run the protocol on each, collect per-run metrics, fit or
 tabulate.  :class:`ExperimentRunner` factors that shape out and adds
 CSV export so results can leave the terminal.
+
+Independent instances of a grid don't share state, so they can run in
+worker processes: :func:`run_many` fans a batch of graphs over a
+``multiprocessing`` pool and returns plain :class:`RunRecord` rows
+(picklable by construction), falling back to a serial loop when a pool
+isn't available or isn't worth it.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ import csv
 import io
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.complexity import LinearFit, linear_fit
 from repro.analysis.tables import render_table
@@ -72,6 +78,9 @@ class ExperimentRunner:
         Override the runner itself (default:
         :func:`repro.core.distributed_betweenness`); must return an
         object with the ``rounds``/``diameter``/``stats`` interface.
+    engine:
+        Simulator engine passed to every run (``"event"`` by default,
+        matching :func:`repro.core.distributed_betweenness`).
     """
 
     def __init__(
@@ -79,11 +88,16 @@ class ExperimentRunner:
         arithmetic: str = "lfloat",
         metrics: Optional[Dict[str, Callable]] = None,
         run: Optional[Callable] = None,
+        engine: str = "event",
     ):
         self.arithmetic = arithmetic
+        self.engine = engine
         self.metrics = metrics or {}
+        self._custom_run = run is not None
         self._run = run or (
-            lambda graph: distributed_betweenness(graph, arithmetic=self.arithmetic)
+            lambda graph: distributed_betweenness(
+                graph, arithmetic=self.arithmetic, engine=self.engine
+            )
         )
         self.records: List[RunRecord] = []
 
@@ -109,6 +123,33 @@ class ExperimentRunner:
                 },
             )
             out.append(record)
+        self.records.extend(out)
+        return out
+
+    def run_family_parallel(
+        self,
+        family: str,
+        graphs: Iterable[Graph],
+        processes: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Like :meth:`run_family`, fanned out via :func:`run_many`.
+
+        Custom ``metrics``/``run`` callables are not supported here —
+        they would have to cross a process boundary; configure the
+        runner with the defaults or use the serial :meth:`run_family`.
+        """
+        if self.metrics or self._custom_run:
+            raise ValueError(
+                "custom metrics/run callables are not picklable across "
+                "the worker pool; use run_family() for those grids"
+            )
+        out = run_many(
+            graphs,
+            family=family,
+            arithmetic=self.arithmetic,
+            engine=self.engine,
+            processes=processes,
+        )
         self.records.extend(out)
         return out
 
@@ -160,3 +201,81 @@ class ExperimentRunner:
             with open(path, "w", encoding="utf-8", newline="") as fh:
                 fh.write(text)
         return text
+
+
+# ----------------------------------------------------------------------
+# multiprocessing fan-out
+# ----------------------------------------------------------------------
+_Task = Tuple[str, Graph, str, str]
+
+
+def _run_one(task: _Task) -> RunRecord:
+    """Worker body: one protocol run -> one plain-data record.
+
+    Module-level (not a closure) so a ``multiprocessing`` pool can
+    pickle it; the graph rides along in the task tuple.
+    """
+    family, graph, arithmetic, engine = task
+    result = distributed_betweenness(
+        graph, arithmetic=arithmetic, engine=engine
+    )
+    return RunRecord(
+        family=family,
+        graph_name=graph.name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        diameter=result.diameter,
+        rounds=result.rounds,
+        messages=result.stats.message_count,
+        bits=result.stats.bit_count,
+        max_edge_bits=result.stats.max_edge_bits_per_round,
+        arithmetic=result.arithmetic,
+    )
+
+
+def run_many(
+    graphs: Iterable[Graph],
+    family: str = "batch",
+    arithmetic: str = "lfloat",
+    engine: str = "event",
+    processes: Optional[int] = None,
+) -> List[RunRecord]:
+    """Run the protocol on every graph, fanning out across processes.
+
+    Protocol runs are CPU-bound pure Python, so threads cannot
+    parallelize them; separate processes can.  Each worker executes
+    :func:`_run_one` and ships back a picklable :class:`RunRecord`.
+    Records are returned in input order regardless of completion order.
+
+    Parameters
+    ----------
+    graphs:
+        The instances to run (must be picklable, which the plain
+        :class:`~repro.graphs.graph.Graph` is).
+    family:
+        Label stamped on every record.
+    arithmetic, engine:
+        Passed to :func:`repro.core.distributed_betweenness`.
+    processes:
+        Worker count; defaults to ``os.cpu_count()`` capped at the
+        number of graphs.  ``processes <= 1`` (or a pool that cannot be
+        created, e.g. on restricted platforms) runs serially in this
+        process — same records, no pool.
+    """
+    tasks = [(family, graph, arithmetic, engine) for graph in graphs]
+    if not tasks:
+        return []
+    if processes is None:
+        processes = os.cpu_count() or 1
+    processes = min(processes, len(tasks))
+    if processes <= 1:
+        return [_run_one(task) for task in tasks]
+    try:
+        from multiprocessing import Pool
+    except ImportError:  # pragma: no cover - restricted platforms
+        return [_run_one(task) for task in tasks]
+    try:
+        with Pool(processes=processes) as pool:
+            return pool.map(_run_one, tasks)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+        return [_run_one(task) for task in tasks]

@@ -24,7 +24,7 @@ from __future__ import annotations
 import abc
 import math
 from fractions import Fraction
-from typing import Any, Union
+from typing import Any, Dict, Tuple, Union
 
 from repro.arithmetic.lfloat import LFloat, Rounding
 
@@ -146,6 +146,12 @@ class LFloatArithmetic(ArithmeticContext):
     def __init__(self, precision: int):
         self.precision = int(precision)
         self.name = "lfloat-{}".format(self.precision)
+        #: Memo for :meth:`reciprocal`, keyed by representation.  The
+        #: aggregation phase computes 1/sigma_su once per (node, source)
+        #: pair, but the sigma values repeat massively (every record on
+        #: a tree-like shortest path has sigma == 1); LFloat is
+        #: immutable, so sharing the result object is safe.
+        self._recip_cache: Dict[Tuple[int, int], LFloat] = {}
 
     def sigma_one(self) -> LFloat:
         return LFloat.from_int(1, self.precision, Rounding.CEIL)
@@ -166,7 +172,11 @@ class LFloatArithmetic(ArithmeticContext):
 
     def reciprocal(self, sigma: LFloat) -> LFloat:
         # 1/sigma_hat < 1/sigma already; floor keeps the bound one-sided.
-        return sigma.reciprocal(Rounding.FLOOR)
+        key = (sigma.mantissa, sigma.exponent)
+        cached = self._recip_cache.get(key)
+        if cached is None:
+            cached = self._recip_cache[key] = sigma.reciprocal(Rounding.FLOOR)
+        return cached
 
     def dependency(self, psi: LFloat, sigma: LFloat) -> LFloat:
         return psi.mul(sigma, Rounding.NEAREST)

@@ -82,6 +82,32 @@ def _normalize_fraction(
     return q, e
 
 
+def _normalize_int(num: int, precision: int, mode: Rounding) -> Tuple[int, int]:
+    """:func:`_normalize_fraction` specialized to ``den == 1``.
+
+    Bit-for-bit identical results; the quotient/remainder come from
+    shifts and masks instead of ``divmod``.  This is the hot path: every
+    add and mul normalizes an integer numerator.
+    """
+    e = num.bit_length()  # 2**(e-1) <= num < 2**e for num >= 1
+    shift = precision - e
+    if shift >= 0:
+        return num << shift, e
+    rshift = -shift
+    q = num >> rshift
+    if num & ((1 << rshift) - 1):
+        if mode is Rounding.CEIL:
+            q += 1
+        elif mode is Rounding.NEAREST and (num >> (rshift - 1)) & 1:
+            # remainder >= half of the dropped range: round up (ties up,
+            # matching the generic 2*r >= den rule).
+            q += 1
+        if q == 1 << precision:  # rounding overflowed into the next binade
+            q >>= 1
+            e += 1
+    return q, e
+
+
 class LFloat:
     """A positive number in the paper's 2L-bit floating point format.
 
@@ -256,32 +282,98 @@ class LFloat:
             "cannot combine LFloat with {!r}".format(type(other).__name__)
         )
 
+    def _raw(self, mantissa: int, exponent: int) -> "LFloat":
+        """Construct without re-validation: for values already known
+        normalized and in range (copies and normalizer outputs)."""
+        out = object.__new__(LFloat)
+        out._m = mantissa
+        out._e = exponent
+        out._L = self._L
+        out._mode = self._mode
+        return out
+
+    def _checked(self, mantissa: int, exponent: int) -> "LFloat":
+        """Construct from a normalizer's output: the mantissa is
+        normalized by construction, only the exponent needs the
+        range check of the 2L + 1-bit format."""
+        limit = (1 << self._L) - 1
+        if exponent > limit or exponent < -limit:
+            raise LFloatRangeError(
+                "exponent {} outside [-{}, {}] for L={}".format(
+                    exponent, limit, limit, self._L
+                )
+            )
+        out = object.__new__(LFloat)
+        out._m = mantissa
+        out._e = exponent
+        out._L = self._L
+        out._mode = self._mode
+        return out
+
     def _build(self, num: int, den: int, shift: int, mode: Rounding) -> "LFloat":
         """Normalize ``(num / den) * 2**shift`` into a new LFloat."""
-        m, e = _normalize_fraction(num, den, self._L, mode)
-        return LFloat(m, e + shift, self._L, self._mode)
+        if den == 1:
+            m, e = _normalize_int(num, self._L, mode)
+        elif den & (den - 1) == 0:
+            # Power-of-two denominator: dividing shifts the exponent
+            # without touching the mantissa bits (so the rounding is
+            # identical to the generic path).  Reciprocals of unit
+            # sigmas land here on every tree-like shortest path.
+            m, e = _normalize_int(num, self._L, mode)
+            e -= den.bit_length() - 1
+        else:
+            m, e = _normalize_fraction(num, den, self._L, mode)
+        return self._checked(m, e + shift)
 
     def add(self, other: Number, mode: Rounding = None) -> "LFloat":
         """Rounded addition; exact before the single final rounding."""
-        other = self._coerce(other)
-        mode = mode or self._mode
-        if self.is_zero:
-            return LFloat(other._m, other._e, self._L, self._mode)
-        if other.is_zero:
+        if type(other) is not LFloat:
+            other = self._coerce(other)
+        elif other._L != self._L:
+            raise ArithmeticModeError(
+                "mixed precisions: L={} vs L={}".format(self._L, other._L)
+            )
+        sm = self._m
+        om = other._m
+        if sm == 0:
+            return self._raw(om, other._e)
+        if om == 0:
             return self
-        emin = min(self._e, other._e)
-        num = (self._m << (self._e - emin)) + (other._m << (other._e - emin))
-        return self._build(num, 1, emin - self._L, mode)
+        se = self._e
+        oe = other._e
+        if se >= oe:
+            num = (sm << (se - oe)) + om
+            emin = oe
+        else:
+            num = sm + (om << (oe - se))
+            emin = se
+        m, e = _normalize_int(num, self._L, mode or self._mode)
+        return self._checked(m, e + emin - self._L)
 
     def mul(self, other: Number, mode: Rounding = None) -> "LFloat":
         """Rounded multiplication."""
-        other = self._coerce(other)
-        mode = mode or self._mode
-        if self.is_zero or other.is_zero:
-            return LFloat.zero(self._L, self._mode)
-        return self._build(
-            self._m * other._m, 1, self._e + other._e - 2 * self._L, mode
-        )
+        if type(other) is not LFloat:
+            other = self._coerce(other)
+        elif other._L != self._L:
+            raise ArithmeticModeError(
+                "mixed precisions: L={} vs L={}".format(self._L, other._L)
+            )
+        sm = self._m
+        om = other._m
+        if sm == 0 or om == 0:
+            return self._raw(0, 0)
+        if om & (om - 1) == 0:
+            # A normalized power-of-two mantissa is exactly 2**(L-1), so
+            # the product is ``sm << (L-1)``: normalization drops only
+            # zero bits and rounding never fires.  The result is exact —
+            # bit-identical to the generic path — for any mode.  The
+            # final dependency product delta = psi * sigma lands here
+            # whenever sigma is a power of two (always, on trees/paths).
+            return self._checked(sm, self._e + other._e - 1)
+        if sm & (sm - 1) == 0:
+            return self._checked(om, self._e + other._e - 1)
+        m, e = _normalize_int(sm * om, self._L, mode or self._mode)
+        return self._checked(m, e + self._e + other._e - 2 * self._L)
 
     def div(self, other: Number, mode: Rounding = None) -> "LFloat":
         """Rounded division."""
@@ -290,7 +382,7 @@ class LFloat:
         if other.is_zero:
             raise ZeroDivisionError("LFloat division by zero")
         if self.is_zero:
-            return LFloat.zero(self._L, self._mode)
+            return self._raw(0, 0)
         return self._build(self._m, other._m, self._e - other._e, mode)
 
     def reciprocal(self, mode: Rounding = None) -> "LFloat":

@@ -60,9 +60,11 @@ def brandes_betweenness(
     for s in graph.nodes():
         result = single_source_shortest_paths(graph, s)
         delta = accumulate_dependencies(result, exact=exact)
-        for v in graph.nodes():
+        # delta is a list indexed by node id; accumulate it directly
+        # instead of re-enumerating graph.nodes() per source.
+        for v, dep in enumerate(delta):
             if v != s:
-                bc[v] = bc[v] + delta[v]
+                bc[v] = bc[v] + dep
     return _rescale(bc, graph.num_nodes, normalized, exact)
 
 

@@ -119,6 +119,13 @@ def _add_protocol_options(parser: argparse.ArgumentParser) -> None:
         help="disable strict CONGEST budget enforcement",
     )
     parser.add_argument(
+        "--engine",
+        choices=("event", "sweep"),
+        default="event",
+        help="simulator engine: event-driven active-node scheduling "
+        "(default) or the lockstep reference sweep",
+    )
+    parser.add_argument(
         "--top", type=int, default=10, help="rows to print (default 10)"
     )
 
@@ -134,6 +141,7 @@ def cmd_bc(args: argparse.Namespace) -> int:
         arithmetic=args.arithmetic,
         root=args.root,
         strict=not args.lenient,
+        engine=args.engine,
     )
     ranked = sorted(
         graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
@@ -167,6 +175,7 @@ def _cmd_bc_weighted(args: argparse.Namespace, graph) -> int:
         arithmetic=args.arithmetic,
         root=args.root,
         strict=not args.lenient,
+        engine=args.engine,
     )
     ranked = sorted(
         graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
@@ -193,7 +202,9 @@ def _cmd_bc_weighted(args: argparse.Namespace, graph) -> int:
 
 def cmd_apsp(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    result = distributed_apsp(graph, root=args.root, strict=not args.lenient)
+    result = distributed_apsp(
+        graph, root=args.root, strict=not args.lenient, engine=args.engine
+    )
     closeness = result.closeness()
     graph_c = result.graph_centrality()
     ecc = result.eccentricities()
@@ -211,7 +222,7 @@ def cmd_apsp(args: argparse.Namespace) -> int:
 def cmd_stress(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     result = distributed_stress(
-        graph, arithmetic=args.arithmetic, root=args.root
+        graph, arithmetic=args.arithmetic, root=args.root, engine=args.engine
     )
     ranked = sorted(graph.nodes(), key=lambda v: result.stress[v], reverse=True)
     print_table(
@@ -232,6 +243,7 @@ def cmd_sample(args: argparse.Namespace) -> int:
         seed=args.seed,
         arithmetic=args.arithmetic,
         root=args.root,
+        engine=args.engine,
     )
     ranked = sorted(graph.nodes(), key=lambda v: result.estimate[v], reverse=True)
     print_table(
@@ -317,6 +329,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         root=args.root,
         strict=not args.lenient,
         tracer=tracer,
+        engine=args.engine,
     )
     print(
         "{}: {} rounds, {} messages, {} bits\n".format(

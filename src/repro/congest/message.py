@@ -66,17 +66,35 @@ class Message(abc.ABC):
 
     Subclasses are small frozen records; they must implement
     :meth:`payload_bits`.  The total wire size adds the type tag.
+
+    Messages are treated as **immutable once enqueued**: the simulator
+    delivers the same object to every receiver (a broadcast enqueues one
+    instance per neighbor) and memoizes :meth:`bit_size` per instance,
+    so mutating a message after sending it would desynchronize the bit
+    accounting.
     """
 
-    __slots__ = ()
+    __slots__ = ("_bit_cache",)
 
     @abc.abstractmethod
     def payload_bits(self, wire: WireFormat) -> int:
         """Bits of the payload under the given wire format."""
 
     def bit_size(self, wire: WireFormat) -> int:
-        """Total wire size: type tag plus payload."""
-        return TYPE_TAG_BITS + self.payload_bits(wire)
+        """Total wire size: type tag plus payload.
+
+        The result is cached per (message, wire) pair — a broadcast of
+        one instance over many edges encodes its payload exactly once.
+        """
+        try:
+            cached = self._bit_cache
+        except AttributeError:
+            cached = None
+        if cached is not None and cached[0] is wire:
+            return cached[1]
+        bits = TYPE_TAG_BITS + self.payload_bits(wire)
+        self._bit_cache = (wire, bits)
+        return bits
 
 
 class TokenMessage(Message):

@@ -143,6 +143,10 @@ class BfsTreeNode(NodeAlgorithm):
             and ctx.round_number >= self._settle_round + 2
         ):
             self._children_final = True
+        if not self._children_final and self._settle_round is not None:
+            # Children become final on a timer, not a message; tell the
+            # event engine to step us then.
+            ctx.wake_at(self._settle_round + 2)
         if (
             self._children_final
             and not self._echo_sent
@@ -387,7 +391,10 @@ class LeaderElectionNode(NodeAlgorithm):
         if self._echo_sent or self._decided:
             return
         if ctx.round_number < self._settle_round + 2:
-            return  # children not final yet
+            # Children not final yet — a timer, so register the wake for
+            # the event engine (adoptions reset the settle round).
+            ctx.wake_at(self._settle_round + 2)
+            return
         if any(c not in self._child_counts for c in self._children):
             return
         size = 1 + sum(self._child_counts.values())

@@ -86,6 +86,41 @@ class SimulationStats:
         if self.cut is not None:
             self.cut.observe(round_number, sender, receiver, bits)
 
+    def observe_round(
+        self,
+        round_number: int,
+        edge_load: Dict[Tuple[int, int], List[int]],
+    ):
+        """Consume one round's per-edge accounting buffer in batch.
+
+        ``edge_load`` maps each directed edge ``(sender, receiver)`` to
+        its ``[messages, bits]`` totals for this round.  The caller (the
+        simulator) owns and reuses the buffer; this method only reads
+        it.  Equivalent to calling :meth:`observe_edge_load` per edge,
+        but with the per-round aggregates folded once.
+        """
+        round_msgs = 0
+        round_bits = 0
+        max_bits = self.max_edge_bits_per_round
+        max_msgs = self.max_edge_messages_per_round
+        cut = self.cut
+        for key, (messages, bits) in edge_load.items():
+            round_msgs += messages
+            round_bits += bits
+            if bits > max_bits:
+                max_bits = bits
+                self.worst_edge = (round_number, key[0], key[1])
+            if messages > max_msgs:
+                max_msgs = messages
+            if cut is not None:
+                cut.observe(round_number, key[0], key[1], bits)
+        self.message_count += round_msgs
+        self.bit_count += round_bits
+        self.max_edge_bits_per_round = max_bits
+        self.max_edge_messages_per_round = max_msgs
+        msg_total, bit_total = self.round_series[-1]
+        self.round_series[-1] = (msg_total + round_msgs, bit_total + round_bits)
+
     def summary(self) -> Dict[str, int]:
         """A plain-dict summary convenient for benchmark tables."""
         out = {

@@ -68,8 +68,15 @@ class AggregationPhase:
         self.diameter: Optional[int] = None
         self.max_start_time: Optional[int] = None
         self.base: Optional[int] = None
+        #: last round with in-flight aggregation traffic (set by arm()):
+        #: ``base + T_max + D``.  The final local computation fires in
+        #: the first round past it.
+        self._horizon: Optional[int] = None
         #: send schedule: absolute round -> source id (unique by Lemma 4).
         self._schedule: Dict[int, int] = {}
+        #: ascending send rounds with a cursor, for O(1) next-wake lookup.
+        self._send_rounds: List[int] = []
+        self._send_cursor = 0
         #: raw output: sum over sources s != u of delta_s·(u), in the
         #: pipeline's arithmetic (Fraction or LFloat).  The pipeline
         #: halves it for the undirected convention.
@@ -87,6 +94,7 @@ class AggregationPhase:
         self.diameter = start.diameter
         self.max_start_time = start.max_start_time
         self.base = start.base
+        self._horizon = start.base + start.max_start_time + start.diameter
         if not self.config.aggregate:
             self.betweenness_raw = self.arith.psi_zero()
             self.finished = True
@@ -107,6 +115,7 @@ class AggregationPhase:
                     )
                 )
             self._schedule[send_round] = record.source
+        self._send_rounds = sorted(self._schedule)
 
     def handle_start(
         self, ctx: RoundContext, starts: List[Tuple[int, AggStart]]
@@ -134,21 +143,51 @@ class AggregationPhase:
                     )
                 )
             return
-        for sender, message in values:
-            record = self.ledger.get(message.source)
-            if record is None or record.psi is None:
-                raise ProtocolError(
-                    "node {} got an aggregation value for unknown source "
-                    "{}".format(self.node_id, message.source)
+        if values:
+            ledger_get = self.ledger.get
+            psi_add = self.arith.psi_add
+            for sender, message in values:
+                record = ledger_get(message.source)
+                if record is None or record.psi is None:
+                    raise ProtocolError(
+                        "node {} got an aggregation value for unknown "
+                        "source {}".format(self.node_id, message.source)
+                    )
+                record.psi = psi_add(record.psi, message.value)
+        if self._schedule:
+            source = self._schedule.pop(ctx.round_number, None)
+            if source is not None:
+                record = self.ledger.get(source)
+                value = self.arith.psi_add(
+                    self._unit_term(record), record.psi
                 )
-            record.psi = self.arith.psi_add(record.psi, message.value)
-        source = self._schedule.pop(ctx.round_number, None)
-        if source is not None:
-            record = self.ledger.get(source)
-            value = self.arith.psi_add(self._unit_term(record), record.psi)
-            for pred in record.preds:
-                ctx.send(pred, AggValue(source, value, self.arith))
-        self._maybe_finish(ctx)
+                arith = self.arith
+                for pred in record.preds:
+                    ctx.send(pred, AggValue(source, value, arith))
+        if not self.finished and ctx.round_number > self._horizon:
+            self._finish()
+
+    def next_event(self, round_number: int) -> Optional[int]:
+        """Next round at which this phase acts without receiving a message.
+
+        Either the next scheduled value send (a node that is a leaf of
+        BFS(s) receives nothing before its send round for s) or the
+        first round past the aggregation horizon, where the final local
+        betweenness computation fires.  Used by the event engine's wake
+        registration.
+        """
+        if not self.armed or self.finished:
+            return None
+        rounds = self._send_rounds
+        cursor = self._send_cursor
+        length = len(rounds)
+        while cursor < length and rounds[cursor] <= round_number:
+            cursor += 1
+        self._send_cursor = cursor
+        finish_round = self._horizon + 1
+        if cursor < length and rounds[cursor] < finish_round:
+            return rounds[cursor]
+        return max(finish_round, round_number + 1)
 
     def _unit_term(self, record: SourceRecord):
         """The seed of Eq. (14) this node adds when it sends.
@@ -164,18 +203,18 @@ class AggregationPhase:
         return self.arith.reciprocal(record.sigma)
 
     # ------------------------------------------------------------------
-    def _maybe_finish(self, ctx: RoundContext) -> None:
-        if self.finished:
-            return
-        horizon = self.base + self.max_start_time + self.diameter
-        if ctx.round_number <= horizon:
-            return
-        total = self.arith.psi_zero()
+    def _finish(self) -> None:
+        """Line 17–18: the final local betweenness computation, run in
+        the first round past the aggregation horizon."""
+        arith = self.arith
+        dependency = arith.dependency
+        psi_add = arith.psi_add
+        total = arith.psi_zero()
+        node_id = self.node_id
         for record in self.ledger:
-            if record.source == self.node_id:
+            if record.source == node_id:
                 continue
-            delta = self.arith.dependency(record.psi, record.sigma)
-            total = self.arith.psi_add(total, delta)
+            total = psi_add(total, dependency(record.psi, record.sigma))
         self.betweenness_raw = total
         self.finished = True
 

@@ -92,17 +92,48 @@ class CountingPhase:
             self._child_done[sender] = report.max_ecc
         self._maybe_report_done(ctx)
 
+    def next_event(self) -> Optional[int]:
+        """Next round at which this phase acts without receiving a message.
+
+        Two timers exist, both armed by the DFS token's first visit: the
+        one-slot-delayed BFS launch and the token forward (line 3 of
+        Algorithm 2).  The completion convergecast is message-driven
+        (modulo the tree phase's ``children_final`` timer, which the
+        tree phase reports itself).  Used by the event engine's wake
+        registration.
+        """
+        bfs = self._bfs_start_round
+        token = self._token_forward_round
+        if bfs is None:
+            return token
+        if token is None or bfs < token:
+            return bfs
+        return token
+
     # ------------------------------------------------------------------
     # BFS waves
     # ------------------------------------------------------------------
     def _handle_waves(
         self, ctx: RoundContext, waves: List[Tuple[int, BfsWave]]
     ) -> None:
-        fresh: Dict[int, List[Tuple[int, BfsWave]]] = {}
+        ledger_get = self.ledger.get
+        fresh_source: Optional[int] = None
+        fresh: List[Tuple[int, BfsWave]] = []
         for sender, wave in waves:
-            record = self.ledger.get(wave.source)
+            record = ledger_get(wave.source)
             if record is None:
-                fresh.setdefault(wave.source, []).append((sender, wave))
+                if fresh_source is None:
+                    fresh_source = wave.source
+                elif fresh_source != wave.source:
+                    raise ProtocolError(
+                        "node {} settled sources {} in the same round — "
+                        "the pipelining invariant (Lemma 4) is "
+                        "broken".format(
+                            self.node_id,
+                            sorted((fresh_source, wave.source)),
+                        )
+                    )
+                fresh.append((sender, wave))
             elif wave.dist + 1 <= record.dist:
                 # A predecessor-looking wave arriving after we settled
                 # would mean the synchrony argument failed.
@@ -114,15 +145,8 @@ class CountingPhase:
                 )
             # Waves from same-level or downstream neighbors are the
             # expected broadcast echoes; they carry no new information.
-        if len(fresh) > 1:
-            raise ProtocolError(
-                "node {} settled sources {} in the same round — the "
-                "pipelining invariant (Lemma 4) is broken".format(
-                    self.node_id, sorted(fresh)
-                )
-            )
-        for source, arrivals in fresh.items():
-            self._settle_source(ctx, source, arrivals)
+        if fresh_source is not None:
+            self._settle_source(ctx, fresh_source, fresh)
 
     def _settle_source(
         self,
@@ -130,19 +154,28 @@ class CountingPhase:
         source: int,
         arrivals: List[Tuple[int, BfsWave]],
     ) -> None:
-        dists = {wave.dist for _, wave in arrivals}
-        starts = {wave.start_time for _, wave in arrivals}
-        if len(dists) != 1 or len(starts) != 1:
-            raise ProtocolError(
-                "node {} saw inconsistent waves for source {}: dists={} "
-                "starts={}".format(self.node_id, source, dists, starts)
-            )
-        dist = arrivals[0][1].dist + 1
-        start_time = arrivals[0][1].start_time
-        sigma = arrivals[0][1].sigma
-        for _, wave in arrivals[1:]:
-            sigma = self.arith.sigma_add(sigma, wave.sigma)
-        preds = tuple(sorted(sender for sender, _ in arrivals))
+        first = arrivals[0][1]
+        if len(arrivals) == 1:
+            # Single predecessor (the common case off dense cores):
+            # nothing to cross-check or accumulate.
+            sigma = first.sigma
+            preds = (arrivals[0][0],)
+        else:
+            dists = {wave.dist for _, wave in arrivals}
+            starts = {wave.start_time for _, wave in arrivals}
+            if len(dists) != 1 or len(starts) != 1:
+                raise ProtocolError(
+                    "node {} saw inconsistent waves for source {}: "
+                    "dists={} starts={}".format(
+                        self.node_id, source, dists, starts
+                    )
+                )
+            sigma = first.sigma
+            for _, wave in arrivals[1:]:
+                sigma = self.arith.sigma_add(sigma, wave.sigma)
+            preds = tuple(sorted(sender for sender, _ in arrivals))
+        dist = first.dist + 1
+        start_time = first.start_time
         self.ledger.add(SourceRecord(source, start_time, dist, sigma, preds))
         ctx.broadcast(
             BfsWave(source, start_time, dist, sigma, self.arith)

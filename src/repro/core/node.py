@@ -78,6 +78,106 @@ class BetweennessNode(NodeAlgorithm):
 
     # ------------------------------------------------------------------
     def on_round(self, ctx: RoundContext, inbox: Inbox) -> None:
+        if inbox:
+            # Hot path: dispatch the inbox by type in a single pass,
+            # materializing lists only for the types actually present
+            # (almost every step carries one or two), and skip phase
+            # handlers that provably have nothing to do.  The phase
+            # order is identical to the empty-inbox path below.
+            no = _NO_MESSAGES
+            bfs_waves = tokens = done_reports = no
+            tree_waves = tree_joins = subtree_counts = announces = no
+            agg_starts = agg_values = no
+            for pair in inbox:
+                kind = type(pair[1])
+                if kind is BfsWave:
+                    if bfs_waves is no:
+                        bfs_waves = [pair]
+                    else:
+                        bfs_waves.append(pair)
+                elif kind is AggValue:
+                    if agg_values is no:
+                        agg_values = [pair]
+                    else:
+                        agg_values.append(pair)
+                elif kind is DfsToken:
+                    if tokens is no:
+                        tokens = [pair]
+                    else:
+                        tokens.append(pair)
+                elif kind is TreeWave:
+                    if tree_waves is no:
+                        tree_waves = [pair]
+                    else:
+                        tree_waves.append(pair)
+                elif kind is TreeJoin:
+                    if tree_joins is no:
+                        tree_joins = [pair]
+                    else:
+                        tree_joins.append(pair)
+                elif kind is SubtreeCount:
+                    if subtree_counts is no:
+                        subtree_counts = [pair]
+                    else:
+                        subtree_counts.append(pair)
+                elif kind is DoneReport:
+                    if done_reports is no:
+                        done_reports = [pair]
+                    else:
+                        done_reports.append(pair)
+                elif kind is Announce:
+                    if announces is no:
+                        announces = [pair]
+                    else:
+                        announces.append(pair)
+                elif kind is AggStart:
+                    if agg_starts is no:
+                        agg_starts = [pair]
+                    else:
+                        agg_starts.append(pair)
+                else:
+                    raise ProtocolError(
+                        "unexpected message type {!r}".format(kind.__name__)
+                    )
+            tree = self.tree
+            if (
+                tree.num_nodes is None
+                or tree_waves is not no
+                or tree_joins is not no
+                or subtree_counts is not no
+                or announces is not no
+            ):
+                # Once the census announce has arrived the tree phase is
+                # fully message-driven and inert (its only timer,
+                # ``children_final``, precedes the announce), so it only
+                # needs stepping while building or on tree traffic.
+                tree.on_round(
+                    ctx, tree_waves, tree_joins, subtree_counts, announces
+                )
+            if (
+                tree.is_root
+                and not self._dfs_started
+                and tree.census_round is not None
+            ):
+                # Census done: the root is the DFS's first "visit".
+                self._dfs_started = True
+                self.counting.begin_dfs(ctx)
+            self.counting.on_round(ctx, bfs_waves, tokens, done_reports)
+            if (
+                tree.is_root
+                and self.counting.counting_result is not None
+                and not self.aggregation.armed
+            ):
+                diameter, t_max, base = self.counting.counting_result
+                self.aggregation.arm(AggStart(diameter, t_max, base))
+            aggregation = self.aggregation
+            if agg_starts is not no:
+                aggregation.handle_start(ctx, agg_starts)
+            aggregation.on_round(ctx, agg_values)
+            if aggregation.finished:
+                self.done = True
+            self._register_wakes(ctx)
+            return
         box = _split_inbox(inbox)
         self.tree.on_round(
             ctx,
@@ -106,6 +206,49 @@ class BetweennessNode(NodeAlgorithm):
         self.aggregation.on_round(ctx, box.agg_values)
         if self.aggregation.finished:
             self.done = True
+        self._register_wakes(ctx)
+
+    def message_wakes(self, sender: int, message: Any) -> bool:
+        """Delivery-time wake filter (see :class:`NodeAlgorithm`).
+
+        A BFS wave for a source this node has already settled at a
+        nearer or equal distance is a broadcast echo: the counting
+        phase validates and discards it without changing state or
+        sending, so it need not trigger a step of its own.  On
+        high-diameter graphs these echoes are roughly half of all
+        deliveries, so deferring them halves the event engine's work.
+        A wave that would fail the late-arrival check
+        (``dist + 1 <= record.dist``) still wakes the node, so the
+        :class:`~repro.exceptions.ProtocolError` fires in the same
+        round as under the sweep engine.
+        """
+        if type(message) is BfsWave:
+            record = self.ledger.get(message.source)
+            if record is not None and message.dist + 1 > record.dist:
+                return False
+        return True
+
+    def _register_wakes(self, ctx: RoundContext) -> None:
+        """Register the node's next round-triggered action with the engine.
+
+        The phases expose their pending timers (``children_final``, the
+        delayed BFS launch / token forward, the aggregation send
+        schedule and the post-horizon finish); the earliest one is
+        registered via :meth:`RoundContext.wake_at` so the event engine
+        steps this node exactly when needed.  Re-registration on every
+        step keeps the invariant simple: the node is always stepped at
+        its earliest pending timer, at which point it registers the
+        next one.
+        """
+        wake = self.tree.next_event()
+        candidate = self.counting.next_event()
+        if candidate is not None and (wake is None or candidate < wake):
+            wake = candidate
+        candidate = self.aggregation.next_event(ctx.round_number)
+        if candidate is not None and (wake is None or candidate < wake):
+            wake = candidate
+        if wake is not None and wake > ctx.round_number:
+            ctx.wake_at(wake)
 
     # ------------------------------------------------------------------
     # outputs (read by the pipeline after the run)
@@ -136,6 +279,12 @@ def make_node_factory(
         return BetweennessNode(node_id, neighbors, root, arith, config=config)
 
     return factory
+
+
+#: Shared empty-inbox-slot sentinel for the typed dispatch above: phase
+#: handlers only iterate / truth-test their message lists, so an empty
+#: tuple is a safe stand-in that costs no allocation.
+_NO_MESSAGES: Tuple = ()
 
 
 class _SplitInbox:

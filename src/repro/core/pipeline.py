@@ -80,16 +80,32 @@ class DistributedBCResult:
             return {v: 0.0 for v in self.betweenness}
         return {v: value / pairs for v, value in self.betweenness.items()}
 
+    def _node_index(self) -> Dict[int, BetweennessNode]:
+        """``node_id -> node`` map, built once on first use.
+
+        Accessors like :meth:`dependency` are often called in O(N^2)
+        loops (one query per pair); a linear scan per call would make
+        them quadratic in aggregate.
+        """
+        index = self.__dict__.get("_nodes_by_id")
+        if index is None:
+            index = {node.node_id: node for node in self.nodes}
+            self.__dict__["_nodes_by_id"] = index
+        return index
+
     def distances(self) -> Dict[int, Dict[int, int]]:
         """The full APSP matrix: ``v -> {s: d(s, v)}`` from node ledgers."""
-        return {node.node_id: node.ledger.distances() for node in self.nodes}
+        return {
+            v: node.ledger.distances()
+            for v, node in self._node_index().items()
+        }
 
     def dependency(self, source: int, node: int):
         """delta_{source·}(node) as computed by the protocol."""
-        for candidate in self.nodes:
-            if candidate.node_id == node:
-                return candidate.aggregation.dependencies().get(source)
-        raise KeyError(node)
+        candidate = self._node_index().get(node)
+        if candidate is None:
+            raise KeyError(node)
+        return candidate.aggregation.dependencies().get(source)
 
 
 def distributed_betweenness(
@@ -101,6 +117,7 @@ def distributed_betweenness(
     cut=None,
     config: Optional[ProtocolConfig] = None,
     tracer=None,
+    engine: str = "event",
 ) -> DistributedBCResult:
     """Compute every node's betweenness with the paper's algorithm.
 
@@ -130,6 +147,13 @@ def distributed_betweenness(
     config:
         Advanced protocol knobs (source/target subsets, stress unit,
         counting-only); defaults to the paper's exact algorithm.
+    engine:
+        Simulator execution engine: ``"event"`` (default) steps only
+        active nodes and is several times faster on the pipelined
+        schedule; ``"sweep"`` steps every node every round (the
+        assumption-free reference).  Both produce identical results —
+        :class:`BetweennessNode` honours the event engine's wake
+        contract (see :mod:`repro.congest.simulator`).
 
     Returns
     -------
@@ -162,6 +186,7 @@ def distributed_betweenness(
         congest_factor=congest_factor,
         cut=cut,
         tracer=tracer,
+        engine=engine,
     )
     stats = simulator.run()
     nodes = [
@@ -262,6 +287,7 @@ def distributed_apsp(
     root: int = 0,
     strict: bool = True,
     congest_factor: int = DEFAULT_CONGEST_FACTOR,
+    engine: str = "event",
 ) -> DistributedAPSPResult:
     """Run Algorithm 2 alone (the Holzer–Wattenhofer-style APSP core).
 
@@ -276,6 +302,7 @@ def distributed_apsp(
         strict=strict,
         congest_factor=congest_factor,
         config=ProtocolConfig(aggregate=False),
+        engine=engine,
     )
     return DistributedAPSPResult(
         graph=graph,

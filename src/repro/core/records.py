@@ -56,6 +56,11 @@ class NodeLedger:
     def __init__(self, owner: int):
         self.owner = owner
         self._records: Dict[int, SourceRecord] = {}
+        #: The record for ``source``, or None if not yet settled.  Bound
+        #: directly to ``dict.get``: this is the hottest lookup in the
+        #: protocol (every BFS-wave delivery consults it), and the bound
+        #: C method skips a Python-level frame per call.
+        self.get = self._records.get
 
     def add(self, record: SourceRecord) -> None:
         """Insert a newly settled source row (must be new)."""
@@ -66,10 +71,6 @@ class NodeLedger:
                 )
             )
         self._records[record.source] = record
-
-    def get(self, source: int) -> Optional[SourceRecord]:
-        """The record for ``source``, or None if not yet settled."""
-        return self._records.get(source)
 
     def __contains__(self, source: int) -> bool:
         return source in self._records

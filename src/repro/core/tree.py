@@ -143,6 +143,17 @@ class TreePhase:
             ctx.send(child, Announce(self.num_nodes))
 
     # ------------------------------------------------------------------
+    def next_event(self) -> Optional[int]:
+        """Next round at which this phase acts without receiving a message.
+
+        The only round-triggered transition is ``children_final``, which
+        rises two rounds after settling; everything else in the phase is
+        message-driven.  Used by the event engine's wake registration.
+        """
+        if not self.children_final and self.settle_round is not None:
+            return self.settle_round + 2
+        return None
+
     def sorted_children(self) -> List[int]:
         """Tree children in id order (the deterministic DFS visit order)."""
         return sorted(self.children)

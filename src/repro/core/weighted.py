@@ -67,6 +67,7 @@ def distributed_weighted_betweenness(
     root: int = 0,
     strict: bool = True,
     congest_factor: int = DEFAULT_CONGEST_FACTOR,
+    engine: str = "event",
 ) -> WeightedBCResult:
     """Betweenness of every node of a weighted graph, distributively.
 
@@ -97,6 +98,7 @@ def distributed_weighted_betweenness(
         strict=strict,
         congest_factor=congest_factor,
         config=config,
+        engine=engine,
     )
     real = sorted(subdivision.real_nodes)
     betweenness = {v: run.betweenness[v] for v in real}
