@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.analysis import print_table
 from repro.core import distributed_betweenness
 from repro.graphs import cycle_graph, path_graph
+from repro.obs import Telemetry
 
 from .conftest import once
 
@@ -55,7 +56,10 @@ def measure(sizes=SIZES, families=None, reps=REPS):
     The engines are interleaved within each repetition so ambient noise
     (another process, thermal drift) hits both roughly equally.  Returns
     one row dict per instance with the best wall-clock per engine, the
-    speedup, and the result-identity check.
+    speedup, the result-identity check, and a ``phases`` map of
+    per-phase round counts — collected by one extra telemetry-carrying
+    run *outside* the timed repetitions, so the timed runs keep the
+    telemetry-disabled fast path.
     """
     families = dict(FAMILIES) if families is None else families
     rows = []
@@ -74,6 +78,10 @@ def measure(sizes=SIZES, families=None, reps=REPS):
                     if engine not in best or elapsed < best[engine]:
                         best[engine] = elapsed
                     outputs[engine] = _fingerprint(result)
+            telemetry = Telemetry()
+            distributed_betweenness(
+                graph, arithmetic="lfloat", engine="event", telemetry=telemetry
+            )
             rows.append(
                 {
                     "family": family,
@@ -83,6 +91,7 @@ def measure(sizes=SIZES, families=None, reps=REPS):
                     "event_seconds": round(best["event"], 4),
                     "speedup": round(best["sweep"] / best["event"], 3),
                     "identical_results": outputs["sweep"] == outputs["event"],
+                    "phases": telemetry.phases.rounds_by_phase(),
                 }
             )
     return rows
@@ -143,3 +152,13 @@ def test_engine_speedup_and_identity(benchmark):
     assert big, "benchmark must cover N >= 200"
     # Conservative gate (noise-proof); the JSON holds the real ratio.
     assert all(row["speedup"] > 1.0 for row in big)
+    # The telemetry run must have seen all four protocol phases, with
+    # the phase rounds partitioning the run (minus the final quiet round).
+    for row in rows:
+        assert sorted(row["phases"]) == [
+            "aggregation",
+            "counting",
+            "diameter_broadcast",
+            "tree_build",
+        ]
+        assert sum(row["phases"].values()) <= row["rounds"]

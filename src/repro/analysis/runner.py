@@ -81,6 +81,11 @@ class ExperimentRunner:
     engine:
         Simulator engine passed to every run (``"event"`` by default,
         matching :func:`repro.core.distributed_betweenness`).
+    collect_phases:
+        Attach a phases-only :class:`~repro.obs.Telemetry` to every run
+        and add one ``phase_<name>_rounds`` column per protocol phase
+        to each record's ``extra``.  Incompatible with a custom ``run``
+        callable (the runner cannot thread telemetry through it).
     """
 
     def __init__(
@@ -89,14 +94,24 @@ class ExperimentRunner:
         metrics: Optional[Dict[str, Callable]] = None,
         run: Optional[Callable] = None,
         engine: str = "event",
+        collect_phases: bool = False,
     ):
         self.arithmetic = arithmetic
         self.engine = engine
         self.metrics = metrics or {}
+        self.collect_phases = collect_phases
         self._custom_run = run is not None
+        if self._custom_run and collect_phases:
+            raise ValueError(
+                "collect_phases needs the default runner; a custom run "
+                "callable would have to accept telemetry itself"
+            )
         self._run = run or (
-            lambda graph: distributed_betweenness(
-                graph, arithmetic=self.arithmetic, engine=self.engine
+            lambda graph, telemetry=None: distributed_betweenness(
+                graph,
+                arithmetic=self.arithmetic,
+                engine=self.engine,
+                telemetry=telemetry,
             )
         )
         self.records: List[RunRecord] = []
@@ -106,7 +121,17 @@ class ExperimentRunner:
         """Execute the protocol on every instance of ``family``."""
         out: List[RunRecord] = []
         for graph in graphs:
-            result = self._run(graph)
+            if self.collect_phases:
+                from repro.obs import Telemetry
+
+                telemetry = Telemetry()
+                result = self._run(graph, telemetry)
+            else:
+                telemetry = None
+                result = self._run(graph)
+            extra = {name: fn(result) for name, fn in self.metrics.items()}
+            if telemetry is not None:
+                extra.update(_phase_columns(telemetry))
             record = RunRecord(
                 family=family,
                 graph_name=graph.name,
@@ -118,9 +143,7 @@ class ExperimentRunner:
                 bits=result.stats.bit_count,
                 max_edge_bits=result.stats.max_edge_bits_per_round,
                 arithmetic=getattr(result, "arithmetic", self.arithmetic),
-                extra={
-                    name: fn(result) for name, fn in self.metrics.items()
-                },
+                extra=extra,
             )
             out.append(record)
         self.records.extend(out)
@@ -149,6 +172,7 @@ class ExperimentRunner:
             arithmetic=self.arithmetic,
             engine=self.engine,
             processes=processes,
+            collect_phases=self.collect_phases,
         )
         self.records.extend(out)
         return out
@@ -203,10 +227,18 @@ class ExperimentRunner:
         return text
 
 
+def _phase_columns(telemetry) -> Dict[str, float]:
+    """``phase_<name>_rounds`` extras from a run's closed phase spans."""
+    return {
+        "phase_{}_rounds".format(name): rounds
+        for name, rounds in telemetry.phases.rounds_by_phase().items()
+    }
+
+
 # ----------------------------------------------------------------------
 # multiprocessing fan-out
 # ----------------------------------------------------------------------
-_Task = Tuple[str, Graph, str, str]
+_Task = Tuple[str, Graph, str, str, bool]
 
 
 def _run_one(task: _Task) -> RunRecord:
@@ -215,10 +247,17 @@ def _run_one(task: _Task) -> RunRecord:
     Module-level (not a closure) so a ``multiprocessing`` pool can
     pickle it; the graph rides along in the task tuple.
     """
-    family, graph, arithmetic, engine = task
+    family, graph, arithmetic, engine, collect_phases = task
+    if collect_phases:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+    else:
+        telemetry = None
     result = distributed_betweenness(
-        graph, arithmetic=arithmetic, engine=engine
+        graph, arithmetic=arithmetic, engine=engine, telemetry=telemetry
     )
+    extra = _phase_columns(telemetry) if telemetry is not None else {}
     return RunRecord(
         family=family,
         graph_name=graph.name,
@@ -230,6 +269,7 @@ def _run_one(task: _Task) -> RunRecord:
         bits=result.stats.bit_count,
         max_edge_bits=result.stats.max_edge_bits_per_round,
         arithmetic=result.arithmetic,
+        extra=extra,
     )
 
 
@@ -239,6 +279,7 @@ def run_many(
     arithmetic: str = "lfloat",
     engine: str = "event",
     processes: Optional[int] = None,
+    collect_phases: bool = False,
 ) -> List[RunRecord]:
     """Run the protocol on every graph, fanning out across processes.
 
@@ -261,8 +302,14 @@ def run_many(
         number of graphs.  ``processes <= 1`` (or a pool that cannot be
         created, e.g. on restricted platforms) runs serially in this
         process — same records, no pool.
+    collect_phases:
+        Add ``phase_<name>_rounds`` extras per record (phase spans are
+        plain numbers, so they cross the pool boundary untouched).
     """
-    tasks = [(family, graph, arithmetic, engine) for graph in graphs]
+    tasks = [
+        (family, graph, arithmetic, engine, collect_phases)
+        for graph in graphs
+    ]
     if not tasks:
         return []
     if processes is None:

@@ -8,6 +8,8 @@ Subcommands
 ``sample``    sampled (approximate) distributed betweenness
 ``schedule``  analytic BFS start / sending times (Figure 1 style tables)
 ``gadget``    build and verify a Section IX lower-bound gadget
+``report``    instrumented run: phase table, invariant monitor verdicts,
+              optional profile and JSONL metrics export
 ``info``      graph statistics
 
 Graphs are specified with ``--graph``: either a named generator
@@ -357,6 +359,82 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import Telemetry, default_monitors
+
+    graph = _load_graph(args)
+    tracer = None
+    if args.timeline:
+        from repro.congest import Tracer
+
+        tracer = Tracer()
+    telemetry = Telemetry(
+        monitors=default_monitors(args.monitor_mode),
+        profile=args.profile,
+    )
+    result = distributed_betweenness(
+        graph,
+        arithmetic=args.arithmetic,
+        root=args.root,
+        strict=not args.lenient,
+        tracer=tracer,
+        telemetry=telemetry,
+        engine=args.engine,
+    )
+    print_table(
+        ["statistic", "value"],
+        [[key, value] for key, value in result.stats.summary().items()],
+        title="Run statistics on {} (N={}, D={}, {}, engine={})".format(
+            graph.name,
+            graph.num_nodes,
+            result.diameter,
+            result.arithmetic,
+            args.engine,
+        ),
+    )
+    print()
+    print_table(
+        ["phase", "start round", "end round", "rounds", "wall ms"],
+        telemetry.phases.table_rows(),
+        title="Protocol phases (round boundaries from protocol state)",
+    )
+    print()
+    print_table(
+        ["monitor", "status", "checked", "violations", "detail"],
+        [
+            [
+                verdict.monitor,
+                verdict.status,
+                verdict.checked,
+                verdict.violation_count,
+                ", ".join(
+                    "{}={}".format(key, value)
+                    for key, value in verdict.detail.items()
+                ),
+            ]
+            for verdict in telemetry.verdicts()
+        ],
+        title="Invariant monitors",
+    )
+    for verdict in telemetry.verdicts():
+        for description in verdict.violations:
+            print("  ! {}".format(description))
+    if args.profile:
+        print()
+        print_table(
+            ["section", "seconds", "calls/count"],
+            telemetry.profiler.table_rows(),
+            title="Profile",
+        )
+    if tracer is not None:
+        print()
+        print(tracer.timeline(width=args.width))
+    if args.metrics_out:
+        telemetry.write_jsonl(args.metrics_out)
+        print("\nmetrics written to {}".format(args.metrics_out))
+    return 0 if telemetry.all_ok() else 1
+
+
 def cmd_elect(args: argparse.Namespace) -> int:
     from repro.congest import elect_root
 
@@ -483,6 +561,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_protocol_options(p_trace)
     p_trace.add_argument("--width", type=int, default=70)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report",
+        help="instrumented run: phases, invariant monitors, metrics export",
+    )
+    _add_graph_options(p_report)
+    _add_protocol_options(p_report)
+    p_report.add_argument(
+        "--monitor-mode",
+        choices=("record", "warn", "raise"),
+        default="record",
+        help="how monitors react to a violation (default: record; the "
+        "command exits 1 on any recorded violation either way)",
+    )
+    p_report.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the simulator's hot sections and print the profile",
+    )
+    p_report.add_argument(
+        "--timeline",
+        action="store_true",
+        help="also trace every delivery and print the message timeline",
+    )
+    p_report.add_argument("--width", type=int, default=70)
+    p_report.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's metrics/phases/verdicts as JSON Lines",
+    )
+    p_report.set_defaults(func=cmd_report)
 
     p_elect = sub.add_parser("elect", help="leader election for the root u0")
     _add_graph_options(p_elect)

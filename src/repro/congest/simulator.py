@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import gc
 import heapq
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.congest.message import Message, WireFormat
@@ -105,6 +106,19 @@ class Simulator:
     tracer:
         Optional :class:`~repro.congest.trace.Tracer` recording every
         delivery for post-run inspection.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` (duck-typed —
+        this module does not import ``repro.obs``).  When given, the
+        simulator calls ``on_run_start(self)`` before the first round,
+        ``on_send(round, sender, receiver, message, bits)`` per enqueued
+        message (only if ``telemetry.wants_sends``), ``on_round_end(
+        round, edge_load)`` after each round with traffic (with the
+        reusable accounting buffer, before it is cleared), and
+        ``on_run_end(stats)`` after termination.  If
+        ``telemetry.profiler`` is set, the engines additionally time
+        their delivery/step sections and count scheduling events.  The
+        disabled path (``None``, the default) costs one identity check
+        per hook site, mirroring ``tracer``.
     engine:
         ``"sweep"`` (default) steps every node every round; ``"event"``
         steps only nodes with pending messages or registered wakes and
@@ -123,6 +137,7 @@ class Simulator:
         cut: Optional[Iterable[int]] = None,
         wire: Optional[WireFormat] = None,
         tracer=None,
+        telemetry=None,
         engine: str = "sweep",
     ):
         if engine not in ENGINES:
@@ -144,6 +159,7 @@ class Simulator:
         )
         self.stats = SimulationStats()
         self.tracer = tracer
+        self.telemetry = telemetry
         if cut is not None:
             self.stats.cut = CutTracker(frozenset(cut))
         self.nodes: List[NodeAlgorithm] = [
@@ -188,22 +204,31 @@ class Simulator:
 
         Returns the populated :class:`SimulationStats`.
         """
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_run_start(self)
         was_enabled = gc.isenabled()
         if was_enabled:
             gc.disable()
         try:
             if self.engine == "event":
-                return self._run_event()
-            return self._run_sweep()
+                stats = self._run_event()
+            else:
+                stats = self._run_sweep()
         finally:
             if was_enabled:
                 gc.enable()
+        if telemetry is not None:
+            telemetry.on_run_end(stats)
+        return stats
 
     # ------------------------------------------------------------------
     # sweep engine: the reference lockstep loop
     # ------------------------------------------------------------------
     def _run_sweep(self) -> SimulationStats:
         all_ids = range(len(self.nodes))
+        telemetry = self.telemetry
+        profiler = telemetry.profiler if telemetry is not None else None
         round_number = 0
         while True:
             if round_number > self.max_rounds:
@@ -215,7 +240,12 @@ class Simulator:
             inboxes, had_traffic = self._deliver()
             if not had_traffic and self._all_done() and round_number > 0:
                 break
-            self._step(round_number, inboxes, all_ids)
+            if profiler is None:
+                self._step(round_number, inboxes, all_ids)
+            else:
+                started = perf_counter()
+                self._step(round_number, inboxes, all_ids)
+                profiler.add("engine.step", perf_counter() - started)
             round_number += 1
         self.stats.rounds = round_number
         return self.stats
@@ -227,6 +257,8 @@ class Simulator:
         nodes = self.nodes
         deferred = self._deferred
         has_filter = self._has_wake_filter
+        telemetry = self.telemetry
+        profiler = telemetry.profiler if telemetry is not None else None
         done_count = sum(1 for node in nodes if node.done)
         round_number = 0
         while True:
@@ -243,6 +275,7 @@ class Simulator:
             had_traffic = bool(in_flight)
             receivers: Set[int] = set()
             if had_traffic:
+                started = perf_counter() if profiler is not None else 0.0
                 self._in_flight = {}
                 for target, arrivals in in_flight.items():
                     box = deferred[target]
@@ -258,6 +291,8 @@ class Simulator:
                                 break
                     else:
                         receivers.add(target)
+                if profiler is not None:
+                    profiler.add("engine.deliver", perf_counter() - started)
             elif done_count == len(nodes) and round_number > 0:
                 break
             active = self._active_set(round_number, receivers)
@@ -266,6 +301,8 @@ class Simulator:
                     # Every arrival this round was passive: the round
                     # elapses (the messages were on the wire) but no
                     # node needs stepping.
+                    if profiler is not None:
+                        profiler.bump("engine.passive_rounds")
                     self.stats.start_round()
                     round_number += 1
                     continue
@@ -280,6 +317,10 @@ class Simulator:
                     skip_to = min(self._wake_heap[0][0], self.max_rounds + 1)
                 else:
                     skip_to = self.max_rounds + 1
+                if profiler is not None and skip_to > round_number:
+                    profiler.bump(
+                        "engine.fast_forwarded_rounds", skip_to - round_number
+                    )
                 while round_number < skip_to:
                     self.stats.start_round()
                     round_number += 1
@@ -290,7 +331,13 @@ class Simulator:
                 if box is not None:
                     inboxes[node_id] = box
                     deferred[node_id] = None
-            done_count += self._step(round_number, inboxes, active)
+            if profiler is None:
+                done_count += self._step(round_number, inboxes, active)
+            else:
+                started = perf_counter()
+                done_count += self._step(round_number, inboxes, active)
+                profiler.add("engine.step", perf_counter() - started)
+                profiler.bump("engine.active_node_steps", len(active))
             round_number += 1
         self.stats.rounds = round_number
         return self.stats
@@ -353,6 +400,13 @@ class Simulator:
         edge_load_get = edge_load.get
         wire = self.wire
         tracer = self.tracer
+        telemetry = self.telemetry
+        on_send = None
+        on_round_end = None
+        if telemetry is not None:
+            if telemetry.wants_sends:
+                on_send = telemetry.on_send
+            on_round_end = telemetry.on_round_end
         budget = self.bit_budget if self.strict else None
         nodes = self.nodes
         in_flight = self._in_flight
@@ -371,6 +425,8 @@ class Simulator:
                 bits = message.bit_size(wire)
                 if tracer is not None:
                     tracer.record(round_number, node_id, target, message, bits)
+                if on_send is not None:
+                    on_send(round_number, node_id, target, message, bits)
                 key = (node_id, target)
                 load = edge_load_get(key)
                 if load is None:
@@ -396,6 +452,8 @@ class Simulator:
                     done_delta += 1 if node.done else -1
         if edge_load:
             self.stats.observe_round(round_number, edge_load)
+            if on_round_end is not None:
+                on_round_end(round_number, edge_load)
             edge_load.clear()
         return done_delta
 

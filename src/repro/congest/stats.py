@@ -121,14 +121,23 @@ class SimulationStats:
         msg_total, bit_total = self.round_series[-1]
         self.round_series[-1] = (msg_total + round_msgs, bit_total + round_bits)
 
-    def summary(self) -> Dict[str, int]:
-        """A plain-dict summary convenient for benchmark tables."""
+    def summary(self) -> Dict[str, object]:
+        """A plain-dict summary convenient for benchmark tables.
+
+        ``worst_edge`` is the ``(round, sender, receiver)`` achieving
+        ``max_edge_bits_per_round`` (None with no traffic) and
+        ``round_series_len`` the length of the per-round series — both
+        must agree between the two engines, so including them here puts
+        them under every summary-equality differential test.
+        """
         out = {
             "rounds": self.rounds,
             "messages": self.message_count,
             "bits": self.bit_count,
             "max_edge_bits_per_round": self.max_edge_bits_per_round,
             "max_edge_messages_per_round": self.max_edge_messages_per_round,
+            "worst_edge": self.worst_edge,
+            "round_series_len": len(self.round_series),
         }
         if self.cut is not None:
             out["cut_bits"] = self.cut.bits

@@ -17,6 +17,7 @@ supports type and node filters and a hard event cap.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Type
 
@@ -183,9 +184,8 @@ class Tracer:
         The JSON object carries a schema marker, the truncation flag,
         and one compact ``[round, sender, receiver, type, bits]`` row
         per delivery — small enough to feed a timeline visualizer.
+        :meth:`from_json` reads the format back.
         """
-        import json
-
         return json.dumps(
             {
                 "schema": "repro-trace-v1",
@@ -202,6 +202,31 @@ class Tracer:
                 ],
             }
         )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Tracer":
+        """Rebuild a tracer from :meth:`to_json` output.
+
+        The returned tracer holds the deserialized events and the
+        original truncation flag; its queries and rendering behave
+        exactly as on the recording tracer, so a trace captured on one
+        machine can be inspected on another.
+        """
+        payload = json.loads(text)
+        schema = payload.get("schema")
+        if schema != "repro-trace-v1":
+            raise ValueError(
+                "unsupported trace schema {!r} (expected 'repro-trace-v1')".format(
+                    schema
+                )
+            )
+        tracer = cls()
+        tracer._events = [
+            Delivery(int(r), int(s), int(t), str(kind), int(bits))
+            for r, s, t, kind, bits in payload["events"]
+        ]
+        tracer.truncated = bool(payload.get("truncated", False))
+        return tracer
 
     def summary(self) -> Dict[str, Dict[str, int]]:
         """Per-type totals: count, bits, first and last active round."""

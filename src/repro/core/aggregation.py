@@ -82,6 +82,10 @@ class AggregationPhase:
         #: halves it for the undirected convention.
         self.betweenness_raw: Optional[Any] = None
         self.finished = False
+        #: round in which the final local computation ran — the
+        #: protocol-exact end of the aggregation phase, consumed by the
+        #: telemetry phase spans (None if aggregation was disabled).
+        self.finished_round: Optional[int] = None
 
     # ------------------------------------------------------------------
     def arm(self, start: AggStart) -> None:
@@ -166,6 +170,7 @@ class AggregationPhase:
                     ctx.send(pred, AggValue(source, value, arith))
         if not self.finished and ctx.round_number > self._horizon:
             self._finish()
+            self.finished_round = ctx.round_number
 
     def next_event(self, round_number: int) -> Optional[int]:
         """Next round at which this phase acts without receiving a message.

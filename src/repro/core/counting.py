@@ -74,6 +74,10 @@ class CountingPhase:
         #: set on the root when the convergecast completes:
         #: (D, T_max, aggregation base round).
         self.counting_result: Optional[Tuple[int, int, int]] = None
+        #: round in which ``counting_result`` was set (root only) — the
+        #: protocol-exact end of the counting phase, consumed by the
+        #: telemetry phase spans.
+        self.result_round: Optional[int] = None
 
     # ------------------------------------------------------------------
     def on_round(
@@ -281,6 +285,7 @@ class CountingPhase:
             t_max = self.ledger.max_start_time()
             base = ctx.round_number + diameter + 1
             self.counting_result = (diameter, t_max, base)
+            self.result_round = ctx.round_number
             for child in self.tree.sorted_children():
                 ctx.send(child, AggStart(diameter, t_max, base))
         else:

@@ -53,6 +53,14 @@ class BetweennessNode(NodeAlgorithm):
         The id of the node u0 hosting the BFS(u0) tree and the DFS.
     arith:
         The arithmetic context (exact or L-bit float, Section VI).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` (duck-typed;
+        this module does not import ``repro.obs``).  Give it to the
+        *root* node only: the root's phase handlers hold the global
+        phase boundaries as protocol state (``census_round``,
+        ``result_round``, the AggStart ``base``, ``finished_round``),
+        so it emits each phase mark exactly once, with the
+        protocol-exact round number rather than a guess from traffic.
     """
 
     def __init__(
@@ -62,10 +70,12 @@ class BetweennessNode(NodeAlgorithm):
         root: int,
         arith: ArithmeticContext,
         config: ProtocolConfig = ProtocolConfig(),
+        telemetry=None,
     ):
         super().__init__(node_id, neighbors)
         self.arith = arith
         self.config = config
+        self.telemetry = telemetry
         self.ledger = NodeLedger(node_id)
         self.tree = TreePhase(node_id, is_root=(node_id == root))
         self.counting = CountingPhase(
@@ -75,8 +85,16 @@ class BetweennessNode(NodeAlgorithm):
             node_id, self.tree, self.ledger, arith, config=config
         )
         self._dfs_started = False
+        # Phase-mark cursor: index into _PHASE_MARKS of the next
+        # boundary to emit (marks are strictly ordered, so a single
+        # integer suffices).  Stays 0 forever when telemetry is None.
+        self._phase_cursor = 0
 
     # ------------------------------------------------------------------
+    def on_start(self, ctx: RoundContext) -> None:
+        if self.telemetry is not None:
+            self.telemetry.phase_begin("tree_build", ctx.round_number)
+
     def on_round(self, ctx: RoundContext, inbox: Inbox) -> None:
         if inbox:
             # Hot path: dispatch the inbox by type in a single pass,
@@ -176,6 +194,8 @@ class BetweennessNode(NodeAlgorithm):
             aggregation.on_round(ctx, agg_values)
             if aggregation.finished:
                 self.done = True
+            if self.telemetry is not None:
+                self._phase_transitions()
             self._register_wakes(ctx)
             return
         box = _split_inbox(inbox)
@@ -206,7 +226,33 @@ class BetweennessNode(NodeAlgorithm):
         self.aggregation.on_round(ctx, box.agg_values)
         if self.aggregation.finished:
             self.done = True
+        if self.telemetry is not None:
+            self._phase_transitions()
         self._register_wakes(ctx)
+
+    def _phase_transitions(self) -> None:
+        """Emit any phase marks whose protocol evidence just appeared.
+
+        Each entry of :data:`_PHASE_MARKS` names a phase and the piece
+        of root state holding its protocol-exact start round; the marks
+        are strictly ordered, so a cursor walks them at most once per
+        run.  The final aggregation ``finished_round`` closes the last
+        span.  Only called on the telemetry-carrying (root) node.
+        """
+        telemetry = self.telemetry
+        cursor = self._phase_cursor
+        marks = _PHASE_MARKS
+        while cursor < len(marks):
+            name, owner, attribute = marks[cursor]
+            boundary = getattr(getattr(self, owner), attribute)
+            if boundary is None:
+                break
+            if name is None:
+                telemetry.phase_end(boundary)
+            else:
+                telemetry.phase_begin(name, boundary)
+            cursor += 1
+        self._phase_cursor = cursor
 
     def message_wakes(self, sender: int, message: Any) -> bool:
         """Delivery-time wake filter (see :class:`NodeAlgorithm`).
@@ -272,11 +318,24 @@ def make_node_factory(
     root: int,
     arith: ArithmeticContext,
     config: ProtocolConfig = ProtocolConfig(),
+    telemetry=None,
 ):
-    """The factory the simulator calls for every node."""
+    """The factory the simulator calls for every node.
+
+    ``telemetry`` is handed to the root node only (see
+    :class:`BetweennessNode`); every other node keeps the zero-cost
+    ``None`` default.
+    """
 
     def factory(node_id: int, neighbors: Tuple[int, ...]) -> BetweennessNode:
-        return BetweennessNode(node_id, neighbors, root, arith, config=config)
+        return BetweennessNode(
+            node_id,
+            neighbors,
+            root,
+            arith,
+            config=config,
+            telemetry=telemetry if node_id == root else None,
+        )
 
     return factory
 
@@ -285,6 +344,21 @@ def make_node_factory(
 #: handlers only iterate / truth-test their message lists, so an empty
 #: tuple is a safe stand-in that costs no allocation.
 _NO_MESSAGES: Tuple = ()
+
+
+#: Ordered phase boundaries for telemetry, each as (phase name to open,
+#: attribute owner on the node, attribute holding the start round); a
+#: ``None`` name closes the final span instead.  The boundaries are the
+#: protocol state the root sets as the run progresses: the census
+#: completes the tree build, ``result_round`` ends the pipelined
+#: counting, the AggStart ``base`` ends the D-round diameter broadcast,
+#: and ``finished_round`` is the final local computation.
+_PHASE_MARKS: Tuple[Tuple[Optional[str], str, str], ...] = (
+    ("counting", "tree", "census_round"),
+    ("diameter_broadcast", "counting", "result_round"),
+    ("aggregation", "aggregation", "base"),
+    (None, "aggregation", "finished_round"),
+)
 
 
 class _SplitInbox:

@@ -117,6 +117,7 @@ def distributed_betweenness(
     cut=None,
     config: Optional[ProtocolConfig] = None,
     tracer=None,
+    telemetry=None,
     engine: str = "event",
 ) -> DistributedBCResult:
     """Compute every node's betweenness with the paper's algorithm.
@@ -147,6 +148,13 @@ def distributed_betweenness(
     config:
         Advanced protocol knobs (source/target subsets, stress unit,
         counting-only); defaults to the paper's exact algorithm.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` (duck-typed —
+        this module does not import ``repro.obs``).  Wired into the
+        simulator (metrics, monitors, profiling) and the root node
+        (protocol-state phase marks); after the run its
+        ``finalize_run(result)`` hook fires so post-run monitors (the
+        Theorem 1 error check) can judge the collected result.
     engine:
         Simulator execution engine: ``"event"`` (default) steps only
         active nodes and is several times faster on the pipelined
@@ -181,18 +189,22 @@ def distributed_betweenness(
     config = config or ProtocolConfig()
     simulator = Simulator(
         graph,
-        make_node_factory(root, ctx, config=config),
+        make_node_factory(root, ctx, config=config, telemetry=telemetry),
         strict=strict,
         congest_factor=congest_factor,
         cut=cut,
         tracer=tracer,
+        telemetry=telemetry,
         engine=engine,
     )
     stats = simulator.run()
     nodes = [
         node for node in simulator.nodes if isinstance(node, BetweennessNode)
     ]
-    return _collect(graph, nodes, stats, ctx, root)
+    result = _collect(graph, nodes, stats, ctx, root)
+    if telemetry is not None:
+        telemetry.finalize_run(result)
+    return result
 
 
 def _collect(

@@ -74,6 +74,28 @@ class SimulationNotTerminatedError(CongestError):
     """The simulator hit its round limit before all nodes halted."""
 
 
+class InvariantViolationError(CongestError):
+    """A telemetry monitor observed a violated runtime invariant.
+
+    Raised only by monitors configured with ``mode="raise"``
+    (:mod:`repro.obs.monitors`): an aggregation-schedule collision that
+    Lemma 4 forbids, a per-edge load above the CONGEST budget of
+    Lemmas 3–5, or an L-float error outside the Theorem 1 envelope.
+
+    Attributes
+    ----------
+    monitor:
+        Name of the monitor that fired.
+    description:
+        Human-readable account of the specific violation.
+    """
+
+    def __init__(self, monitor: str, description: str):
+        self.monitor = monitor
+        self.description = description
+        super().__init__("[{}] {}".format(monitor, description))
+
+
 class ProtocolError(ReproError):
     """A distributed protocol reached an internally inconsistent state.
 

@@ -1,0 +1,45 @@
+"""Observability for the CONGEST reproduction: metrics, phases, monitors.
+
+The :mod:`repro.obs` package is strictly *downstream* of the simulator
+and protocol packages: it imports :mod:`repro.core` and
+:mod:`repro.congest` types where needed, but nothing in those packages
+imports ``repro.obs`` — telemetry reaches them only as a duck-typed
+``telemetry=None`` parameter, so the core stays importable (and fast)
+without this package in the picture.
+
+Entry point: build a :class:`Telemetry` (usually via
+:meth:`Telemetry.with_monitors`) and pass it to
+:func:`repro.core.pipeline.distributed_betweenness` or a
+:class:`repro.congest.simulator.Simulator`.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.monitors import (
+    AggregationCollisionMonitor,
+    BandwidthMonitor,
+    LFloatErrorMonitor,
+    Monitor,
+    MonitorVerdict,
+    default_monitors,
+)
+from repro.obs.profiler import Profiler
+from repro.obs.spans import PhaseSpan, PhaseTracker
+from repro.obs.telemetry import METRICS_SCHEMA, Telemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Monitor",
+    "MonitorVerdict",
+    "AggregationCollisionMonitor",
+    "BandwidthMonitor",
+    "LFloatErrorMonitor",
+    "default_monitors",
+    "Profiler",
+    "PhaseSpan",
+    "PhaseTracker",
+    "Telemetry",
+    "METRICS_SCHEMA",
+]

@@ -1,0 +1,191 @@
+"""Low-overhead metrics primitives for the telemetry subsystem.
+
+Three instrument kinds cover everything the simulator and protocol code
+need to report:
+
+* :class:`Counter` — a monotone total (messages sent, collisions
+  checked, idle rounds skipped).
+* :class:`Gauge` — a last-write-wins value (rounds, diameter, the
+  per-edge budget in force).
+* :class:`Histogram` — a streaming summary (count / sum / min / max)
+  plus fixed power-of-two buckets, cheap enough to observe per round.
+
+A :class:`MetricsRegistry` owns instruments by name with get-or-create
+semantics, so independent subsystems can contribute to one namespace
+without coordination.  Instruments are plain attribute updates — no
+locks, no allocation per observation — because the simulator may drive
+them from its per-round hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(
+                "counter {!r} cannot decrease (got {})".format(
+                    self.name, amount
+                )
+            )
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Number]:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:
+        return "Counter({}={})".format(self.name, self.value)
+
+
+class Gauge:
+    """A value that can move both ways; reports the last write."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def snapshot(self) -> Dict[str, Optional[Number]]:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:
+        return "Gauge({}={})".format(self.name, self.value)
+
+
+class Histogram:
+    """A streaming distribution summary with power-of-two buckets.
+
+    Buckets count observations ``v`` with ``v <= 2**i`` for
+    ``i = 0 .. bucket_count - 1``; a final overflow bucket catches the
+    rest.  Power-of-two bounds match the quantities observed here
+    (bits, message counts, round gaps), which span orders of magnitude.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    kind = "histogram"
+
+    #: Default number of power-of-two buckets (covers up to 2**20).
+    BUCKETS = 21
+
+    def __init__(self, name: str, bucket_count: int = BUCKETS):
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        #: buckets[i] counts observations <= 2**i; buckets[-1] overflow.
+        self.buckets: List[int] = [0] * (bucket_count + 1)
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        # Index of the first power-of-two bound >= value.
+        if value <= 1:
+            index = 0
+        else:
+            index = int(value - 1).bit_length()
+        if index >= len(self.buckets) - 1:
+            index = len(self.buckets) - 1
+        self.buckets[index] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+        }
+
+    def __repr__(self) -> str:
+        return "Histogram({}: n={}, mean={:.3g})".format(
+            self.name, self.count, self.mean
+        )
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create access.
+
+    Names are dotted paths by convention (``engine.steps``,
+    ``run.rounds``); the registry enforces that one name maps to one
+    instrument kind for its whole lifetime.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory(name)
+        elif instrument.kind != kind:
+            raise ValueError(
+                "metric {!r} already registered as a {}, not a {}".format(
+                    name, instrument.kind, kind
+                )
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram, "histogram")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Tuple[str, Instrument]]:
+        return iter(sorted(self._instruments.items()))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """``name -> {kind, ...instrument snapshot}``, name-sorted."""
+        return {
+            name: dict(kind=instrument.kind, **instrument.snapshot())
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def __repr__(self) -> str:
+        return "MetricsRegistry({} metrics)".format(len(self._instruments))

@@ -1,0 +1,375 @@
+"""Runtime invariant monitors: the paper's lemmas, watched live.
+
+The reproduction's headline claims are *runtime properties* of the
+protocol, and the protocol code already hard-asserts some of them
+(:class:`~repro.exceptions.ProtocolError` on a Lemma 4 schedule clash,
+:class:`~repro.exceptions.CongestViolationError` in strict mode).
+Monitors complement those assertions from the *outside*: they watch the
+simulator's send stream without trusting the protocol's own
+bookkeeping, count how much evidence they saw, and render a per-run
+verdict — so a refactor that silently broke an invariant (or silently
+stopped checking it) is caught by the telemetry layer, not just by the
+code under test.
+
+Three monitors cover the three claims:
+
+* :class:`AggregationCollisionMonitor` — Lemma 4: a node never sends
+  aggregation values for two different sources in the same round.
+* :class:`BandwidthMonitor` — Lemmas 3–5: the bits on one directed
+  edge in one round never exceed ``c * ceil(log2 N)``.
+* :class:`LFloatErrorMonitor` — Theorem 1: the computed betweenness
+  values stay within the compound ``O(2**-L)`` relative-error envelope
+  of the exact reference.
+
+Every monitor runs in one of three modes: ``"record"`` (default —
+violations are stored and reported in the verdict), ``"warn"``
+(additionally emits a :class:`RuntimeWarning`), or ``"raise"``
+(raises :class:`~repro.exceptions.InvariantViolationError` at the
+offending event, stopping the run at the first broken invariant).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import InvariantViolationError
+
+#: Recognized monitor modes.
+MODES = ("record", "warn", "raise")
+
+#: How many violation descriptions a monitor stores verbatim; further
+#: violations are counted but not described (a broken invariant tends
+#: to fire on every round — the first few sites are the useful ones).
+MAX_STORED_VIOLATIONS = 20
+
+
+@dataclass
+class MonitorVerdict:
+    """One monitor's post-run judgement."""
+
+    monitor: str
+    ok: bool
+    #: how many opportunities to violate the invariant were examined
+    #: (sends, edge-rounds, compared values) — a passing verdict with
+    #: ``checked == 0`` means "nothing observed", not "invariant holds".
+    checked: int
+    violation_count: int = 0
+    violations: List[str] = field(default_factory=list)
+    #: monitor-specific numbers (worst load, measured error, bound...).
+    detail: Dict[str, Any] = field(default_factory=dict)
+    #: set when the monitor did not apply to this run (e.g. the LFloat
+    #: monitor on an exact-arithmetic run).
+    skipped: bool = False
+
+    @property
+    def status(self) -> str:
+        if self.skipped:
+            return "SKIPPED"
+        return "OK" if self.ok else "VIOLATED"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "monitor": self.monitor,
+            "status": self.status,
+            "ok": self.ok,
+            "skipped": self.skipped,
+            "checked": self.checked,
+            "violation_count": self.violation_count,
+            "violations": list(self.violations),
+            "detail": dict(self.detail),
+        }
+
+
+class Monitor:
+    """Base class: mode handling and violation accounting.
+
+    Subclasses override any of the three hooks the
+    :class:`~repro.obs.telemetry.Telemetry` facade drives:
+
+    * :meth:`on_send` — once per enqueued message (only called if the
+      subclass actually overrides it, so no per-send cost otherwise);
+    * :meth:`on_round_end` — once per stepped round, with the round's
+      per-edge ``(sender, receiver) -> [messages, bits]`` accounting;
+    * :meth:`finalize` — once after the run, with the pipeline result.
+    """
+
+    name = "monitor"
+
+    def __init__(self, mode: str = "record"):
+        if mode not in MODES:
+            raise ValueError(
+                "unknown monitor mode {!r} (expected one of {})".format(
+                    mode, MODES
+                )
+            )
+        self.mode = mode
+        self.checked = 0
+        self.violation_count = 0
+        self.violations: List[str] = []
+        self.skipped = False
+
+    # -- hooks ----------------------------------------------------------
+    def on_run_start(self, simulator) -> None:
+        """Bind per-run constants (bit budget, wire format, graph size)."""
+
+    def on_send(
+        self,
+        round_number: int,
+        sender: int,
+        receiver: int,
+        message: Any,
+        bits: int,
+    ) -> None:
+        """Observe one enqueued message."""
+
+    def on_round_end(
+        self,
+        round_number: int,
+        edge_load: Dict[Tuple[int, int], List[int]],
+    ) -> None:
+        """Observe one completed round's per-edge accounting.
+
+        ``edge_load`` is the simulator's reusable buffer — read it,
+        never store or mutate it.
+        """
+
+    def finalize(self, result) -> None:
+        """Post-run check against the pipeline result (duck-typed
+        :class:`~repro.core.pipeline.DistributedBCResult`)."""
+
+    # -- verdict --------------------------------------------------------
+    def _violation(self, description: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < MAX_STORED_VIOLATIONS:
+            self.violations.append(description)
+        if self.mode == "warn":
+            warnings.warn(
+                "[{}] {}".format(self.name, description), RuntimeWarning,
+                stacklevel=3,
+            )
+        elif self.mode == "raise":
+            raise InvariantViolationError(self.name, description)
+
+    def detail(self) -> Dict[str, Any]:
+        """Monitor-specific verdict numbers; override to add."""
+        return {}
+
+    def verdict(self) -> MonitorVerdict:
+        return MonitorVerdict(
+            monitor=self.name,
+            ok=self.violation_count == 0,
+            checked=self.checked,
+            violation_count=self.violation_count,
+            violations=list(self.violations),
+            detail=self.detail(),
+            skipped=self.skipped,
+        )
+
+    def __repr__(self) -> str:
+        return "{}(mode={}, checked={}, violations={})".format(
+            type(self).__name__, self.mode, self.checked, self.violation_count
+        )
+
+
+class AggregationCollisionMonitor(Monitor):
+    """Lemma 4: one aggregation source per node per round.
+
+    The collision-free schedule sends node u's value for source s at
+    round ``base + T_s + D - d(s, u)``; Lemma 4 proves no two sources
+    ever share a node's send round.  The monitor watches every
+    aggregation-value send (messages exposing a ``source`` attribute
+    and named ``AggValue``) and flags a sender that emits values for
+    two distinct sources in one round.  Fan-out to several predecessors
+    for the *same* source is legitimate and counted once.
+    """
+
+    name = "lemma4_aggregation_collision"
+
+    def __init__(self, mode: str = "record"):
+        super().__init__(mode)
+        #: sender -> source seen this round (cleared per round).
+        self._round_sources: Dict[int, int] = {}
+        self._max_sources_per_node_round = 0
+
+    def on_send(
+        self,
+        round_number: int,
+        sender: int,
+        receiver: int,
+        message: Any,
+        bits: int,
+    ) -> None:
+        if type(message).__name__ != "AggValue":
+            return
+        source = message.source
+        seen = self._round_sources.get(sender)
+        if seen is None:
+            self.checked += 1
+            self._round_sources[sender] = source
+            if self._max_sources_per_node_round == 0:
+                self._max_sources_per_node_round = 1
+        elif seen != source:
+            self._max_sources_per_node_round = 2
+            self._violation(
+                "node {} sent aggregation values for sources {} and {} in "
+                "round {} — Lemma 4 forbids the collision".format(
+                    sender, seen, source, round_number
+                )
+            )
+
+    def on_round_end(
+        self,
+        round_number: int,
+        edge_load: Dict[Tuple[int, int], List[int]],
+    ) -> None:
+        if self._round_sources:
+            self._round_sources.clear()
+
+    def detail(self) -> Dict[str, Any]:
+        return {
+            "node_rounds_with_agg_sends": self.checked,
+            "max_sources_per_node_round": self._max_sources_per_node_round,
+        }
+
+
+class BandwidthMonitor(Monitor):
+    """Lemmas 3–5: per-edge per-round load within ``c * ceil(log2 N)``.
+
+    Reads the simulator's per-round edge accounting (the same numbers
+    strict mode enforces) and records the worst directed-edge load it
+    saw.  Unlike strict mode — which aborts the run at the first
+    overflow — the monitor can *survey* a non-strict run, reporting
+    every offending edge-round; and it can check against a budget
+    different from the one the simulator enforces via the
+    ``congest_factor`` override.
+
+    Parameters
+    ----------
+    congest_factor:
+        Budget multiplier c; ``None`` (default) adopts the simulator's
+        own configured budget at run start.
+    """
+
+    name = "bandwidth_budget"
+
+    def __init__(self, mode: str = "record", congest_factor: Optional[int] = None):
+        super().__init__(mode)
+        self.congest_factor = congest_factor
+        self.budget: Optional[int] = None
+        self.max_edge_bits = 0
+        self._worst: Optional[Tuple[int, int, int]] = None
+
+    def on_run_start(self, simulator) -> None:
+        if self.congest_factor is None:
+            self.budget = simulator.bit_budget
+        else:
+            # Mirror the simulator's budget formula, including its
+            # 4-bit floor for degenerate tiny networks.
+            self.budget = self.congest_factor * max(4, simulator.wire.id_bits)
+
+    def on_round_end(
+        self,
+        round_number: int,
+        edge_load: Dict[Tuple[int, int], List[int]],
+    ) -> None:
+        budget = self.budget
+        if budget is None:
+            return
+        max_bits = self.max_edge_bits
+        for key, load in edge_load.items():
+            bits = load[1]
+            self.checked += 1
+            if bits > max_bits:
+                max_bits = bits
+                self._worst = (round_number, key[0], key[1])
+            if bits > budget:
+                self._violation(
+                    "edge {} -> {} carries {} bits in round {} but the "
+                    "budget is {} bits/edge/round".format(
+                        key[0], key[1], bits, round_number, budget
+                    )
+                )
+        self.max_edge_bits = max_bits
+
+    def detail(self) -> Dict[str, Any]:
+        return {
+            "budget_bits": self.budget,
+            "max_edge_bits_per_round": self.max_edge_bits,
+            "worst_edge": self._worst,
+            "edge_rounds_checked": self.checked,
+        }
+
+
+class LFloatErrorMonitor(Monitor):
+    """Theorem 1: the L-float betweenness error stays inside the envelope.
+
+    After the run, compares every node's computed betweenness against
+    the exact centralized reference (Brandes with rational arithmetic)
+    and checks the maximum relative error against the compound
+    Theorem 1 bound for the run's precision L
+    (:func:`repro.arithmetic.errors.theorem1_bound`).  The reference
+    costs one centralized O(N·M) pass — cheap next to the simulation,
+    but this is a *verification* monitor, not a per-message one.
+
+    The monitor skips (verdict ``SKIPPED``) when the run did not use
+    L-float arithmetic or produced no betweenness values (APSP-only
+    configurations).
+    """
+
+    name = "theorem1_lfloat_error"
+
+    def __init__(self, mode: str = "record"):
+        super().__init__(mode)
+        self.measured_error: Optional[float] = None
+        self.bound: Optional[float] = None
+        self.precision: Optional[int] = None
+
+    def finalize(self, result) -> None:
+        arithmetic = getattr(result, "arithmetic", "")
+        betweenness = getattr(result, "betweenness", None)
+        if not arithmetic.startswith("lfloat-") or not betweenness:
+            self.skipped = True
+            return
+        from repro.arithmetic.errors import theorem1_bound
+        from repro.centrality.brandes import brandes_betweenness
+
+        self.precision = int(arithmetic.split("-", 1)[1])
+        self.bound = theorem1_bound(
+            self.precision, result.graph.num_nodes, result.diameter
+        )
+        reference = brandes_betweenness(result.graph, exact=True)
+        worst = 0.0
+        for node, exact in reference.items():
+            if not exact:
+                continue
+            self.checked += 1
+            error = abs(betweenness[node] / float(exact) - 1.0)
+            if error > worst:
+                worst = error
+        self.measured_error = worst
+        if worst > self.bound:
+            self._violation(
+                "max relative betweenness error {:.3e} exceeds the "
+                "Theorem 1 envelope {:.3e} for L={}".format(
+                    worst, self.bound, self.precision
+                )
+            )
+
+    def detail(self) -> Dict[str, Any]:
+        return {
+            "precision": self.precision,
+            "max_relative_error": self.measured_error,
+            "theorem1_bound": self.bound,
+            "values_compared": self.checked,
+        }
+
+
+def default_monitors(mode: str = "record") -> List[Monitor]:
+    """The standard trio covering Lemma 4, Lemmas 3–5 and Theorem 1."""
+    return [
+        AggregationCollisionMonitor(mode),
+        BandwidthMonitor(mode),
+        LFloatErrorMonitor(mode),
+    ]

@@ -1,0 +1,159 @@
+"""Phase spans: protocol-state-derived execution phases of a run.
+
+The distributed BC protocol moves through globally ordered phases —
+spanning-tree build and census, the pipelined counting phase, the
+AggStart (diameter) broadcast, and the scheduled aggregation.  A
+:class:`PhaseTracker` records those boundaries as contiguous
+:class:`PhaseSpan` rows carrying both the *protocol* timestamp (the
+round at which the boundary provably occurs, taken from protocol state
+like ``census_round`` or the AggStart ``base`` — never guessed from
+traffic) and a wall-clock stamp of when the mark was emitted.
+
+Round boundaries are half-open: a span covers rounds
+``[start_round, end_round)``; consecutive spans share their boundary
+round.  Wall-clock stamps are taken when the owning state machine
+crosses the transition, which may lag the protocol round by a step
+under the event engine — they order phases and size their real cost,
+while the round numbers are the exact protocol truth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class PhaseSpan:
+    """One contiguous phase of a run.
+
+    ``end_round`` / ``end_wall`` are ``None`` while the span is open.
+    """
+
+    name: str
+    start_round: int
+    start_wall: float
+    end_round: Optional[int] = None
+    end_wall: Optional[float] = None
+
+    @property
+    def rounds(self) -> Optional[int]:
+        """Number of rounds covered (None while open)."""
+        if self.end_round is None:
+            return None
+        return self.end_round - self.start_round
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        """Wall-clock duration between the boundary marks (None while open)."""
+        if self.end_wall is None:
+            return None
+        return self.end_wall - self.start_wall
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_round": self.start_round,
+            "end_round": self.end_round,
+            "rounds": self.rounds,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class PhaseTracker:
+    """Collects the ordered, contiguous phase spans of one run."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._spans: List[PhaseSpan] = []
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, round_number: int) -> PhaseSpan:
+        """Open a new phase at ``round_number``, closing any open one.
+
+        Boundaries must be non-decreasing; a phase may legitimately span
+        zero rounds (e.g. a broadcast that the protocol folds into the
+        same round as the next phase's start).
+        """
+        now = self._clock()
+        current = self._open_span()
+        if current is not None:
+            if round_number < current.start_round:
+                raise ValueError(
+                    "phase {!r} cannot begin at round {} before open phase "
+                    "{!r} started (round {})".format(
+                        name, round_number, current.name, current.start_round
+                    )
+                )
+            current.end_round = round_number
+            current.end_wall = now
+        span = PhaseSpan(name, round_number, now)
+        self._spans.append(span)
+        return span
+
+    def end(self, round_number: int) -> Optional[PhaseSpan]:
+        """Close the open span at ``round_number``; no-op if none is open."""
+        current = self._open_span()
+        if current is None:
+            return None
+        current.end_round = max(round_number, current.start_round)
+        current.end_wall = self._clock()
+        return current
+
+    def _open_span(self) -> Optional[PhaseSpan]:
+        if self._spans and self._spans[-1].end_round is None:
+            return self._spans[-1]
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> Optional[str]:
+        """Name of the open phase, if any."""
+        span = self._open_span()
+        return span.name if span is not None else None
+
+    def spans(self) -> Tuple[PhaseSpan, ...]:
+        return tuple(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def get(self, name: str) -> Optional[PhaseSpan]:
+        """The first span named ``name``, or None."""
+        for span in self._spans:
+            if span.name == name:
+                return span
+        return None
+
+    def rounds_by_phase(self) -> "dict[str, int]":
+        """``phase name -> rounds covered`` for all closed spans."""
+        out = {}
+        for span in self._spans:
+            if span.rounds is not None:
+                out[span.name] = out.get(span.name, 0) + span.rounds
+        return out
+
+    def table_rows(self) -> List[List[object]]:
+        """Rows for an aligned report table (see ``repro report``)."""
+        rows = []
+        for span in self._spans:
+            rows.append(
+                [
+                    span.name,
+                    span.start_round,
+                    "open" if span.end_round is None else span.end_round,
+                    "-" if span.rounds is None else span.rounds,
+                    "-"
+                    if span.wall_seconds is None
+                    else round(span.wall_seconds * 1000.0, 3),
+                ]
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return "PhaseTracker({})".format(
+            ", ".join(span.name for span in self._spans) or "empty"
+        )

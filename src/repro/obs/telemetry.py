@@ -1,0 +1,216 @@
+"""The telemetry facade: one object wiring a run's observability.
+
+A :class:`Telemetry` instance bundles the four observability concerns —
+a :class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.spans.PhaseTracker`, a list of
+:class:`~repro.obs.monitors.Monitor` instances, and an optional
+:class:`~repro.obs.profiler.Profiler` — behind the narrow hook surface
+the simulator and pipeline drive:
+
+* the **simulator** calls :meth:`on_run_start`, :meth:`on_send` (only
+  if a monitor wants sends), :meth:`on_round_end` (with the round's
+  per-edge accounting) and :meth:`on_run_end`;
+* the **protocol** (the root :class:`~repro.core.node.BetweennessNode`)
+  calls :meth:`phase_begin` / :meth:`phase_end` at protocol-state
+  transitions;
+* the **pipeline** calls :meth:`finalize_run` with the collected
+  result so post-run monitors (the Theorem 1 error check) can judge.
+
+One instance observes one run — build a fresh one per run.  Everything
+is duck-typed from the caller's side: neither the simulator nor the
+pipeline imports this module, so ``telemetry=None`` (the default
+everywhere) costs a handful of identity checks per run.
+
+Export: :meth:`events` yields structured rows (one header, then one
+row per phase span, metric, monitor verdict and profile section);
+:meth:`write_jsonl` streams them as JSON Lines for external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitors import Monitor, MonitorVerdict, default_monitors
+from repro.obs.profiler import Profiler
+from repro.obs.spans import PhaseTracker
+
+#: Schema marker stamped on the JSONL header row.
+METRICS_SCHEMA = "repro-metrics-v1"
+
+
+class Telemetry:
+    """Per-run observability bundle (see the module docstring).
+
+    Parameters
+    ----------
+    monitors:
+        Invariant monitors to drive; empty by default.  Use
+        :meth:`with_monitors` for the standard Lemma 4 / bandwidth /
+        Theorem 1 trio.
+    profile:
+        Attach a :class:`Profiler`; the simulator then times its hot
+        sections (delivery, node stepping) and counts engine events.
+    registry:
+        Share an existing :class:`MetricsRegistry` instead of creating
+        a fresh one.
+    """
+
+    def __init__(
+        self,
+        monitors: Optional[List[Monitor]] = None,
+        profile: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.phases = PhaseTracker()
+        self.monitors: List[Monitor] = list(monitors or ())
+        self.profiler: Optional[Profiler] = Profiler() if profile else None
+        base_send = Monitor.on_send
+        base_round = Monitor.on_round_end
+        self._send_monitors: Tuple[Monitor, ...] = tuple(
+            m for m in self.monitors if type(m).on_send is not base_send
+        )
+        self._round_monitors: Tuple[Monitor, ...] = tuple(
+            m for m in self.monitors if type(m).on_round_end is not base_round
+        )
+        self._meta: Dict[str, Any] = {}
+        self._wall_start: Optional[float] = None
+        self._started_epoch: Optional[float] = None
+
+    @classmethod
+    def with_monitors(cls, mode: str = "record", profile: bool = False) -> "Telemetry":
+        """A telemetry bundle carrying the standard monitor trio."""
+        return cls(monitors=default_monitors(mode), profile=profile)
+
+    # ------------------------------------------------------------------
+    # simulator hooks
+    # ------------------------------------------------------------------
+    @property
+    def wants_sends(self) -> bool:
+        """Whether the simulator should call :meth:`on_send` per message."""
+        return bool(self._send_monitors)
+
+    def on_run_start(self, simulator) -> None:
+        """Bind per-run constants; called by :meth:`Simulator.run`."""
+        self._wall_start = time.perf_counter()
+        self._started_epoch = time.time()
+        graph = simulator.graph
+        self._meta = {
+            "graph": graph.name,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "engine": simulator.engine,
+            "strict": simulator.strict,
+            "bit_budget": simulator.bit_budget,
+        }
+        gauge = self.registry.gauge
+        gauge("run.num_nodes").set(graph.num_nodes)
+        gauge("run.num_edges").set(graph.num_edges)
+        gauge("run.bit_budget").set(simulator.bit_budget)
+        for monitor in self.monitors:
+            monitor.on_run_start(simulator)
+
+    def on_send(
+        self,
+        round_number: int,
+        sender: int,
+        receiver: int,
+        message: Any,
+        bits: int,
+    ) -> None:
+        for monitor in self._send_monitors:
+            monitor.on_send(round_number, sender, receiver, message, bits)
+
+    def on_round_end(
+        self,
+        round_number: int,
+        edge_load: Dict[Tuple[int, int], List[int]],
+    ) -> None:
+        for monitor in self._round_monitors:
+            monitor.on_round_end(round_number, edge_load)
+
+    def on_run_end(self, stats) -> None:
+        """Close open spans and record the run's aggregate statistics."""
+        self.phases.end(stats.rounds)
+        gauge = self.registry.gauge
+        gauge("run.rounds").set(stats.rounds)
+        gauge("run.messages").set(stats.message_count)
+        gauge("run.bits").set(stats.bit_count)
+        gauge("run.max_edge_bits_per_round").set(stats.max_edge_bits_per_round)
+        if self._wall_start is not None:
+            gauge("run.wall_seconds").set(
+                time.perf_counter() - self._wall_start
+            )
+
+    # ------------------------------------------------------------------
+    # protocol hooks
+    # ------------------------------------------------------------------
+    def phase_begin(self, name: str, round_number: int) -> None:
+        """Mark a protocol phase boundary (see :class:`PhaseTracker`)."""
+        self.phases.begin(name, round_number)
+
+    def phase_end(self, round_number: int) -> None:
+        """Close the open phase; idempotent once closed."""
+        self.phases.end(round_number)
+
+    # ------------------------------------------------------------------
+    # pipeline hooks
+    # ------------------------------------------------------------------
+    def finalize_run(self, result) -> None:
+        """Run post-run monitors against the collected pipeline result."""
+        diameter = getattr(result, "diameter", None)
+        if diameter is not None:
+            self.registry.gauge("run.diameter").set(diameter)
+        for monitor in self.monitors:
+            monitor.finalize(result)
+
+    # ------------------------------------------------------------------
+    # verdicts and export
+    # ------------------------------------------------------------------
+    def verdicts(self) -> List[MonitorVerdict]:
+        return [monitor.verdict() for monitor in self.monitors]
+
+    def all_ok(self) -> bool:
+        """True when no monitor recorded a violation (skips count as ok)."""
+        return all(v.ok for v in self.verdicts())
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Structured export rows: header, phases, metrics, verdicts."""
+        rows: List[Dict[str, Any]] = [
+            dict(
+                event="meta",
+                schema=METRICS_SCHEMA,
+                started_epoch=self._started_epoch,
+                **self._meta,
+            )
+        ]
+        for span in self.phases.spans():
+            rows.append(dict(event="phase", **span.as_dict()))
+        for name, snapshot in sorted(self.registry.snapshot().items()):
+            rows.append(dict(event="metric", name=name, **snapshot))
+        for verdict in self.verdicts():
+            rows.append(dict(event="monitor", **verdict.as_dict()))
+        if self.profiler is not None:
+            for section, numbers in sorted(self.profiler.summary().items()):
+                rows.append(dict(event="profile", section=section, **numbers))
+        return rows
+
+    def to_jsonl(self) -> str:
+        """The :meth:`events` rows as JSON Lines text."""
+        return "\n".join(json.dumps(row) for row in self.events()) + "\n"
+
+    def write_jsonl(self, path) -> None:
+        """Stream the export rows to ``path`` as JSON Lines."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+    def __repr__(self) -> str:
+        return "Telemetry(phases={}, monitors={}, metrics={}, profile={})".format(
+            len(self.phases),
+            len(self.monitors),
+            len(self.registry),
+            self.profiler is not None,
+        )

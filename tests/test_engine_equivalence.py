@@ -242,3 +242,46 @@ def test_run_many_parallel_matches_serial():
 
 def test_run_many_empty_batch():
     assert run_many([], family="none") == []
+
+
+# ----------------------------------------------------------------------
+# tracer streams: both engines must emit the identical delivery sequence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_tracer_streams_identical_across_engines(graph):
+    """Send-for-send equality, not just aggregate equality.
+
+    Nodes act in id order and channels are FIFO under both engines, so
+    the full (round, sender, receiver, type, bits) event sequence — not
+    merely its totals — must be reproduced by the event engine.
+    """
+    from repro.congest import Tracer
+
+    streams = {}
+    for engine in ("sweep", "event"):
+        tracer = Tracer()
+        distributed_betweenness(
+            graph, arithmetic="lfloat", engine=engine, tracer=tracer
+        )
+        assert not tracer.truncated
+        streams[engine] = tracer.deliveries()
+    assert streams["sweep"] == streams["event"]
+
+
+def test_tracer_json_round_trip_preserves_stream():
+    from repro.congest import Tracer
+
+    tracer = Tracer()
+    distributed_betweenness(figure1_graph(), arithmetic="exact", tracer=tracer)
+    clone = Tracer.from_json(tracer.to_json())
+    assert clone.deliveries() == tracer.deliveries()
+    assert clone.truncated == tracer.truncated
+    assert clone.summary() == tracer.summary()
+    assert clone.timeline() == tracer.timeline()
+
+
+def test_tracer_from_json_rejects_unknown_schema():
+    from repro.congest import Tracer
+
+    with pytest.raises(ValueError):
+        Tracer.from_json('{"schema": "not-a-trace", "events": []}')

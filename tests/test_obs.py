@@ -1,0 +1,258 @@
+"""Unit tests for the telemetry subsystem (:mod:`repro.obs`).
+
+The monitor-under-fire tests live in ``test_obs_monitors.py``; this
+file covers the building blocks — metrics registry, phase spans,
+profiler, the :class:`Telemetry` facade and its JSONL export — plus the
+runner/CLI integration points.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, run_many
+from repro.cli import main
+from repro.core import distributed_betweenness
+from repro.graphs import figure1_graph, path_graph
+from repro.obs import (
+    METRICS_SCHEMA,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    PhaseTracker,
+    Profiler,
+    Telemetry,
+)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_accumulates_and_rejects_negatives(self):
+        counter = Counter("sends")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("rounds")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_histogram_buckets_and_mean(self):
+        histogram = Histogram("bits")
+        for value in (1, 2, 900):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["min"] == 1 and snapshot["max"] == 900
+        assert histogram.mean == pytest.approx(903 / 3)
+        assert sum(snapshot["buckets"]) == 3
+
+    def test_registry_get_or_create_and_kind_conflict(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        assert "x" in registry and len(registry) == 1
+
+    def test_registry_snapshot_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(1.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b"]
+        json.dumps(snapshot)  # must be JSON-serializable as-is
+
+
+# ----------------------------------------------------------------------
+# phase spans
+# ----------------------------------------------------------------------
+class TestPhaseTracker:
+    def test_consecutive_spans_share_boundaries(self):
+        tracker = PhaseTracker()
+        tracker.begin("a", 0)
+        tracker.begin("b", 5)
+        tracker.end(9)
+        (a, b) = tracker.spans()
+        assert (a.start_round, a.end_round, a.rounds) == (0, 5, 5)
+        assert (b.start_round, b.end_round, b.rounds) == (5, 9, 4)
+        assert tracker.rounds_by_phase() == {"a": 5, "b": 4}
+
+    def test_zero_round_span_is_legal(self):
+        tracker = PhaseTracker()
+        tracker.begin("broadcast", 7)
+        tracker.begin("next", 7)
+        assert tracker.get("broadcast").rounds == 0
+
+    def test_regressing_boundary_is_rejected(self):
+        tracker = PhaseTracker()
+        tracker.begin("a", 10)
+        with pytest.raises(ValueError):
+            tracker.begin("b", 4)
+
+    def test_end_without_open_span_is_a_noop(self):
+        tracker = PhaseTracker()
+        assert tracker.end(3) is None
+        tracker.begin("a", 0)
+        tracker.end(2)
+        assert tracker.end(5) is None  # already closed
+        assert tracker.active is None
+
+    def test_wall_clock_uses_injected_clock(self):
+        ticks = iter([1.0, 2.5, 4.0])
+        tracker = PhaseTracker(clock=lambda: next(ticks))
+        tracker.begin("a", 0)
+        tracker.begin("b", 3)
+        tracker.end(6)
+        assert tracker.get("a").wall_seconds == pytest.approx(1.5)
+        assert tracker.get("b").wall_seconds == pytest.approx(1.5)
+
+
+# ----------------------------------------------------------------------
+# profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_add_and_bump_accumulate(self):
+        profiler = Profiler()
+        profiler.add("step", 0.25)
+        profiler.add("step", 0.75)
+        profiler.bump("skips", 3)
+        assert profiler.seconds("step") == pytest.approx(1.0)
+        assert profiler.calls("step") == 2
+        assert profiler.count("skips") == 3
+        assert profiler.summary()["step"]["calls"] == 2
+
+    def test_section_context_manager_times(self):
+        profiler = Profiler()
+        with profiler.section("outer"):
+            pass
+        assert profiler.calls("outer") == 1
+        assert profiler.seconds("outer") >= 0.0
+
+    def test_table_rows_sorted_by_time(self):
+        profiler = Profiler()
+        profiler.add("fast", 0.1)
+        profiler.add("slow", 0.9)
+        profiler.bump("events")
+        rows = profiler.table_rows()
+        assert [row[0] for row in rows] == ["slow", "fast", "events"]
+
+
+# ----------------------------------------------------------------------
+# the facade and its export
+# ----------------------------------------------------------------------
+class TestTelemetry:
+    def test_run_populates_phases_gauges_and_export(self, tmp_path):
+        telemetry = Telemetry.with_monitors()
+        result = distributed_betweenness(
+            figure1_graph(), arithmetic="lfloat", telemetry=telemetry
+        )
+        assert telemetry.phases.rounds_by_phase().keys() == {
+            "tree_build",
+            "counting",
+            "diameter_broadcast",
+            "aggregation",
+        }
+        registry = telemetry.registry
+        assert registry.gauge("run.rounds").value == result.rounds
+        assert registry.gauge("run.diameter").value == result.diameter
+        path = tmp_path / "metrics.jsonl"
+        telemetry.write_jsonl(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["event"] == "meta"
+        assert rows[0]["schema"] == METRICS_SCHEMA
+        events = {row["event"] for row in rows}
+        assert events == {"meta", "phase", "metric", "monitor"}
+        assert sum(1 for row in rows if row["event"] == "phase") == 4
+        assert sum(1 for row in rows if row["event"] == "monitor") == 3
+
+    def test_phase_rounds_partition_the_run(self):
+        telemetry = Telemetry()
+        result = distributed_betweenness(
+            path_graph(12), arithmetic="exact", telemetry=telemetry
+        )
+        spans = telemetry.phases.spans()
+        assert spans[0].start_round == 0
+        for before, after in zip(spans, spans[1:]):
+            assert before.end_round == after.start_round
+        # The last span closes at the aggregation finish round, at most
+        # one quiet termination round before the simulator's total.
+        assert result.rounds - 1 <= spans[-1].end_round <= result.rounds
+
+    def test_profile_rows_present_when_enabled(self):
+        telemetry = Telemetry(profile=True)
+        distributed_betweenness(
+            figure1_graph(), arithmetic="exact", telemetry=telemetry
+        )
+        profile = telemetry.profiler.summary()
+        assert profile["engine.step"]["calls"] > 0
+        assert any(row["event"] == "profile" for row in telemetry.events())
+
+    def test_send_hooks_skipped_without_send_monitors(self):
+        telemetry = Telemetry()
+        assert not telemetry.wants_sends
+        telemetry_with = Telemetry.with_monitors()
+        assert telemetry_with.wants_sends
+
+
+# ----------------------------------------------------------------------
+# runner integration
+# ----------------------------------------------------------------------
+class TestRunnerPhases:
+    def test_collect_phases_adds_columns(self):
+        runner = ExperimentRunner(arithmetic="exact", collect_phases=True)
+        (record,) = runner.run_family("paths", [path_graph(8)])
+        assert record.extra["phase_tree_build_rounds"] > 0
+        assert record.extra["phase_aggregation_rounds"] > 0
+        assert sum(record.extra.values()) <= record.rounds
+        assert "phase_tree_build_rounds" in runner.to_csv()
+
+    def test_collect_phases_rejects_custom_run(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(run=lambda graph: None, collect_phases=True)
+
+    def test_run_many_collects_phases_across_pool(self):
+        records = run_many(
+            [path_graph(6), path_graph(7)],
+            arithmetic="exact",
+            processes=2,
+            collect_phases=True,
+        )
+        for record in records:
+            assert record.extra["phase_counting_rounds"] > 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestReportCommand:
+    def test_report_clean_run_exits_zero_and_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "m.jsonl"
+        code = main(
+            [
+                "report",
+                "--graph",
+                "figure1",
+                "--profile",
+                "--timeline",
+                "--metrics-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Protocol phases" in printed
+        assert "Invariant monitors" in printed
+        assert "Profile" in printed
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert rows[0]["schema"] == METRICS_SCHEMA
+
+    def test_report_raise_mode_flag_accepted(self, capsys):
+        assert main(["report", "--graph", "path:6", "--monitor-mode", "raise"]) == 0
+        assert "OK" in capsys.readouterr().out
