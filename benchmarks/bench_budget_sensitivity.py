@@ -8,7 +8,6 @@ of the paper's model compliance, and the headroom the default factor 32
 leaves.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.core import distributed_betweenness

@@ -10,7 +10,6 @@ sends share an edge-round — only a wave plus a control message can).
 
 import math
 
-import pytest
 
 from repro.analysis import print_table
 from repro.core import distributed_betweenness

@@ -28,6 +28,13 @@ from repro.analysis import print_table
 from repro.core import distributed_betweenness
 from repro.graphs import cycle_graph, path_graph
 from repro.obs import Telemetry
+from repro.wire import (
+    BfsWave,
+    IntMessage,
+    WireFormat,
+    encode_frame,
+    registered_types,
+)
 
 from .conftest import once
 
@@ -162,3 +169,74 @@ def test_engine_speedup_and_identity(benchmark):
             "tree_build",
         ]
         assert sum(row["phases"].values()) <= row["rounds"]
+
+
+# ----------------------------------------------------------------------
+# message-layer micro-benchmark (wire codec + __slots__ messages)
+# ----------------------------------------------------------------------
+MESSAGE_COUNT = 100_000
+FRAME_BATCH = 2_048
+
+
+def measure_message_layer(count=MESSAGE_COUNT, batch=FRAME_BATCH):
+    """Bulk construction + exact sizing + frame encoding throughput.
+
+    Every message class carries ``__slots__`` and memoizes its encoded
+    width, so the simulator's hot loop (construct, size, bill) stays
+    allocation-light.  Rates are wall-clock and machine-dependent; the
+    test's gates are set an order of magnitude below anything a working
+    implementation produces, so they only trip on a real regression
+    (e.g. a message type silently growing a ``__dict__``).
+    """
+    wire = WireFormat(1024)
+
+    start = time.perf_counter()
+    total_bits = 0
+    for i in range(count):
+        message = BfsWave(i & 1023, i & 4095, i & 1023, (i & 0xFFFF) + 1)
+        total_bits += message.bit_size(wire)
+    construct_seconds = time.perf_counter() - start
+
+    shared = BfsWave(1, 2, 3, 4)
+    start = time.perf_counter()
+    for _ in range(count):
+        shared.bit_size(wire)
+    cached_seconds = time.perf_counter() - start
+
+    frame = [IntMessage(i) for i in range(batch)]
+    start = time.perf_counter()
+    _word, frame_bits = encode_frame(frame, wire)
+    encode_seconds = time.perf_counter() - start
+    assert frame_bits == sum(m.bit_size(wire) for m in frame)
+
+    return {
+        "messages": count,
+        "total_bits": total_bits,
+        "construct_per_second": round(count / construct_seconds),
+        "cached_size_per_second": round(count / cached_seconds),
+        "frame_messages": batch,
+        "frame_bits": frame_bits,
+        "encode_per_second": round(batch / encode_seconds),
+    }
+
+
+def test_message_layer_microbench(benchmark):
+    import repro.congest.primitives  # noqa: F401 -- registers tags 12-15
+
+    stats = once(benchmark, measure_message_layer)
+    print_table(
+        ["metric", "value"],
+        [[key, value] for key, value in stats.items()],
+        title="E15b message-layer micro-benchmark",
+    )
+    # Every registered message type is slotted: no class in its MRO
+    # lacks __slots__, so instances carry no __dict__ and the
+    # bulk-construction path cannot regress by silent dict allocation.
+    for cls in registered_types().values():
+        assert all(
+            hasattr(klass, "__slots__") for klass in cls.__mro__ if klass is not object
+        ), cls.__name__
+    # Conservative throughput gates (real rates are >10x higher).
+    assert stats["construct_per_second"] > 20_000
+    assert stats["cached_size_per_second"] > 100_000
+    assert stats["encode_per_second"] > 10_000

@@ -6,7 +6,6 @@ CONGEST budget, while the Section VI floats sail through the very same
 budget and still produce accurate values.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.centrality import brandes_betweenness

@@ -9,7 +9,6 @@ magnitude* (the whole point: 2^1000 costs the same as 7).
 
 from fractions import Fraction
 
-import pytest
 
 from repro.arithmetic import LFloat, Rounding
 

@@ -10,7 +10,6 @@ not with N:
 * BFS tree + census — likewise O(D).
 """
 
-import pytest
 
 from repro.analysis import linear_fit, print_table
 from repro.congest import elect_root, make_bfs_tree_factory, run_protocol

@@ -9,7 +9,6 @@ count has a closed form (`repro.core.roundmodel`).  This bench
   far beyond what the Python simulator would care to simulate.
 """
 
-import pytest
 
 from repro.analysis import print_table
 from repro.core import distributed_betweenness, predict_rounds, rounds_upper_bound

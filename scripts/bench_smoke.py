@@ -33,7 +33,7 @@ REPS = 2
 
 def main() -> int:
     rows = measure(sizes=SIZES, reps=REPS)
-    payload = write_json(rows)
+    write_json(rows)
     _print_rows(rows, "engine smoke (best of {} interleaved reps)".format(REPS))
     print("wrote {}".format(ROOT / "BENCH_engine.json"))
 

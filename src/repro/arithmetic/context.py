@@ -75,7 +75,29 @@ class ArithmeticContext(abc.ABC):
     # -- wire accounting -------------------------------------------------
     @abc.abstractmethod
     def value_bits(self, value: Value) -> int:
-        """Bits this value occupies in a CONGEST message."""
+        """Bits this value occupies in a CONGEST message.
+
+        Must agree with :func:`repro.wire.values.value_bits` — the codec
+        sizes values by type, and the frame audit will catch a context
+        that disagrees with the encoder.
+        """
+
+    def read_sigma(self, reader) -> Value:
+        """Decode a sigma field from a :class:`~repro.wire.bits.BitReader`.
+
+        The wire bits alone don't say whether they carry an exact
+        integer or an L-float, nor which directed rounding the receiver
+        should attach — that is this context's knowledge.
+        """
+        raise NotImplementedError(
+            "{} cannot decode sigma fields".format(type(self).__name__)
+        )
+
+    def read_psi(self, reader) -> Value:
+        """Decode a psi field from a :class:`~repro.wire.bits.BitReader`."""
+        raise NotImplementedError(
+            "{} cannot decode psi fields".format(type(self).__name__)
+        )
 
     # -- output ------------------------------------------------------
     @abc.abstractmethod
@@ -121,11 +143,22 @@ class ExactContext(ArithmeticContext):
         return psi * sigma
 
     def value_bits(self, value: Union[int, Fraction]) -> int:
-        if isinstance(value, int):
-            return max(1, value.bit_length())
-        return max(1, value.numerator.bit_length()) + max(
-            1, value.denominator.bit_length()
-        )
+        # Defer to the wire codec: sigma is one varint, psi (a Fraction)
+        # is a numerator varint plus a denominator varint.  Imported
+        # lazily to keep this module importable without repro.wire.
+        from repro.wire.values import value_bits
+
+        return value_bits(value)
+
+    def read_sigma(self, reader) -> int:
+        from repro.wire.values import read_int
+
+        return read_int(reader)
+
+    def read_psi(self, reader) -> Fraction:
+        from repro.wire.values import read_fraction
+
+        return read_fraction(reader)
 
     def to_float(self, value: Union[int, Fraction]) -> float:
         return float(value)
@@ -183,6 +216,18 @@ class LFloatArithmetic(ArithmeticContext):
 
     def value_bits(self, value: LFloat) -> int:
         return value.bit_size()
+
+    def read_sigma(self, reader) -> LFloat:
+        # Sigmas travel with ceil semantics (Lemma 1's over-estimate).
+        return LFloat.decode(
+            reader.read(2 * self.precision + 1), self.precision, Rounding.CEIL
+        )
+
+    def read_psi(self, reader) -> LFloat:
+        # Psi terms travel with floor semantics (inequality (18)).
+        return LFloat.decode(
+            reader.read(2 * self.precision + 1), self.precision, Rounding.FLOOR
+        )
 
     def to_float(self, value: LFloat) -> float:
         return value.to_float()

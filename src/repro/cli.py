@@ -128,6 +128,12 @@ def _add_protocol_options(parser: argparse.ArgumentParser) -> None:
         "(default) or the lockstep reference sweep",
     )
     parser.add_argument(
+        "--frame-audit",
+        action="store_true",
+        help="materialize every per-edge frame through the wire codec "
+        "and verify its length against the billed bits",
+    )
+    parser.add_argument(
         "--top", type=int, default=10, help="rows to print (default 10)"
     )
 
@@ -144,6 +150,7 @@ def cmd_bc(args: argparse.Namespace) -> int:
         root=args.root,
         strict=not args.lenient,
         engine=args.engine,
+        frame_audit=args.frame_audit,
     )
     ranked = sorted(
         graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
@@ -178,6 +185,7 @@ def _cmd_bc_weighted(args: argparse.Namespace, graph) -> int:
         root=args.root,
         strict=not args.lenient,
         engine=args.engine,
+        frame_audit=args.frame_audit,
     )
     ranked = sorted(
         graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
@@ -205,7 +213,11 @@ def _cmd_bc_weighted(args: argparse.Namespace, graph) -> int:
 def cmd_apsp(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     result = distributed_apsp(
-        graph, root=args.root, strict=not args.lenient, engine=args.engine
+        graph,
+        root=args.root,
+        strict=not args.lenient,
+        engine=args.engine,
+        frame_audit=args.frame_audit,
     )
     closeness = result.closeness()
     graph_c = result.graph_centrality()
@@ -224,7 +236,11 @@ def cmd_apsp(args: argparse.Namespace) -> int:
 def cmd_stress(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     result = distributed_stress(
-        graph, arithmetic=args.arithmetic, root=args.root, engine=args.engine
+        graph,
+        arithmetic=args.arithmetic,
+        root=args.root,
+        engine=args.engine,
+        frame_audit=args.frame_audit,
     )
     ranked = sorted(graph.nodes(), key=lambda v: result.stress[v], reverse=True)
     print_table(
@@ -246,6 +262,7 @@ def cmd_sample(args: argparse.Namespace) -> int:
         arithmetic=args.arithmetic,
         root=args.root,
         engine=args.engine,
+        frame_audit=args.frame_audit,
     )
     ranked = sorted(graph.nodes(), key=lambda v: result.estimate[v], reverse=True)
     print_table(
@@ -332,6 +349,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         strict=not args.lenient,
         tracer=tracer,
         engine=args.engine,
+        frame_audit=args.frame_audit,
     )
     print(
         "{}: {} rounds, {} messages, {} bits\n".format(
@@ -380,6 +398,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         tracer=tracer,
         telemetry=telemetry,
         engine=args.engine,
+        frame_audit=args.frame_audit,
     )
     print_table(
         ["statistic", "value"],

@@ -1,148 +1,29 @@
-"""Messages and wire-size accounting for the CONGEST simulator.
+"""Compatibility shim: the message layer now lives in :mod:`repro.wire`.
 
-The CONGEST model allows each node to send at most O(log N) bits per
-edge per round.  To make that restriction *checkable* rather than
-nominal, every message carries an explicit bit cost: node identifiers
-cost ``ceil(log2 N)`` bits, round stamps cost the bits of the round
-horizon, counters cost their actual binary length, and arithmetic
-payloads report their own width (2L + 1 bits for the paper's floating
-point format, the true integer length in exact mode — which is exactly
-how the "Large Value Challenge" becomes observable).
-
-A :class:`WireFormat` captures the per-network constants; message
-classes implement :meth:`Message.payload_bits` against it.
+Historically the simulator's generic messages lived here while the
+betweenness protocol's lived in ``repro.core.messages``, each with its
+own heuristic ``payload_bits``.  Both now share the typed codec of
+:mod:`repro.wire` — exact encoded widths, one tag registry, one
+encoder/decoder — and this module only re-exports the names its
+importers relied on.
 """
 
-from __future__ import annotations
+from repro.wire import (
+    TYPE_TAG_BITS,
+    IntMessage,
+    Message,
+    PayloadMessage,
+    TokenMessage,
+    WireFormat,
+    int_bits,
+)
 
-import abc
-import math
-from typing import Any
-
-#: Bits reserved to tag the message type on the wire.  A real
-#: implementation multiplexing a handful of protocol message kinds needs
-#: a small constant tag; 4 bits cover 16 kinds.
-TYPE_TAG_BITS = 4
-
-
-def int_bits(value: int) -> int:
-    """Bits to encode the non-negative integer ``value`` (at least 1)."""
-    if value < 0:
-        raise ValueError("wire integers are non-negative")
-    return max(1, value.bit_length())
-
-
-class WireFormat:
-    """Per-network wire-size constants.
-
-    Parameters
-    ----------
-    num_nodes:
-        N; node identifiers cost ``ceil(log2 N)`` bits.
-    round_horizon:
-        An upper bound on any round number carried in a message.  The
-        paper's algorithm finishes within O(N) rounds; the pipeline
-        passes ``6 * N + 16`` which is safely above the worst case.
-    """
-
-    def __init__(self, num_nodes: int, round_horizon: int = 0):
-        if num_nodes < 1:
-            raise ValueError("wire format needs at least one node")
-        self.num_nodes = num_nodes
-        self.id_bits = max(1, math.ceil(math.log2(num_nodes)))
-        horizon = round_horizon if round_horizon > 0 else 6 * num_nodes + 16
-        self.round_bits = max(1, math.ceil(math.log2(horizon + 1)))
-        # Distances and diameters are < N, so they fit in id_bits.
-        self.distance_bits = self.id_bits
-
-    def __repr__(self) -> str:
-        return "WireFormat(N={}, id_bits={}, round_bits={})".format(
-            self.num_nodes, self.id_bits, self.round_bits
-        )
-
-
-class Message(abc.ABC):
-    """Base class for everything sent over an edge.
-
-    Subclasses are small frozen records; they must implement
-    :meth:`payload_bits`.  The total wire size adds the type tag.
-
-    Messages are treated as **immutable once enqueued**: the simulator
-    delivers the same object to every receiver (a broadcast enqueues one
-    instance per neighbor) and memoizes :meth:`bit_size` per instance,
-    so mutating a message after sending it would desynchronize the bit
-    accounting.
-    """
-
-    __slots__ = ("_bit_cache",)
-
-    @abc.abstractmethod
-    def payload_bits(self, wire: WireFormat) -> int:
-        """Bits of the payload under the given wire format."""
-
-    def bit_size(self, wire: WireFormat) -> int:
-        """Total wire size: type tag plus payload.
-
-        The result is cached per (message, wire) pair — a broadcast of
-        one instance over many edges encodes its payload exactly once.
-        """
-        try:
-            cached = self._bit_cache
-        except AttributeError:
-            cached = None
-        if cached is not None and cached[0] is wire:
-            return cached[1]
-        bits = TYPE_TAG_BITS + self.payload_bits(wire)
-        self._bit_cache = (wire, bits)
-        return bits
-
-
-class TokenMessage(Message):
-    """A pure signal with no payload (e.g. a DFS token hand-off)."""
-
-    __slots__ = ("kind",)
-
-    def __init__(self, kind: str = "token"):
-        self.kind = kind
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return 0
-
-    def __repr__(self) -> str:
-        return "TokenMessage({!r})".format(self.kind)
-
-
-class IntMessage(Message):
-    """A single non-negative integer (used by tests and simple protocols)."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: int):
-        self.value = int(value)
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return int_bits(self.value)
-
-    def __repr__(self) -> str:
-        return "IntMessage({})".format(self.value)
-
-
-class PayloadMessage(Message):
-    """An opaque payload with an explicitly declared bit cost.
-
-    Useful for modelling protocols (e.g. the two-party communication
-    arguments of Section IX) where only the *amount* of information
-    matters to the analysis.
-    """
-
-    __slots__ = ("payload", "bits")
-
-    def __init__(self, payload: Any, bits: int):
-        self.payload = payload
-        self.bits = int(bits)
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return self.bits
-
-    def __repr__(self) -> str:
-        return "PayloadMessage(bits={})".format(self.bits)
+__all__ = [
+    "TYPE_TAG_BITS",
+    "IntMessage",
+    "Message",
+    "PayloadMessage",
+    "TokenMessage",
+    "WireFormat",
+    "int_bits",
+]

@@ -27,71 +27,73 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Set, Tuple
 
-from repro.congest.message import Message, WireFormat, int_bits
 from repro.congest.node import Inbox, NodeAlgorithm, RoundContext
 from repro.exceptions import ProtocolError
+from repro.wire import ID, UINT, DISTANCE, Message, register
 
 # ----------------------------------------------------------------------
-# messages
+# messages (codec tags 12-15; the dispatch inside the node algorithms
+# below stays the readable isinstance form — these primitives are the
+# pedagogical counterpart of the production protocol)
 # ----------------------------------------------------------------------
+@register(12)
 class Wave(Message):
     """Generic flood wave carrying an origin id and its hop distance."""
 
     __slots__ = ("origin", "dist")
 
+    WIRE_LAYOUT = (("origin", ID), ("dist", DISTANCE))
+
     def __init__(self, origin: int, dist: int):
         self.origin = origin
         self.dist = dist
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return wire.id_bits + wire.distance_bits
 
     def __repr__(self) -> str:
         return "Wave(origin={}, dist={})".format(self.origin, self.dist)
 
 
+@register(13)
 class Join(Message):
     """Child → parent attachment for the wave's tree."""
 
     __slots__ = ("origin",)
 
+    WIRE_LAYOUT = (("origin", ID),)
+
     def __init__(self, origin: int):
         self.origin = origin
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return wire.id_bits
 
     def __repr__(self) -> str:
         return "Join(origin={})".format(self.origin)
 
 
+@register(14)
 class Echo(Message):
     """Convergecast payload: subtree aggregate for the wave's tree."""
 
     __slots__ = ("origin", "value")
 
+    WIRE_LAYOUT = (("origin", ID), ("value", UINT))
+
     def __init__(self, origin: int, value: int):
         self.origin = origin
         self.value = value
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return wire.id_bits + int_bits(self.value)
 
     def __repr__(self) -> str:
         return "Echo(origin={}, value={})".format(self.origin, self.value)
 
 
+@register(15)
 class Decide(Message):
     """Root broadcast announcing the protocol's final value."""
 
     __slots__ = ("origin", "value")
 
+    WIRE_LAYOUT = (("origin", ID), ("value", UINT))
+
     def __init__(self, origin: int, value: int):
         self.origin = origin
         self.value = value
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return wire.id_bits + int_bits(self.value)
 
     def __repr__(self) -> str:
         return "Decide(origin={}, value={})".format(self.origin, self.value)

@@ -60,13 +60,14 @@ import heapq
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.congest.message import Message, WireFormat
 from repro.congest.node import Inbox, NodeAlgorithm, NodeFactory, RoundContext
 from repro.congest.stats import CutTracker, SimulationStats
 from repro.exceptions import (
     CongestViolationError,
     SimulationNotTerminatedError,
+    WireCodecError,
 )
+from repro.wire import Message, WireFormat, encode_frame
 from repro.graphs.graph import Graph
 
 #: Default per-edge budget multiplier: budget = factor * ceil(log2 N).
@@ -125,6 +126,16 @@ class Simulator:
         fast-forwards idle rounds.  Both engines produce identical
         results for protocols honoring the wake contract (see the
         module docstring).
+    frame_audit:
+        When True, the simulator additionally *materializes* every
+        per-edge per-round frame through the wire codec
+        (:func:`repro.wire.encode_frame` coalesces the edge's messages
+        into one bit string) and verifies its length equals the bits
+        the accounting charged; a disagreement raises
+        :class:`~repro.exceptions.WireCodecError`.  This turns the
+        bandwidth numbers from "trusted bookkeeping" into "checked
+        against real encoded frames" at the cost of encoding every
+        message, so it is off by default.
     """
 
     def __init__(
@@ -139,6 +150,7 @@ class Simulator:
         tracer=None,
         telemetry=None,
         engine: str = "sweep",
+        frame_audit: bool = False,
     ):
         if engine not in ENGINES:
             raise ValueError(
@@ -172,6 +184,10 @@ class Simulator:
         # Reusable per-round edge accounting buffer (cleared, never
         # reallocated): directed edge -> [messages, bits] this round.
         self._edge_load: Dict[Tuple[int, int], List[int]] = {}
+        # Frame audit (off by default): directed edge -> the round's
+        # message objects, encoded and length-checked at round end.
+        self.frame_audit = frame_audit
+        self._edge_frames: Dict[Tuple[int, int], List[Message]] = {}
         # Event engine state: a heap of pending wake rounds plus a
         # per-node set of registered rounds (deduplicating re-requests).
         self._wake_heap: List[Tuple[int, int]] = []
@@ -408,6 +424,7 @@ class Simulator:
                 on_send = telemetry.on_send
             on_round_end = telemetry.on_round_end
         budget = self.bit_budget if self.strict else None
+        frames = self._edge_frames if self.frame_audit else None
         nodes = self.nodes
         in_flight = self._in_flight
         in_flight_get = in_flight.get
@@ -439,6 +456,12 @@ class Simulator:
                     raise CongestViolationError(
                         round_number, node_id, target, total, budget
                     )
+                if frames is not None:
+                    frame = frames.get(key)
+                    if frame is None:
+                        frames[key] = [message]
+                    else:
+                        frame.append(message)
                 bucket = in_flight_get(target)
                 if bucket is None:
                     in_flight[target] = [(node_id, message)]
@@ -451,11 +474,39 @@ class Simulator:
                 if node.done != was_done:
                     done_delta += 1 if node.done else -1
         if edge_load:
+            if frames is not None:
+                self._audit_frames(round_number, edge_load, frames)
+                frames.clear()
             self.stats.observe_round(round_number, edge_load)
             if on_round_end is not None:
                 on_round_end(round_number, edge_load)
             edge_load.clear()
         return done_delta
+
+    def _audit_frames(
+        self,
+        round_number: int,
+        edge_load: Dict[Tuple[int, int], List[int]],
+        frames: Dict[Tuple[int, int], List[Message]],
+    ) -> None:
+        """Materialize each edge's coalesced frame and check its length.
+
+        The accounting charged ``sum(bit_size)`` per edge; the codec
+        guarantees a coalesced frame is exactly that long.  A mismatch
+        means a message lied about its size (or mutated after being
+        enqueued) and the CONGEST budget was enforced on wrong numbers.
+        """
+        wire = self.wire
+        for key, load in edge_load.items():
+            _word, frame_bits = encode_frame(frames[key], wire)
+            if frame_bits != load[1]:
+                sender, receiver = key
+                raise WireCodecError(
+                    "round {}: edge {}->{} charged {} bits but its "
+                    "encoded frame is {} bits".format(
+                        round_number, sender, receiver, load[1], frame_bits
+                    )
+                )
 
 
 def run_protocol(

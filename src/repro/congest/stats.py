@@ -1,6 +1,10 @@
 """Traffic and round statistics collected by the CONGEST simulator.
 
-The statistics serve three reproduction targets:
+Every bit figure here is an *exact encoded frame length* under the
+:mod:`repro.wire` codec — the simulator charges each message its real
+``bit_size`` (type tag + typed layout fields), so these statistics are
+measurements of the wire, not heuristic estimates.  The statistics
+serve three reproduction targets:
 
 * **Round complexity** (Theorem 3): ``rounds`` is the number of
   synchronous rounds until global termination.

@@ -1,10 +1,14 @@
 """Round-by-round protocol tracing for the CONGEST simulator.
 
 A :class:`Tracer` attached to a :class:`~repro.congest.simulator.Simulator`
-records every delivery (round, sender, receiver, message type, bits),
-subject to optional filters, and offers query and rendering helpers:
+records every delivery (round, sender, receiver, message type, bits —
+the *exact* encoded frame length under the :mod:`repro.wire` codec,
+the same number the bandwidth accounting charges), subject to optional
+filters, and offers query and rendering helpers:
 
 * :meth:`Tracer.deliveries` / :meth:`Tracer.of_type` — raw event access;
+* :meth:`Tracer.edge_frames` — deliveries re-grouped into the per-edge
+  per-round coalesced frames the CONGEST budget is enforced on;
 * :meth:`Tracer.rounds_active` — when a message type was on the wire,
   which makes phase boundaries (tree build → counting → aggregation)
   visible and testable;
@@ -21,7 +25,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Type
 
-from repro.congest.message import Message
+from repro.wire import Message
 
 #: Glyphs for the timeline, from idle to busiest octile.
 _SPARK = " .:-=+*#@"
@@ -132,6 +136,22 @@ class Tracer:
         for event in self._events:
             if type_name is None or event.message_type == type_name:
                 out[event.round_number] = out.get(event.round_number, 0) + 1
+        return out
+
+    def edge_frames(self) -> Dict[Tuple[int, int, int], Tuple[int, int]]:
+        """Recorded traffic re-grouped into per-edge per-round frames.
+
+        Returns ``(round, sender, receiver) -> (messages, bits)`` — the
+        coalesced frame view the CONGEST budget is enforced on: all of
+        an edge's messages in one round travel as a single concatenated
+        frame whose length is the sum of the per-message sizes.  (With
+        filters active the view covers only the recorded subset.)
+        """
+        out: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        for e in self._events:
+            key = (e.round_number, e.sender, e.receiver)
+            messages, bits = out.get(key, (0, 0))
+            out[key] = (messages + 1, bits + e.bits)
         return out
 
     # ------------------------------------------------------------------

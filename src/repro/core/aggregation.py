@@ -165,9 +165,9 @@ class AggregationPhase:
                 value = self.arith.psi_add(
                     self._unit_term(record), record.psi
                 )
-                arith = self.arith
+                message = AggValue(source, value)
                 for pred in record.preds:
-                    ctx.send(pred, AggValue(source, value, arith))
+                    ctx.send(pred, message)
         if not self.finished and ctx.round_number > self._horizon:
             self._finish()
             self.finished_round = ctx.round_number

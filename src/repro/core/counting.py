@@ -181,9 +181,7 @@ class CountingPhase:
         dist = first.dist + 1
         start_time = first.start_time
         self.ledger.add(SourceRecord(source, start_time, dist, sigma, preds))
-        ctx.broadcast(
-            BfsWave(source, start_time, dist, sigma, self.arith)
-        )
+        ctx.broadcast(BfsWave(source, start_time, dist, sigma))
 
     # ------------------------------------------------------------------
     # DFS token
@@ -260,9 +258,7 @@ class CountingPhase:
             )
         )
         ctx.broadcast(
-            BfsWave(
-                self.node_id, self.own_start_time, 0, sigma_one, self.arith
-            )
+            BfsWave(self.node_id, self.own_start_time, 0, sigma_one)
         )
 
     # ------------------------------------------------------------------

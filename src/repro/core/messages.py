@@ -1,200 +1,36 @@
-"""Wire messages of the distributed betweenness centrality protocol.
+"""Compatibility shim: protocol messages now live in :mod:`repro.wire`.
 
-Each message type corresponds to one arrow in the protocol narrative:
-
-========================  ====================================================
-message                   role
-========================  ====================================================
-:class:`TreeWave`         BFS(u0) spanning-tree construction flood (phase 0)
-:class:`TreeJoin`         child → parent tree membership notification
-:class:`SubtreeCount`     convergecast of subtree sizes (root learns N)
-:class:`Announce`         root broadcast of N down the tree
-:class:`DfsToken`         the DFS token pipelining BFS starts (Algorithm 2)
-:class:`BfsWave`          one BFS wavefront step carrying (s, T_s, d, sigma)
-:class:`DoneReport`       convergecast: subtree finished counting; max ecc
-:class:`AggStart`         root broadcast of (D, T_max, aggregation base)
-:class:`AggValue`         one aggregation step carrying (s, 1/sigma + psi)
-========================  ====================================================
-
-Every payload is O(log N) bits under L-float arithmetic: identifiers
-cost ``id_bits``, round stamps ``round_bits``, distances
-``distance_bits`` and arithmetic values their context-reported width —
-which is how Lemmas 3 and 5 become machine-checkable.
+The nine betweenness-protocol message types were defined here with
+per-class heuristic ``payload_bits``; they now carry declarative
+``WIRE_LAYOUT`` schemas in :mod:`repro.wire.messages` and are sized by
+the exact codec.  Note one signature change from the old module:
+``BfsWave`` and ``AggValue`` no longer take a trailing arithmetic
+context — payload widths are type-driven (see
+:func:`repro.wire.values.value_bits`).
 """
 
-from __future__ import annotations
+from repro.wire import (
+    PROTOCOL_MESSAGES,
+    AggStart,
+    AggValue,
+    Announce,
+    BfsWave,
+    DfsToken,
+    DoneReport,
+    SubtreeCount,
+    TreeJoin,
+    TreeWave,
+)
 
-from typing import Any
-
-from repro.arithmetic.context import ArithmeticContext
-from repro.congest.message import Message, WireFormat, int_bits
-
-
-class TreeWave(Message):
-    """Spanning-tree flood for BFS(u0); carries the sender's tree depth."""
-
-    __slots__ = ("dist",)
-
-    def __init__(self, dist: int):
-        self.dist = dist
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return wire.distance_bits
-
-    def __repr__(self) -> str:
-        return "TreeWave(dist={})".format(self.dist)
-
-
-class TreeJoin(Message):
-    """Sent by a node to its chosen BFS(u0)-tree parent."""
-
-    __slots__ = ()
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return 0
-
-    def __repr__(self) -> str:
-        return "TreeJoin()"
-
-
-class SubtreeCount(Message):
-    """Convergecast of subtree sizes so the root learns N."""
-
-    __slots__ = ("count",)
-
-    def __init__(self, count: int):
-        self.count = count
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return int_bits(self.count)
-
-    def __repr__(self) -> str:
-        return "SubtreeCount({})".format(self.count)
-
-
-class Announce(Message):
-    """Root broadcast of the node count N down the tree."""
-
-    __slots__ = ("num_nodes",)
-
-    def __init__(self, num_nodes: int):
-        self.num_nodes = num_nodes
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return int_bits(self.num_nodes)
-
-    def __repr__(self) -> str:
-        return "Announce(N={})".format(self.num_nodes)
-
-
-class DfsToken(Message):
-    """The DFS token; ``returning`` marks a child → parent backtrack."""
-
-    __slots__ = ("returning",)
-
-    def __init__(self, returning: bool = False):
-        self.returning = returning
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return 1
-
-    def __repr__(self) -> str:
-        return "DfsToken(returning={})".format(self.returning)
-
-
-class BfsWave(Message):
-    """One hop of the BFS from ``source`` (lines 10–18 of Algorithm 2).
-
-    Carries the source id, the global start round T_s, the sender's
-    distance from the source, and the sender's shortest-path count in
-    the pipeline's arithmetic (an exact integer or an L-bit float).
-    """
-
-    __slots__ = ("source", "start_time", "dist", "sigma", "_sigma_bits")
-
-    def __init__(
-        self,
-        source: int,
-        start_time: int,
-        dist: int,
-        sigma: Any,
-        ctx: ArithmeticContext,
-    ):
-        self.source = source
-        self.start_time = start_time
-        self.dist = dist
-        self.sigma = sigma
-        self._sigma_bits = ctx.value_bits(sigma)
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return (
-            wire.id_bits + wire.round_bits + wire.distance_bits + self._sigma_bits
-        )
-
-    def __repr__(self) -> str:
-        return "BfsWave(s={}, Ts={}, d={}, sigma={!r})".format(
-            self.source, self.start_time, self.dist, self.sigma
-        )
-
-
-class DoneReport(Message):
-    """Convergecast: the sender's whole subtree finished counting.
-
-    ``max_ecc`` aggregates the maximum eccentricity seen in the subtree,
-    from which the root computes the diameter D.
-    """
-
-    __slots__ = ("max_ecc",)
-
-    def __init__(self, max_ecc: int):
-        self.max_ecc = max_ecc
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return wire.distance_bits
-
-    def __repr__(self) -> str:
-        return "DoneReport(max_ecc={})".format(self.max_ecc)
-
-
-class AggStart(Message):
-    """Root broadcast opening the aggregation phase (Algorithm 3 line 1).
-
-    Carries the diameter D, the latest BFS start time T_max, and the
-    global round ``base`` that anchors the sending schedule: node u
-    sends its value for source s at round ``base + T_s + D − d(s, u)``.
-    """
-
-    __slots__ = ("diameter", "max_start_time", "base")
-
-    def __init__(self, diameter: int, max_start_time: int, base: int):
-        self.diameter = diameter
-        self.max_start_time = max_start_time
-        self.base = base
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return wire.distance_bits + 2 * wire.round_bits
-
-    def __repr__(self) -> str:
-        return "AggStart(D={}, Tmax={}, base={})".format(
-            self.diameter, self.max_start_time, self.base
-        )
-
-
-class AggValue(Message):
-    """One aggregation send: ``value = 1/sigma_su + psi_s(u)`` (line 12).
-
-    Sent by u to every predecessor in P_s(u) at its scheduled round.
-    """
-
-    __slots__ = ("source", "value", "_value_bits")
-
-    def __init__(self, source: int, value: Any, ctx: ArithmeticContext):
-        self.source = source
-        self.value = value
-        self._value_bits = ctx.value_bits(value)
-
-    def payload_bits(self, wire: WireFormat) -> int:
-        return wire.id_bits + self._value_bits
-
-    def __repr__(self) -> str:
-        return "AggValue(s={}, value={!r})".format(self.source, self.value)
+__all__ = [
+    "PROTOCOL_MESSAGES",
+    "AggStart",
+    "AggValue",
+    "Announce",
+    "BfsWave",
+    "DfsToken",
+    "DoneReport",
+    "SubtreeCount",
+    "TreeJoin",
+    "TreeWave",
+]

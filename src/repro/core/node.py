@@ -26,17 +26,7 @@ from repro.congest.node import Inbox, NodeAlgorithm, RoundContext
 from repro.core.aggregation import AggregationPhase
 from repro.core.config import ProtocolConfig
 from repro.core.counting import CountingPhase
-from repro.core.messages import (
-    AggStart,
-    AggValue,
-    Announce,
-    BfsWave,
-    DfsToken,
-    DoneReport,
-    SubtreeCount,
-    TreeJoin,
-    TreeWave,
-)
+from repro.core.messages import PROTOCOL_MESSAGES, AggStart, BfsWave
 from repro.core.records import NodeLedger
 from repro.core.tree import TreePhase
 from repro.exceptions import ProtocolError
@@ -96,135 +86,59 @@ class BetweennessNode(NodeAlgorithm):
             self.telemetry.phase_begin("tree_build", ctx.round_number)
 
     def on_round(self, ctx: RoundContext, inbox: Inbox) -> None:
-        if inbox:
-            # Hot path: dispatch the inbox by type in a single pass,
-            # materializing lists only for the types actually present
-            # (almost every step carries one or two), and skip phase
-            # handlers that provably have nothing to do.  The phase
-            # order is identical to the empty-inbox path below.
-            no = _NO_MESSAGES
-            bfs_waves = tokens = done_reports = no
-            tree_waves = tree_joins = subtree_counts = announces = no
-            agg_starts = agg_values = no
-            for pair in inbox:
-                kind = type(pair[1])
-                if kind is BfsWave:
-                    if bfs_waves is no:
-                        bfs_waves = [pair]
-                    else:
-                        bfs_waves.append(pair)
-                elif kind is AggValue:
-                    if agg_values is no:
-                        agg_values = [pair]
-                    else:
-                        agg_values.append(pair)
-                elif kind is DfsToken:
-                    if tokens is no:
-                        tokens = [pair]
-                    else:
-                        tokens.append(pair)
-                elif kind is TreeWave:
-                    if tree_waves is no:
-                        tree_waves = [pair]
-                    else:
-                        tree_waves.append(pair)
-                elif kind is TreeJoin:
-                    if tree_joins is no:
-                        tree_joins = [pair]
-                    else:
-                        tree_joins.append(pair)
-                elif kind is SubtreeCount:
-                    if subtree_counts is no:
-                        subtree_counts = [pair]
-                    else:
-                        subtree_counts.append(pair)
-                elif kind is DoneReport:
-                    if done_reports is no:
-                        done_reports = [pair]
-                    else:
-                        done_reports.append(pair)
-                elif kind is Announce:
-                    if announces is no:
-                        announces = [pair]
-                    else:
-                        announces.append(pair)
-                elif kind is AggStart:
-                    if agg_starts is no:
-                        agg_starts = [pair]
-                    else:
-                        agg_starts.append(pair)
-                else:
-                    raise ProtocolError(
-                        "unexpected message type {!r}".format(kind.__name__)
-                    )
-            tree = self.tree
-            if (
-                tree.num_nodes is None
-                or tree_waves is not no
-                or tree_joins is not no
-                or subtree_counts is not no
-                or announces is not no
-            ):
-                # Once the census announce has arrived the tree phase is
-                # fully message-driven and inert (its only timer,
-                # ``children_final``, precedes the announce), so it only
-                # needs stepping while building or on tree traffic.
-                tree.on_round(
-                    ctx, tree_waves, tree_joins, subtree_counts, announces
-                )
-            if (
-                tree.is_root
-                and not self._dfs_started
-                and tree.census_round is not None
-            ):
-                # Census done: the root is the DFS's first "visit".
-                self._dfs_started = True
-                self.counting.begin_dfs(ctx)
-            self.counting.on_round(ctx, bfs_waves, tokens, done_reports)
-            if (
-                tree.is_root
-                and self.counting.counting_result is not None
-                and not self.aggregation.armed
-            ):
-                diameter, t_max, base = self.counting.counting_result
-                self.aggregation.arm(AggStart(diameter, t_max, base))
-            aggregation = self.aggregation
-            if agg_starts is not no:
-                aggregation.handle_start(ctx, agg_starts)
-            aggregation.on_round(ctx, agg_values)
-            if aggregation.finished:
-                self.done = True
-            if self.telemetry is not None:
-                self._phase_transitions()
-            self._register_wakes(ctx)
-            return
-        box = _split_inbox(inbox)
-        self.tree.on_round(
-            ctx,
-            box.tree_waves,
-            box.tree_joins,
-            box.subtree_counts,
-            box.announces,
-        )
+        # Single code path for every round: split the inbox into typed
+        # buckets (lists only materialize for the types actually
+        # present — almost every step carries one or two), then step the
+        # phases in order, skipping handlers that provably have nothing
+        # to do.
+        (
+            tree_waves,
+            tree_joins,
+            subtree_counts,
+            announces,
+            tokens,
+            bfs_waves,
+            done_reports,
+            agg_starts,
+            agg_values,
+        ) = _split_inbox(inbox)
+        no = _NO_MESSAGES
+        tree = self.tree
         if (
-            self.tree.is_root
+            tree.num_nodes is None
+            or tree_waves is not no
+            or tree_joins is not no
+            or subtree_counts is not no
+            or announces is not no
+        ):
+            # Once the census announce has arrived the tree phase is
+            # fully message-driven and inert (its only timer,
+            # ``children_final``, precedes the announce), so it only
+            # needs stepping while building or on tree traffic.
+            tree.on_round(
+                ctx, tree_waves, tree_joins, subtree_counts, announces
+            )
+        if (
+            tree.is_root
             and not self._dfs_started
-            and self.tree.census_round is not None
+            and tree.census_round is not None
         ):
             # Census done: the root is the DFS's first "visit".
             self._dfs_started = True
             self.counting.begin_dfs(ctx)
-        self.counting.on_round(ctx, box.bfs_waves, box.tokens, box.done_reports)
+        self.counting.on_round(ctx, bfs_waves, tokens, done_reports)
         if (
-            self.tree.is_root
+            tree.is_root
             and self.counting.counting_result is not None
             and not self.aggregation.armed
         ):
             diameter, t_max, base = self.counting.counting_result
             self.aggregation.arm(AggStart(diameter, t_max, base))
-        self.aggregation.handle_start(ctx, box.agg_starts)
-        self.aggregation.on_round(ctx, box.agg_values)
-        if self.aggregation.finished:
+        aggregation = self.aggregation
+        if agg_starts is not no:
+            aggregation.handle_start(ctx, agg_starts)
+        aggregation.on_round(ctx, agg_values)
+        if aggregation.finished:
             self.done = True
         if self.telemetry is not None:
             self._phase_transitions()
@@ -361,53 +275,31 @@ _PHASE_MARKS: Tuple[Tuple[Optional[str], str, str], ...] = (
 )
 
 
-class _SplitInbox:
-    """Inbox messages partitioned by protocol message type."""
-
-    __slots__ = (
-        "tree_waves",
-        "tree_joins",
-        "subtree_counts",
-        "announces",
-        "tokens",
-        "bfs_waves",
-        "done_reports",
-        "agg_starts",
-        "agg_values",
-    )
-
-    def __init__(self):
-        self.tree_waves: List[Tuple[int, TreeWave]] = []
-        self.tree_joins: List[Tuple[int, TreeJoin]] = []
-        self.subtree_counts: List[Tuple[int, SubtreeCount]] = []
-        self.announces: List[Tuple[int, Announce]] = []
-        self.tokens: List[Tuple[int, DfsToken]] = []
-        self.bfs_waves: List[Tuple[int, BfsWave]] = []
-        self.done_reports: List[Tuple[int, DoneReport]] = []
-        self.agg_starts: List[Tuple[int, AggStart]] = []
-        self.agg_values: List[Tuple[int, AggValue]] = []
+#: The single routing table: message class -> bucket index, derived
+#: from the codec registry's canonical protocol-message order.  This
+#: replaces the per-type ``isinstance`` / elif chains that used to be
+#: duplicated across the dispatch paths.
+_BUCKET_OF = {cls: index for index, cls in enumerate(PROTOCOL_MESSAGES)}
 
 
-_DISPATCH = {
-    TreeWave: "tree_waves",
-    TreeJoin: "tree_joins",
-    SubtreeCount: "subtree_counts",
-    Announce: "announces",
-    DfsToken: "tokens",
-    BfsWave: "bfs_waves",
-    DoneReport: "done_reports",
-    AggStart: "agg_starts",
-    AggValue: "agg_values",
-}
+def _split_inbox(inbox: Inbox) -> List[Any]:
+    """Partition an inbox into per-type buckets in one pass.
 
-
-def _split_inbox(inbox: Inbox) -> _SplitInbox:
-    box = _SplitInbox()
-    for sender, message in inbox:
-        slot = _DISPATCH.get(type(message))
-        if slot is None:
+    Returns one bucket per :data:`PROTOCOL_MESSAGES` entry, in that
+    order; absent types get the shared :data:`_NO_MESSAGES` sentinel
+    (phase handlers only iterate / truth-test their lists).  Any other
+    message type on a protocol edge is a :class:`ProtocolError`.
+    """
+    buckets: List[Any] = [_NO_MESSAGES] * len(PROTOCOL_MESSAGES)
+    for pair in inbox:
+        index = _BUCKET_OF.get(type(pair[1]))
+        if index is None:
             raise ProtocolError(
-                "unexpected message type {!r}".format(type(message).__name__)
+                "unexpected message type {!r}".format(type(pair[1]).__name__)
             )
-        getattr(box, slot).append((sender, message))
-    return box
+        bucket = buckets[index]
+        if bucket is _NO_MESSAGES:
+            buckets[index] = [pair]
+        else:
+            bucket.append(pair)
+    return buckets

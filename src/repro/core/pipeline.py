@@ -119,6 +119,7 @@ def distributed_betweenness(
     tracer=None,
     telemetry=None,
     engine: str = "event",
+    frame_audit: bool = False,
 ) -> DistributedBCResult:
     """Compute every node's betweenness with the paper's algorithm.
 
@@ -162,6 +163,11 @@ def distributed_betweenness(
         assumption-free reference).  Both produce identical results —
         :class:`BetweennessNode` honours the event engine's wake
         contract (see :mod:`repro.congest.simulator`).
+    frame_audit:
+        When True, every per-edge per-round frame is materialized
+        through the :mod:`repro.wire` codec and length-checked against
+        the billed bits (see
+        :class:`~repro.congest.simulator.Simulator`).
 
     Returns
     -------
@@ -196,6 +202,7 @@ def distributed_betweenness(
         tracer=tracer,
         telemetry=telemetry,
         engine=engine,
+        frame_audit=frame_audit,
     )
     stats = simulator.run()
     nodes = [
@@ -300,12 +307,15 @@ def distributed_apsp(
     strict: bool = True,
     congest_factor: int = DEFAULT_CONGEST_FACTOR,
     engine: str = "event",
+    **kwargs,
 ) -> DistributedAPSPResult:
     """Run Algorithm 2 alone (the Holzer–Wattenhofer-style APSP core).
 
     The aggregation phase is skipped: nodes terminate as soon as the
     completion broadcast reaches them, so the round count reflects the
-    counting phase plus O(D) control rounds.
+    counting phase plus O(D) control rounds.  Remaining keyword
+    arguments (``telemetry``, ``frame_audit``, ...) are forwarded to
+    :func:`distributed_betweenness`.
     """
     result = distributed_betweenness(
         graph,
@@ -315,6 +325,7 @@ def distributed_apsp(
         congest_factor=congest_factor,
         config=ProtocolConfig(aggregate=False),
         engine=engine,
+        **kwargs,
     )
     return DistributedAPSPResult(
         graph=graph,
@@ -415,6 +426,7 @@ def distributed_sampled_betweenness(
     seed: int = 0,
     arithmetic: ModeSpec = "lfloat",
     root: int = 0,
+    telemetry=None,
     **kwargs,
 ) -> SampledBCResult:
     """Approximate distributed BC from a sampled pivot set.
@@ -429,6 +441,11 @@ def distributed_sampled_betweenness(
     stays O(N) (the DFS token still tours the tree), which is why the
     paper's *exact* O(N) algorithm dominates in this model — this
     variant exists to measure exactly that trade-off.
+
+    ``telemetry`` reaches the simulator and the root node exactly as in
+    :func:`distributed_betweenness`; its post-run ``finalize_run`` sees
+    the inner (unscaled) :class:`DistributedBCResult`.  Remaining
+    keyword arguments are forwarded to :func:`distributed_betweenness`.
     """
     import random as _random
 
@@ -443,6 +460,7 @@ def distributed_sampled_betweenness(
         arithmetic=arithmetic,
         root=root,
         config=ProtocolConfig(sources=frozenset(pivots)),
+        telemetry=telemetry,
         **kwargs,
     )
     scale = n / float(num_samples)

@@ -9,7 +9,7 @@ is :class:`SourceRecord`; the per-node collection is the
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 
 class SourceRecord:

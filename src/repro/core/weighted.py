@@ -68,11 +68,16 @@ def distributed_weighted_betweenness(
     strict: bool = True,
     congest_factor: int = DEFAULT_CONGEST_FACTOR,
     engine: str = "event",
+    telemetry=None,
+    frame_audit: bool = False,
 ) -> WeightedBCResult:
     """Betweenness of every node of a weighted graph, distributively.
 
     Parameters mirror :func:`repro.core.distributed_betweenness`; the
     graph must be connected and carry positive integer weights.
+    ``telemetry`` observes the run on the *subdivision* (virtual nodes
+    included), and its ``finalize_run`` sees the inner unweighted
+    result.
 
     Examples
     --------
@@ -99,6 +104,8 @@ def distributed_weighted_betweenness(
         congest_factor=congest_factor,
         config=config,
         engine=engine,
+        telemetry=telemetry,
+        frame_audit=frame_audit,
     )
     real = sorted(subdivision.real_nodes)
     betweenness = {v: run.betweenness[v] for v in real}

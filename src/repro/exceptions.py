@@ -74,6 +74,17 @@ class SimulationNotTerminatedError(CongestError):
     """The simulator hit its round limit before all nodes halted."""
 
 
+class WireCodecError(CongestError):
+    """The typed wire codec was misused or detected an inconsistency.
+
+    Raised when a value cannot be represented in its declared field
+    (negative or over-wide), when an unregistered message type is
+    encoded or an unknown type tag decoded, and by the simulator's
+    frame audit when a materialized per-edge frame disagrees with the
+    bits the accounting charged for it.
+    """
+
+
 class InvariantViolationError(CongestError):
     """A telemetry monitor observed a violated runtime invariant.
 

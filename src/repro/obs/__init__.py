@@ -20,6 +20,7 @@ from repro.obs.monitors import (
     LFloatErrorMonitor,
     Monitor,
     MonitorVerdict,
+    WireExactnessMonitor,
     default_monitors,
 )
 from repro.obs.profiler import Profiler
@@ -36,6 +37,7 @@ __all__ = [
     "AggregationCollisionMonitor",
     "BandwidthMonitor",
     "LFloatErrorMonitor",
+    "WireExactnessMonitor",
     "default_monitors",
     "Profiler",
     "PhaseSpan",

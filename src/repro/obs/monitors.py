@@ -16,10 +16,17 @@ Three monitors cover the three claims:
 * :class:`AggregationCollisionMonitor` — Lemma 4: a node never sends
   aggregation values for two different sources in the same round.
 * :class:`BandwidthMonitor` — Lemmas 3–5: the bits on one directed
-  edge in one round never exceed ``c * ceil(log2 N)``.
+  edge in one round never exceed ``c * ceil(log2 N)``.  The bits it
+  reads are exact encoded frame lengths under the :mod:`repro.wire`
+  codec, not estimates.
 * :class:`LFloatErrorMonitor` — Theorem 1: the computed betweenness
   values stay within the compound ``O(2**-L)`` relative-error envelope
   of the exact reference.
+
+A fourth, :class:`WireExactnessMonitor`, guards the *meta*-invariant
+the bandwidth numbers rest on: every billed bit count equals the
+length of the message's real encoded frame.  It re-encodes every send
+through the codec, so it is not part of :func:`default_monitors`.
 
 Every monitor runs in one of three modes: ``"record"`` (default —
 violations are stored and reported in the verdict), ``"warn"``
@@ -363,6 +370,72 @@ class LFloatErrorMonitor(Monitor):
             "max_relative_error": self.measured_error,
             "theorem1_bound": self.bound,
             "values_compared": self.checked,
+        }
+
+
+class WireExactnessMonitor(Monitor):
+    """Billed bits == encoded frame length, for every send.
+
+    The bandwidth claims are only as good as the bit accounting, so
+    this monitor re-encodes each registered message through
+    :func:`repro.wire.encode_frame` and compares the frame length with
+    the bits the simulator charged.  Messages without a wire tag (or
+    with opaque payloads) are counted in ``unencodable_sends`` rather
+    than failed — they can still be *sized*, just not framed.
+
+    This is the monitor form of the simulator's ``frame_audit`` flag
+    (which additionally checks per-edge coalescing); per-send
+    re-encoding is expensive, so it is not in :func:`default_monitors`.
+    """
+
+    name = "wire_exactness"
+
+    def __init__(self, mode: str = "record"):
+        super().__init__(mode)
+        self._wire = None
+        self.unencodable_sends = 0
+
+    def on_run_start(self, simulator) -> None:
+        self._wire = simulator.wire
+
+    def on_send(
+        self,
+        round_number: int,
+        sender: int,
+        receiver: int,
+        message: Any,
+        bits: int,
+    ) -> None:
+        from repro.wire import encode_frame
+
+        wire = self._wire
+        if wire is None:
+            return
+        if type(message).wire_tag is None or (
+            type(message).WIRE_LAYOUT is None
+            and not hasattr(message, "_encode_payload")
+        ):
+            self.unencodable_sends += 1
+            return
+        self.checked += 1
+        _word, frame_bits = encode_frame((message,), wire)
+        if frame_bits != bits:
+            self._violation(
+                "round {}: {} from {} to {} billed {} bits but encodes "
+                "to {} bits".format(
+                    round_number,
+                    type(message).__name__,
+                    sender,
+                    receiver,
+                    bits,
+                    frame_bits,
+                )
+            )
+
+    def detail(self) -> Dict[str, Any]:
+        return {
+            "sends_reencoded": self.checked,
+            "unencodable_sends": self.unencodable_sends,
         }
 
 

@@ -19,7 +19,7 @@ hot loops (pipeline stages, CLI commands).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 class _Section:

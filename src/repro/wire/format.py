@@ -1,0 +1,67 @@
+"""Per-network wire-size constants.
+
+The CONGEST model allows each node to send at most O(log N) bits per
+edge per round.  To make that restriction *checkable* rather than
+nominal, every message carries an explicit, exact bit cost: node
+identifiers cost ``ceil(log2 N)`` bits, round stamps cost the bits of
+the round horizon, unbounded counters use the self-delimiting varint of
+:mod:`repro.wire.bits`, and arithmetic payloads their true encoded
+width (2L + 1 bits for the paper's floating point format, the varint
+length of the carried integers in exact mode — which is exactly how the
+"Large Value Challenge" becomes observable).
+
+A :class:`WireFormat` captures the per-network constants; the field
+kinds of :mod:`repro.wire.codec` resolve their widths against it.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Bits reserved to tag the message type on the wire.  A real
+#: implementation multiplexing a handful of protocol message kinds needs
+#: a small constant tag; 4 bits cover the registry's 16 kinds.
+TYPE_TAG_BITS = 4
+
+
+def int_bits(value: int) -> int:
+    """Minimal bits to *store* the non-negative ``value`` (at least 1).
+
+    This is the plain ``bit_length`` floor-ed at one bit.  It is **not**
+    self-delimiting and therefore no longer used for wire accounting —
+    frame sizes come from the varint widths of
+    :func:`repro.wire.bits.uint_bits` — but it remains the right tool
+    for sizing registers and lower-bound arguments.
+    """
+    if value < 0:
+        raise ValueError("wire integers are non-negative")
+    return max(1, value.bit_length())
+
+
+class WireFormat:
+    """Per-network wire-size constants.
+
+    Parameters
+    ----------
+    num_nodes:
+        N; node identifiers cost ``ceil(log2 N)`` bits.
+    round_horizon:
+        An upper bound on any round number carried in a message.  The
+        paper's algorithm finishes within O(N) rounds; the pipeline
+        passes ``6 * N + 16`` which is safely above the worst case.
+    """
+
+    def __init__(self, num_nodes: int, round_horizon: int = 0):
+        if num_nodes < 1:
+            raise ValueError("wire format needs at least one node")
+        self.num_nodes = num_nodes
+        self.id_bits = max(1, math.ceil(math.log2(num_nodes)))
+        horizon = round_horizon if round_horizon > 0 else 6 * num_nodes + 16
+        self.round_bits = max(1, math.ceil(math.log2(horizon + 1)))
+        # Distances and diameters are < N, so they fit in id_bits.
+        self.distance_bits = self.id_bits
+
+    def __repr__(self) -> str:
+        return "WireFormat(N={}, id_bits={}, round_bits={})".format(
+            self.num_nodes, self.id_bits, self.round_bits
+        )

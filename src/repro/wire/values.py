@@ -1,0 +1,72 @@
+"""Codecs for the arithmetic values carried inside protocol messages.
+
+The protocol ships two families of numbers:
+
+* **exact-mode values** — Python ints (sigma) and
+  :class:`fractions.Fraction` (psi), encoded as one or two varints.
+  Their width grows with the magnitude, which is the point: the
+  "Large Value Challenge" (Section V of the paper) is the observation
+  that these can reach Theta(N) bits.
+* **L-float values** — the paper's Section VI format, always exactly
+  ``2L + 1`` bits via :meth:`repro.arithmetic.lfloat.LFloat.encode`.
+
+Widths are *type-driven*: the same value costs the same bits whatever
+context constructed it, so sizing needs no arithmetic context.  Decoding
+does need one — an incoming sigma word is an int in exact mode but an
+L-float (with ceil rounding semantics) under L-float arithmetic — which
+is why :class:`~repro.arithmetic.context.ArithmeticContext` exposes
+``read_sigma`` / ``read_psi`` hooks built on the readers here.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from repro.arithmetic.lfloat import LFloat
+from repro.exceptions import WireCodecError
+from repro.wire.bits import BitReader, BitWriter, uint_bits
+
+WireValue = Union[int, Fraction, LFloat]
+
+
+def value_bits(value: WireValue) -> int:
+    """Exact encoded width of an arithmetic payload, in bits."""
+    if isinstance(value, int):
+        return uint_bits(value)
+    if isinstance(value, LFloat):
+        return value.bit_size()
+    if isinstance(value, Fraction):
+        return uint_bits(value.numerator) + uint_bits(value.denominator)
+    raise WireCodecError(
+        "cannot size a {!r} wire value".format(type(value).__name__)
+    )
+
+
+def write_value(writer: BitWriter, value: WireValue) -> None:
+    """Encode an arithmetic payload; inverse of the typed readers below."""
+    if isinstance(value, int):
+        writer.write_uint(value)
+    elif isinstance(value, LFloat):
+        writer.write(value.encode(), value.bit_size())
+    elif isinstance(value, Fraction):
+        writer.write_uint(value.numerator)
+        writer.write_uint(value.denominator)
+    else:
+        raise WireCodecError(
+            "cannot encode a {!r} wire value".format(type(value).__name__)
+        )
+
+
+def read_int(reader: BitReader) -> int:
+    """Decode an exact-mode integer (one varint)."""
+    return reader.read_uint()
+
+
+def read_fraction(reader: BitReader) -> Fraction:
+    """Decode an exact-mode rational (numerator varint, denominator varint)."""
+    numerator = reader.read_uint()
+    denominator = reader.read_uint()
+    if denominator == 0:
+        raise WireCodecError("wire fraction has a zero denominator")
+    return Fraction(numerator, denominator)

@@ -6,9 +6,7 @@ import pytest
 from hypothesis import strategies as st
 
 from repro.graphs import (
-    Graph,
     connected_erdos_renyi_graph,
-    ensure_connected,
     erdos_renyi_graph,
     figure1_graph,
     karate_club_graph,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.congest import (
     IntMessage,
-    Message,
     NodeAlgorithm,
     PayloadMessage,
     Simulator,
@@ -144,9 +143,10 @@ class TestDelivery:
 class TestStats:
     def test_bit_accounting(self):
         nodes, stats = run_protocol(path_graph(2), CounterNode)
-        # two IntMessages, each TYPE_TAG + 1 bit (value 0 and 1)
+        # two IntMessages: value 0 costs a 1-bit varint, value 1 a
+        # 4-bit varint, each after a TYPE_TAG
         assert stats.message_count == 2
-        assert stats.bit_count == 2 * (TYPE_TAG_BITS + 1)
+        assert stats.bit_count == (TYPE_TAG_BITS + 1) + (TYPE_TAG_BITS + 4)
 
     def test_cut_tracking(self):
         graph = path_graph(4)
@@ -193,7 +193,8 @@ class TestWireFormat:
     def test_message_bit_sizes(self):
         wf = WireFormat(100)
         assert TokenMessage().bit_size(wf) == TYPE_TAG_BITS
-        assert IntMessage(7).bit_size(wf) == TYPE_TAG_BITS + 3
+        # 7 travels as the varint of 8: 3-bit gamma length + 5 more bits
+        assert IntMessage(7).bit_size(wf) == TYPE_TAG_BITS + 8
         assert PayloadMessage(None, 12).bit_size(wf) == TYPE_TAG_BITS + 12
 
     def test_message_reprs(self):

@@ -62,6 +62,22 @@ def test_engines_identical_on_betweenness(graph, arithmetic):
     assert _fingerprint(sweep) == _fingerprint(event)
 
 
+@pytest.mark.parametrize("arithmetic", ["exact", "lfloat"])
+def test_engines_identical_through_codec_path(arithmetic):
+    """The frame-audit path (every message materialized through the wire
+    codec) must not perturb results: both engines, audited, match the
+    unaudited reference bit for bit."""
+    graph = connected_erdos_renyi_graph(16, 0.25, seed=5)
+    reference = _fingerprint(
+        distributed_betweenness(graph, arithmetic=arithmetic, engine="sweep")
+    )
+    for engine in ("sweep", "event"):
+        audited = distributed_betweenness(
+            graph, arithmetic=arithmetic, engine=engine, frame_audit=True
+        )
+        assert _fingerprint(audited) == reference
+
+
 @pytest.mark.parametrize("strict", [True, False])
 def test_engines_identical_nonstrict_and_strict(strict):
     graph = connected_erdos_renyi_graph(15, 0.3, seed=7)

@@ -44,8 +44,8 @@ class _CollidingAggSender(NodeAlgorithm):
     def on_round(self, ctx, inbox):
         if ctx.node_id == 0:
             if ctx.round_number == 1:
-                ctx.send(1, AggValue(3, Fraction(1), _ARITH))
-                ctx.send(1, AggValue(4, Fraction(1), _ARITH))
+                ctx.send(1, AggValue(3, Fraction(1)))
+                ctx.send(1, AggValue(4, Fraction(1)))
                 self.done = True
         else:
             self.done = True
@@ -57,8 +57,8 @@ class _LegalAggSender(NodeAlgorithm):
     def on_round(self, ctx, inbox):
         if ctx.node_id == 1:
             if ctx.round_number == 1:
-                ctx.send(0, AggValue(3, Fraction(1), _ARITH))
-                ctx.send(2, AggValue(3, Fraction(1), _ARITH))
+                ctx.send(0, AggValue(3, Fraction(1)))
+                ctx.send(2, AggValue(3, Fraction(1)))
                 self.done = True
         else:
             self.done = True

@@ -14,7 +14,6 @@ from repro.congest import (
     run_protocol,
 )
 from repro.core import distributed_betweenness
-from repro.exceptions import SimulationNotTerminatedError
 from repro.graphs import (
     Graph,
     bfs_distances,

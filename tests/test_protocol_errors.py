@@ -87,8 +87,8 @@ class TestCountingGuards:
     def test_two_sources_settle_same_round(self):
         counting, _tree, _ledger = make_counting()
         waves = [
-            (1, BfsWave(7, 3, 0, 1, ARITH)),
-            (2, BfsWave(8, 4, 0, 1, ARITH)),
+            (1, BfsWave(7, 3, 0, 1)),
+            (2, BfsWave(8, 4, 0, 1)),
         ]
         with pytest.raises(ProtocolError, match="Lemma 4"):
             counting.on_round(ctx_for(), waves, [], [])
@@ -96,15 +96,15 @@ class TestCountingGuards:
     def test_late_predecessor_wave(self):
         counting, _tree, ledger = make_counting()
         ledger.add(SourceRecord(7, 3, dist=2, sigma=1, preds=(1,)))
-        late = [(2, BfsWave(7, 3, 1, 1, ARITH))]  # dist+1 == record.dist
+        late = [(2, BfsWave(7, 3, 1, 1))]  # dist+1 == record.dist
         with pytest.raises(ProtocolError, match="late wave"):
             counting.on_round(ctx_for(), late, [], [])
 
     def test_inconsistent_fresh_waves(self):
         counting, _tree, _ledger = make_counting()
         waves = [
-            (1, BfsWave(7, 3, 2, 1, ARITH)),
-            (2, BfsWave(7, 3, 5, 1, ARITH)),  # different claimed dist
+            (1, BfsWave(7, 3, 2, 1)),
+            (2, BfsWave(7, 3, 5, 1)),  # different claimed dist
         ]
         with pytest.raises(ProtocolError, match="inconsistent"):
             counting.on_round(ctx_for(), waves, [], [])
@@ -113,7 +113,7 @@ class TestCountingGuards:
         """Same-level or downstream echoes must NOT raise."""
         counting, _tree, ledger = make_counting()
         ledger.add(SourceRecord(7, 3, dist=2, sigma=1, preds=(1,)))
-        echo = [(2, BfsWave(7, 3, 2, 1, ARITH))]  # same level: dist+1 > 2
+        echo = [(2, BfsWave(7, 3, 2, 1))]  # same level: dist+1 > 2
         counting.on_round(ctx_for(), echo, [], [])  # no error
         assert len(ledger) == 1
 
@@ -152,7 +152,7 @@ class TestAggregationGuards:
 
     def test_value_before_arming(self):
         agg, _tree, _ledger = make_aggregation()
-        values = [(1, AggValue(5, ARITH.psi_zero(), ARITH))]
+        values = [(1, AggValue(5, ARITH.psi_zero()))]
         with pytest.raises(ProtocolError, match="before AggStart"):
             agg.on_round(ctx_for(), values)
 
@@ -160,7 +160,7 @@ class TestAggregationGuards:
         agg, _tree, ledger = make_aggregation()
         ledger.add(SourceRecord(0, 10, dist=0, sigma=1, preds=()))
         agg.arm(AggStart(3, 10, 20))
-        values = [(1, AggValue(99, ARITH.psi_zero(), ARITH))]
+        values = [(1, AggValue(99, ARITH.psi_zero()))]
         with pytest.raises(ProtocolError, match="unknown source"):
             agg.on_round(ctx_for(), values)
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from repro.centrality import brandes_betweenness, stress_centrality
 from repro.core import (
     ProtocolConfig,
-    UNIT_STRESS,
     distributed_betweenness,
     distributed_sampled_betweenness,
     distributed_stress,

@@ -8,8 +8,6 @@ unit.
 
 import json
 
-import pytest
-
 from repro import (
     brandes_betweenness,
     distributed_betweenness,

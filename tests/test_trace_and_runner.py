@@ -6,7 +6,7 @@ from repro.analysis import ExperimentRunner
 from repro.congest import Tracer
 from repro.core import distributed_betweenness
 from repro.core.messages import AggValue, BfsWave, DfsToken
-from repro.graphs import cycle_graph, karate_club_graph, path_graph
+from repro.graphs import cycle_graph, path_graph
 from repro.lowerbound import (
     ExchangeEverythingDisjointness,
     deterministic_disjointness_bound,
