@@ -26,6 +26,12 @@ sys.path.insert(0, str(ROOT))
 sys.path.insert(0, str(ROOT / "src"))
 
 from benchmarks.bench_engine import measure, write_json, _print_rows  # noqa: E402
+from benchmarks.bench_faults import (  # noqa: E402
+    measure_disabled_overhead,
+    measure_recovery_overhead,
+    print_report as print_faults_report,
+    write_json as write_faults_json,
+)
 
 SIZES = (64, 200)
 REPS = 2
@@ -37,6 +43,14 @@ def main() -> int:
     _print_rows(rows, "engine smoke (best of {} interleaved reps)".format(REPS))
     print("wrote {}".format(ROOT / "BENCH_engine.json"))
 
+    # Fault-layer gate: disabled path identical, recovery exact.
+    disabled = measure_disabled_overhead(n=64, reps=REPS)
+    recovery = measure_recovery_overhead(drop_rates=(0.0, 0.05))
+    write_faults_json(disabled, recovery)
+    print()
+    print_faults_report(disabled, recovery)
+    print("wrote {}".format(ROOT / "BENCH_faults.json"))
+
     failures = []
     for row in rows:
         if not row["identical_results"]:
@@ -47,6 +61,17 @@ def main() -> int:
             failures.append(
                 "{family}-{n}: event engine slower than sweep "
                 "({event_seconds}s vs {sweep_seconds}s)".format(**row)
+            )
+    if not disabled["identical_results"]:
+        failures.append(
+            "fault layer: faults=None run differs from the bare call"
+        )
+    for row in recovery["rows"]:
+        if not row["recovered_exactly"]:
+            failures.append(
+                "fault layer: drop rate {} did not recover exactly".format(
+                    row["drop_rate"]
+                )
             )
     if failures:
         for line in failures:

@@ -46,6 +46,7 @@ from repro.centrality import (
 )
 from repro.congest import Simulator, run_protocol
 from repro.core import (
+    CompletenessReport,
     DistributedAPSPResult,
     DistributedBCResult,
     ProtocolConfig,
@@ -59,24 +60,35 @@ from repro.core import (
 )
 from repro.exceptions import (
     CongestViolationError,
+    FrameChecksumError,
     GraphNotConnectedError,
     LFloatRangeError,
     ProtocolError,
     ReproError,
+    SimulationNotTerminatedError,
+    SimulationStalledError,
 )
+from repro.faults import CrashWindow, FaultPlan, LinkOutage
 from repro.graphs import Graph, GraphBuilder, WeightedGraph
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompletenessReport",
     "CongestViolationError",
+    "CrashWindow",
     "DistributedAPSPResult",
     "DistributedBCResult",
     "ExactContext",
+    "FaultPlan",
+    "FrameChecksumError",
     "Graph",
     "GraphBuilder",
     "GraphNotConnectedError",
+    "LinkOutage",
     "ProtocolConfig",
+    "SimulationNotTerminatedError",
+    "SimulationStalledError",
     "WeightedGraph",
     "LFloat",
     "LFloatArithmetic",

@@ -390,16 +390,33 @@ def cmd_report(args: argparse.Namespace) -> int:
         monitors=default_monitors(args.monitor_mode),
         profile=args.profile,
     )
-    result = distributed_betweenness(
-        graph,
-        arithmetic=args.arithmetic,
-        root=args.root,
-        strict=not args.lenient,
-        tracer=tracer,
-        telemetry=telemetry,
-        engine=args.engine,
-        frame_audit=args.frame_audit,
-    )
+    from repro.exceptions import SimulationNotTerminatedError
+
+    try:
+        result = distributed_betweenness(
+            graph,
+            arithmetic=args.arithmetic,
+            root=args.root,
+            strict=not args.lenient,
+            tracer=tracer,
+            telemetry=telemetry,
+            engine=args.engine,
+            frame_audit=args.frame_audit,
+        )
+    except SimulationNotTerminatedError as err:
+        # The structured fields answer the first three questions a
+        # non-terminating run raises: how far, what limit, who's stuck.
+        print_table(
+            ["field", "value"],
+            [
+                ["graph", err.graph_name or graph.name],
+                ["final round", err.round_number],
+                ["round limit", err.round_limit],
+                ["nodes still running", list(err.pending_nodes)],
+            ],
+            title="Run did NOT terminate",
+        )
+        return 1
     print_table(
         ["statistic", "value"],
         [[key, value] for key, value in result.stats.summary().items()],
@@ -452,6 +469,175 @@ def cmd_report(args: argparse.Namespace) -> int:
         telemetry.write_jsonl(args.metrics_out)
         print("\nmetrics written to {}".format(args.metrics_out))
     return 0 if telemetry.all_ok() else 1
+
+
+def _parse_crash_spec(spec: str):
+    """``node@start[:end]`` -> CrashWindow (end omitted = permanent)."""
+    from repro.faults import CrashWindow
+
+    try:
+        node_part, _, window = spec.partition("@")
+        start_part, _, end_part = window.partition(":")
+        return CrashWindow(
+            int(node_part),
+            int(start_part),
+            int(end_part) if end_part else None,
+        )
+    except ValueError as err:
+        raise SystemExit(
+            "bad crash spec {!r} (want node@start[:end]): {}".format(
+                spec, err
+            )
+        )
+
+
+def _parse_link_spec(spec: str):
+    """``u-v@start:end`` -> LinkOutage."""
+    from repro.faults import LinkOutage
+
+    try:
+        edge, _, window = spec.partition("@")
+        u_part, _, v_part = edge.partition("-")
+        start_part, _, end_part = window.partition(":")
+        return LinkOutage(
+            int(u_part), int(v_part), int(start_part), int(end_part)
+        )
+    except ValueError as err:
+        raise SystemExit(
+            "bad link-down spec {!r} (want u-v@start:end): {}".format(
+                spec, err
+            )
+        )
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan
+
+    if args.frame_audit:
+        raise SystemExit(
+            "--frame-audit is incompatible with chaos runs: the resilient "
+            "transport's Envelope/Fence/Ack frames carry no wire tag (the "
+            "4-bit registry is full) and cannot be materialized"
+        )
+    graph = _load_graph(args)
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as fh:
+            plan = FaultPlan.from_json(fh.read())
+    else:
+        plan = FaultPlan(
+            seed=args.seed,
+            drop_rate=args.drop,
+            duplicate_rate=args.dup,
+            delay_rate=args.delay_rate,
+            max_delay=args.max_delay,
+            corrupt_rate=args.corrupt,
+            crashes=tuple(_parse_crash_spec(s) for s in args.crash or ()),
+            link_outages=tuple(
+                _parse_link_spec(s) for s in args.link_down or ()
+            ),
+        )
+    if args.plan_out:
+        with open(args.plan_out, "w", encoding="utf-8") as fh:
+            fh.write(plan.to_json() + "\n")
+        print("fault plan written to {}".format(args.plan_out))
+    result = distributed_betweenness(
+        graph,
+        arithmetic=args.arithmetic,
+        root=args.root,
+        strict=not args.lenient,
+        engine=args.engine,
+        faults=plan,
+        resilient=not args.raw,
+    )
+    completeness = result.completeness
+    fault_stats = getattr(result.stats, "faults", None)
+    rows = [
+        ["engine", args.engine],
+        ["transport", "raw (no recovery)" if args.raw else "resilient"],
+        ["rounds", result.rounds],
+        ["complete", completeness.complete],
+        ["source coverage", "{:.0%}".format(completeness.coverage)],
+    ]
+    if fault_stats is not None:
+        rows.extend(
+            [key, value] for key, value in fault_stats.as_dict().items()
+        )
+    if not completeness.complete:
+        rows.append(["stalled at round", completeness.stalled_round])
+        rows.append(
+            ["affected sources", list(completeness.affected_sources)]
+        )
+        rows.append(["crashed nodes", list(completeness.crashed_nodes)])
+    print_table(
+        ["metric", "value"],
+        rows,
+        title="Chaos run on {} (N={}, seed={})".format(
+            graph.name, graph.num_nodes, plan.seed
+        ),
+    )
+    ranked = sorted(
+        graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
+    )
+    print()
+    print_table(
+        ["node", "betweenness"],
+        [[v, result.betweenness[v]] for v in ranked[: args.top]],
+        title="Recovered betweenness"
+        if completeness.complete
+        else "Partial betweenness ({} of {} sources)".format(
+            len(completeness.complete_sources),
+            len(completeness.complete_sources)
+            + len(completeness.affected_sources),
+        ),
+    )
+    if args.check:
+        if not completeness.complete:
+            print(
+                "\ncheck skipped: partial run ({} sources lost)".format(
+                    len(completeness.affected_sources)
+                )
+            )
+        else:
+            # The fault-layer guarantee is differential: a recovered run
+            # must equal a fault-free run of the same protocol bit for
+            # bit.  (Under L-bit floats the protocol itself differs from
+            # Brandes by the Theorem 1 envelope, faults or no faults, so
+            # Brandes is the reference only when the arithmetic is exact.)
+            exact = args.arithmetic == "exact"
+            if exact:
+                reference = brandes_betweenness(graph, exact=True)
+                mismatched = [
+                    v
+                    for v in graph.nodes()
+                    if result.betweenness_exact[v] != reference[v]
+                ]
+                against = "Brandes"
+            else:
+                clean = distributed_betweenness(
+                    graph,
+                    arithmetic=args.arithmetic,
+                    root=args.root,
+                    strict=not args.lenient,
+                    engine=args.engine,
+                )
+                mismatched = [
+                    v
+                    for v in graph.nodes()
+                    if result.betweenness[v] != clean.betweenness[v]
+                ]
+                against = "the fault-free run"
+            if mismatched:
+                print(
+                    "\ncheck FAILED: recovered betweenness differs from "
+                    "{} at nodes {}".format(against, mismatched[:10])
+                )
+                return 1
+            print(
+                "\ncheck OK: recovered betweenness matches {}".format(
+                    against
+                )
+            )
+    return 0 if completeness.complete else 2
 
 
 def cmd_elect(args: argparse.Namespace) -> int:
@@ -611,6 +797,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics/phases/verdicts as JSON Lines",
     )
     p_report.set_defaults(func=cmd_report)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injected run: drops, delays, corruption, crashes",
+    )
+    _add_graph_options(p_chaos)
+    _add_protocol_options(p_chaos)
+    p_chaos.add_argument(
+        "--drop", type=float, default=0.0, help="message drop probability"
+    )
+    p_chaos.add_argument(
+        "--dup", type=float, default=0.0, help="duplication probability"
+    )
+    p_chaos.add_argument(
+        "--delay-rate", type=float, default=0.0, help="delay probability"
+    )
+    p_chaos.add_argument(
+        "--max-delay", type=int, default=3, help="max extra rounds of delay"
+    )
+    p_chaos.add_argument(
+        "--corrupt", type=float, default=0.0, help="bit-flip probability"
+    )
+    p_chaos.add_argument(
+        "--crash",
+        action="append",
+        metavar="NODE@START[:END]",
+        help="crash window (omit END for a permanent crash); repeatable",
+    )
+    p_chaos.add_argument(
+        "--link-down",
+        action="append",
+        metavar="U-V@START:END",
+        help="link outage window; repeatable",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0, help="fault seed")
+    p_chaos.add_argument(
+        "--plan", metavar="PATH", help="load a FaultPlan JSON (overrides flags)"
+    )
+    p_chaos.add_argument(
+        "--plan-out", metavar="PATH", help="save the effective FaultPlan JSON"
+    )
+    p_chaos.add_argument(
+        "--raw",
+        action="store_true",
+        help="run the bare protocol without the resilient transport "
+        "(no recovery guarantee; for demonstrating failure modes)",
+    )
+    p_chaos.add_argument(
+        "--check",
+        action="store_true",
+        help="compare the recovered betweenness against Brandes",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_elect = sub.add_parser("elect", help="leader election for the root u0")
     _add_graph_options(p_elect)

@@ -27,7 +27,7 @@ from repro.congest.primitives import (
     make_broadcast_factory,
     make_convergecast_factory,
 )
-from repro.congest.trace import Delivery, Tracer
+from repro.congest.trace import Delivery, FaultEvent, Tracer
 
 __all__ = [
     "BfsTreeNode",
@@ -53,6 +53,7 @@ __all__ = [
     "TokenMessage",
     "Tracer",
     "Delivery",
+    "FaultEvent",
     "TYPE_TAG_BITS",
     "WireFormat",
     "int_bits",

@@ -135,7 +135,19 @@ class Simulator:
         :class:`~repro.exceptions.WireCodecError`.  This turns the
         bandwidth numbers from "trusted bookkeeping" into "checked
         against real encoded frames" at the cost of encoding every
-        message, so it is off by default.
+        message, so it is off by default.  (Incompatible with resilient
+        transport runs, whose envelopes are honestly sized but live
+        outside the 4-bit tag registry.)
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` or pre-built
+        :class:`~repro.faults.injector.FaultInjector`.  When given,
+        every send is routed through the injector's delivery pipeline
+        (drop / duplicate / delay / corrupt / link-down), nodes inside
+        crash windows are skipped instead of stepped, and a per-round
+        stall check converts a starved run into
+        :class:`~repro.exceptions.SimulationStalledError`.  ``None``
+        (the default) is a zero-cost fast path: one identity check per
+        hook site, and the run is bit-identical to a faultless build.
     """
 
     def __init__(
@@ -151,6 +163,7 @@ class Simulator:
         telemetry=None,
         engine: str = "sweep",
         frame_audit: bool = False,
+        faults=None,
     ):
         if engine not in ENGINES:
             raise ValueError(
@@ -205,6 +218,21 @@ class Simulator:
         self._has_wake_filter: List[bool] = [
             type(node).message_wakes is not base_wakes for node in self.nodes
         ]
+        # Fault injection (None = zero-cost fast path).  A bare
+        # FaultPlan is wrapped in a fresh injector here; the import is
+        # lazy so repro.congest keeps no hard dependency on repro.faults.
+        if faults is not None and not hasattr(faults, "deliveries"):
+            from repro.faults.injector import FaultInjector
+
+            faults = FaultInjector(faults, tracer=tracer)
+        self.faults = faults
+        # Messages maturing later than next round (delays, duplicates):
+        # a heap of (delivery round, tiebreak, sender, target, message).
+        self._future: List[Tuple[int, int, int, int, Message]] = []
+        self._future_seq = 0
+        if faults is not None:
+            faults.bind(self)
+            self.stats.faults = faults.stats
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationStats:
@@ -245,16 +273,27 @@ class Simulator:
         all_ids = range(len(self.nodes))
         telemetry = self.telemetry
         profiler = telemetry.profiler if telemetry is not None else None
+        faults = self.faults
         round_number = 0
         while True:
+            if faults is not None:
+                faults.check_stalled(round_number, self)
+                if self._future:
+                    self._mature_futures(round_number)
             if round_number > self.max_rounds:
                 raise SimulationNotTerminatedError(
-                    "simulation exceeded {} rounds on {!r}".format(
-                        self.max_rounds, self.graph.name
-                    )
+                    round_number,
+                    self.max_rounds,
+                    tuple(n.node_id for n in self.nodes if not n.done),
+                    self.graph.name,
                 )
             inboxes, had_traffic = self._deliver()
-            if not had_traffic and self._all_done() and round_number > 0:
+            if (
+                not had_traffic
+                and round_number > 0
+                and not self._future
+                and self._all_done()
+            ):
                 break
             if profiler is None:
                 self._step(round_number, inboxes, all_ids)
@@ -275,14 +314,20 @@ class Simulator:
         has_filter = self._has_wake_filter
         telemetry = self.telemetry
         profiler = telemetry.profiler if telemetry is not None else None
+        faults = self.faults
         done_count = sum(1 for node in nodes if node.done)
         round_number = 0
         while True:
+            if faults is not None:
+                faults.check_stalled(round_number, self)
+                if self._future:
+                    self._mature_futures(round_number)
             if round_number > self.max_rounds:
                 raise SimulationNotTerminatedError(
-                    "simulation exceeded {} rounds on {!r}".format(
-                        self.max_rounds, self.graph.name
-                    )
+                    round_number,
+                    self.max_rounds,
+                    tuple(n.node_id for n in nodes if not n.done),
+                    self.graph.name,
                 )
             # Delivery with the wake filter: every arrival lands in the
             # receiver's accumulation buffer, but only *waking* messages
@@ -309,9 +354,30 @@ class Simulator:
                         receivers.add(target)
                 if profiler is not None:
                     profiler.add("engine.deliver", perf_counter() - started)
-            elif done_count == len(nodes) and round_number > 0:
+            elif (
+                done_count == len(nodes)
+                and round_number > 0
+                and not self._future
+            ):
                 break
             active = self._active_set(round_number, receivers)
+            if faults is not None and active:
+                # Crashed nodes are filtered *before* their deferred
+                # buffers are consumed (fail-pause preserves them), and
+                # woken again at the first alive round so a finite
+                # crash window resumes by itself.
+                alive: List[int] = []
+                for node_id in active:
+                    if faults.node_crashed(node_id, round_number):
+                        faults.note_crash_skip(node_id, round_number)
+                        crash_end = faults.crash_end_after(
+                            node_id, round_number
+                        )
+                        if crash_end is not None:
+                            self._register_wake(node_id, crash_end)
+                    else:
+                        alive.append(node_id)
+                active = alive
             if not active:
                 if had_traffic:
                     # Every arrival this round was passive: the round
@@ -328,11 +394,14 @@ class Simulator:
                 # (the sweep engine would burn an O(N) no-op pass per
                 # round here).  With no wake pending at all the network
                 # is permanently silent: run the round counter out so
-                # the failure mode matches the sweep engine's.
+                # the failure mode matches the sweep engine's.  Delayed
+                # deliveries sitting in the future heap cap the skip the
+                # same way registered wakes do.
+                skip_to = self.max_rounds + 1
                 if self._wake_heap:
-                    skip_to = min(self._wake_heap[0][0], self.max_rounds + 1)
-                else:
-                    skip_to = self.max_rounds + 1
+                    skip_to = min(skip_to, self._wake_heap[0][0])
+                if self._future:
+                    skip_to = min(skip_to, self._future[0][0])
                 if profiler is not None and skip_to > round_number:
                     profiler.bump(
                         "engine.fast_forwarded_rounds", skip_to - round_number
@@ -399,6 +468,24 @@ class Simulator:
     def _all_done(self) -> bool:
         return all(node.done for node in self.nodes)
 
+    def _mature_futures(self, round_number: int) -> None:
+        """Move delayed deliveries due by ``round_number`` into in-flight.
+
+        Runs before the round's delivery pass in both engines, so a
+        matured message is handed over exactly like a message sent last
+        round (it only arrives later in the inbox list — receivers must
+        not rely on sender-sorted inboxes under an active fault plan).
+        """
+        future = self._future
+        in_flight = self._in_flight
+        while future and future[0][0] <= round_number:
+            _due, _seq, sender, target, message = heapq.heappop(future)
+            bucket = in_flight.get(target)
+            if bucket is None:
+                in_flight[target] = [(sender, message)]
+            else:
+                bucket.append((sender, message))
+
     def _step(
         self,
         round_number: int,
@@ -426,12 +513,21 @@ class Simulator:
         budget = self.bit_budget if self.strict else None
         frames = self._edge_frames if self.frame_audit else None
         nodes = self.nodes
+        faults = self.faults
         in_flight = self._in_flight
         in_flight_get = in_flight.get
         inboxes_get = inboxes.get
         empty_inbox: Inbox = []
         done_delta = 0
         for node_id in node_ids:
+            if faults is not None and faults.node_crashed(
+                node_id, round_number
+            ):
+                # Fail-pause: the node is frozen, not stepped.  (The
+                # event engine filters crashed nodes out of the active
+                # set before this loop; this branch is the sweep path.)
+                faults.note_crash_skip(node_id, round_number)
+                continue
             node = nodes[node_id]
             was_done = node.done
             ctx = RoundContext(node_id, round_number, node.neighbors)
@@ -462,11 +558,31 @@ class Simulator:
                         frames[key] = [message]
                     else:
                         frame.append(message)
-                bucket = in_flight_get(target)
-                if bucket is None:
-                    in_flight[target] = [(node_id, message)]
+                if faults is None:
+                    bucket = in_flight_get(target)
+                    if bucket is None:
+                        in_flight[target] = [(node_id, message)]
+                    else:
+                        bucket.append((node_id, message))
                 else:
-                    bucket.append((node_id, message))
+                    # The send was billed above regardless of fate: the
+                    # sender transmitted; the network decides delivery.
+                    for due, delivered in faults.deliveries(
+                        round_number, node_id, target, message
+                    ):
+                        if due == round_number + 1:
+                            bucket = in_flight_get(target)
+                            if bucket is None:
+                                in_flight[target] = [(node_id, delivered)]
+                            else:
+                                bucket.append((node_id, delivered))
+                        else:
+                            self._future_seq += 1
+                            heapq.heappush(
+                                self._future,
+                                (due, self._future_seq, node_id, target,
+                                 delivered),
+                            )
             if event:
                 if ctx._wakes is not None:
                     for wake_round in ctx.drain_wakes():

@@ -65,6 +65,9 @@ class SimulationStats:
         self.cut: Optional[CutTracker] = None
         #: the directed edge and round achieving max_edge_bits_per_round
         self.worst_edge: Optional[Tuple[int, int, int]] = None
+        #: fault counters (a :class:`repro.faults.injector.FaultStats`)
+        #: when the run carried a fault plan; None on clean runs.
+        self.faults = None
 
     def start_round(self):
         self.round_series.append((0, 0))
@@ -146,6 +149,8 @@ class SimulationStats:
         if self.cut is not None:
             out["cut_bits"] = self.cut.bits
             out["cut_messages"] = self.cut.messages
+        if self.faults is not None:
+            out["faults"] = self.faults.as_dict()
         return out
 
     def __repr__(self) -> str:

@@ -42,6 +42,21 @@ class Delivery:
     bits: int
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (recorded by the fault injector).
+
+    ``kind`` is the injector's taxonomy: ``drop``, ``duplicate``,
+    ``delay``, ``corrupt_detected``, ``corrupt_undetected``,
+    ``crash_drop``, ``link_down``.
+    """
+
+    round_number: int
+    kind: str
+    sender: int
+    receiver: int
+
+
 class Tracer:
     """Collects :class:`Delivery` events during a simulation run.
 
@@ -69,6 +84,7 @@ class Tracer:
         self._nodes = frozenset(nodes) if nodes is not None else None
         self._max_events = max_events
         self._events: List[Delivery] = []
+        self._fault_events: List[FaultEvent] = []
         self.truncated = False
 
     # ------------------------------------------------------------------
@@ -102,6 +118,22 @@ class Tracer:
             )
         )
 
+    def record_fault(
+        self, round_number: int, kind: str, sender: int, receiver: int
+    ) -> None:
+        """Called by the fault injector for every injected fault.
+
+        Fault events share the tracer's event cap with deliveries but
+        not its type/node filters (a chaos run wants the full fault
+        schedule even when message tracing is filtered).
+        """
+        if len(self._fault_events) >= self._max_events:
+            self.truncated = True
+            return
+        self._fault_events.append(
+            FaultEvent(round_number, kind, sender, receiver)
+        )
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -115,6 +147,17 @@ class Tracer:
     def of_type(self, type_name: str) -> List[Delivery]:
         """Events whose message type matches ``type_name``."""
         return [e for e in self._events if e.message_type == type_name]
+
+    def fault_events(self) -> Tuple[FaultEvent, ...]:
+        """All recorded fault injections, in occurrence order."""
+        return tuple(self._fault_events)
+
+    def fault_summary(self) -> Dict[str, int]:
+        """kind -> number of injected faults of that kind."""
+        out: Dict[str, int] = {}
+        for event in self._fault_events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
 
     def message_types(self) -> List[str]:
         """Distinct traced message type names, first-seen order."""
@@ -206,22 +249,29 @@ class Tracer:
         per delivery — small enough to feed a timeline visualizer.
         :meth:`from_json` reads the format back.
         """
-        return json.dumps(
-            {
-                "schema": "repro-trace-v1",
-                "truncated": self.truncated,
-                "events": [
-                    [
-                        e.round_number,
-                        e.sender,
-                        e.receiver,
-                        e.message_type,
-                        e.bits,
-                    ]
-                    for e in self._events
-                ],
-            }
-        )
+        payload = {
+            "schema": "repro-trace-v1",
+            "truncated": self.truncated,
+            "events": [
+                [
+                    e.round_number,
+                    e.sender,
+                    e.receiver,
+                    e.message_type,
+                    e.bits,
+                ]
+                for e in self._events
+            ],
+        }
+        if self._fault_events:
+            # Optional key: traces from fault-free runs (and traces
+            # written by older builds) omit it, keeping the schema
+            # backward compatible in both directions.
+            payload["faults"] = [
+                [f.round_number, f.kind, f.sender, f.receiver]
+                for f in self._fault_events
+            ]
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "Tracer":
@@ -244,6 +294,10 @@ class Tracer:
         tracer._events = [
             Delivery(int(r), int(s), int(t), str(kind), int(bits))
             for r, s, t, kind, bits in payload["events"]
+        ]
+        tracer._fault_events = [
+            FaultEvent(int(r), str(kind), int(s), int(t))
+            for r, kind, s, t in payload.get("faults", ())
         ]
         tracer.truncated = bool(payload.get("truncated", False))
         return tracer

@@ -16,6 +16,7 @@ from repro.core.messages import (
 )
 from repro.core.node import BetweennessNode, make_node_factory
 from repro.core.pipeline import (
+    CompletenessReport,
     DistributedAPSPResult,
     DistributedBCResult,
     DistributedStressResult,
@@ -53,6 +54,7 @@ __all__ = [
     "Announce",
     "BetweennessNode",
     "BfsWave",
+    "CompletenessReport",
     "CountingPhase",
     "DfsToken",
     "DistributedAPSPResult",

@@ -165,6 +165,7 @@ class AggregationPhase:
                 value = self.arith.psi_add(
                     self._unit_term(record), record.psi
                 )
+                record.sent = True
                 message = AggValue(source, value)
                 for pred in record.preds:
                     ctx.send(pred, message)

@@ -80,6 +80,22 @@ class CountingPhase:
         self.result_round: Optional[int] = None
 
     # ------------------------------------------------------------------
+    def progress(self) -> Dict[str, object]:
+        """Partial-state snapshot for fault post-mortems.
+
+        How far this node got through Algorithm 2, readable at any
+        point — including after a stalled run, where the completeness
+        report uses it to say *what* was lost, not just that something
+        was.
+        """
+        return {
+            "visited": self.visited,
+            "own_start_time": self.own_start_time,
+            "settled_sources": len(self.ledger),
+            "done_reported": self._done_reported,
+        }
+
+    # ------------------------------------------------------------------
     def on_round(
         self,
         ctx: RoundContext,

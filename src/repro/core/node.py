@@ -227,6 +227,38 @@ class BetweennessNode(NodeAlgorithm):
         """The network diameter as learned from the AggStart broadcast."""
         return self.aggregation.diameter
 
+    def sent_sources(self) -> frozenset:
+        """Sources whose scheduled aggregation send this node executed.
+
+        A sent record's psi is final (every BFS(s) descendant sent
+        strictly earlier), so these are the sources for which this
+        node's dependency delta_s·(v) is trustworthy even in a run that
+        was cut short.
+        """
+        return frozenset(
+            record.source for record in self.ledger if record.sent
+        )
+
+    def partial_betweenness_raw(self, complete_sources) -> Any:
+        """Raw betweenness restricted to ``complete_sources``.
+
+        The per-source telescoping (Eq. 14) is independent across
+        sources, so summing dependencies over any source subset is
+        exact for that subset — this is the bounded-partial output a
+        faulted run degrades to instead of returning wrong totals.
+        """
+        arith = self.arith
+        total = arith.psi_zero()
+        node_id = self.node_id
+        for record in self.ledger:
+            if record.source == node_id or record.psi is None:
+                continue
+            if record.source in complete_sources:
+                total = arith.psi_add(
+                    total, arith.dependency(record.psi, record.sigma)
+                )
+        return total
+
 
 def make_node_factory(
     root: int,

@@ -29,11 +29,46 @@ from repro.congest.simulator import DEFAULT_CONGEST_FACTOR, Simulator
 from repro.congest.stats import SimulationStats
 from repro.core.config import UNIT_STRESS, ProtocolConfig
 from repro.core.node import BetweennessNode, make_node_factory
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, SimulationStalledError
 from repro.graphs.graph import Graph
 from repro.graphs.properties import require_connected
 
 ModeSpec = Union[str, ArithmeticContext]
+
+
+@dataclass(frozen=True)
+class CompletenessReport:
+    """Per-source completeness of a (possibly faulted) run.
+
+    A source s is *complete* when every node v != s executed its
+    scheduled Algorithm 3 send for s — at which point psi_s(v), and
+    hence delta_s·(v), is final everywhere.  A clean run is complete
+    for every source; a run cut short by
+    :class:`~repro.exceptions.SimulationStalledError` degrades to the
+    bounded-partial betweenness over ``complete_sources`` only (exact
+    for that subset) instead of returning silently wrong totals.
+    """
+
+    #: True iff every expected source is complete (clean runs).
+    complete: bool
+    #: Sources whose dependencies are final at every node.
+    complete_sources: Tuple[int, ...]
+    #: Expected sources the run lost (their contribution is missing).
+    affected_sources: Tuple[int, ...]
+    #: Nodes that had not terminated when the run ended.
+    unfinished_nodes: Tuple[int, ...]
+    #: Nodes inside a crash window when the run ended.
+    crashed_nodes: Tuple[int, ...]
+    #: Round at which the stall detector ended the run (None if clean).
+    stalled_round: Optional[int]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of expected sources that completed (1.0 if clean)."""
+        total = len(self.complete_sources) + len(self.affected_sources)
+        if total == 0:
+            return 1.0
+        return len(self.complete_sources) / total
 
 
 @dataclass
@@ -48,7 +83,9 @@ class DistributedBCResult:
     betweenness_exact:
         Exact rationals when the run used exact arithmetic, else None.
     diameter:
-        The network diameter D computed by the protocol itself.
+        The network diameter D computed by the protocol itself (None
+        only for a partial result whose run stalled before the
+        diameter broadcast).
     start_times:
         ``s -> T_s``: the global round at which s's BFS launched.
     rounds:
@@ -64,13 +101,16 @@ class DistributedBCResult:
     graph: Graph
     betweenness: Dict[int, float]
     betweenness_exact: Optional[Dict[int, Fraction]]
-    diameter: int
+    diameter: Optional[int]
     start_times: Dict[int, int]
     rounds: int
     stats: SimulationStats
     arithmetic: str
     root: int
     nodes: List[BetweennessNode] = field(repr=False, default_factory=list)
+    #: per-source completeness; ``completeness.complete`` is False only
+    #: for partial results recovered from a stalled faulted run.
+    completeness: Optional[CompletenessReport] = None
 
     def normalized(self) -> Dict[int, float]:
         """Betweenness divided by (N-1)(N-2)/2."""
@@ -120,6 +160,8 @@ def distributed_betweenness(
     telemetry=None,
     engine: str = "event",
     frame_audit: bool = False,
+    faults=None,
+    resilient: bool = False,
 ) -> DistributedBCResult:
     """Compute every node's betweenness with the paper's algorithm.
 
@@ -167,7 +209,27 @@ def distributed_betweenness(
         When True, every per-edge per-round frame is materialized
         through the :mod:`repro.wire` codec and length-checked against
         the billed bits (see
-        :class:`~repro.congest.simulator.Simulator`).
+        :class:`~repro.congest.simulator.Simulator`).  Incompatible
+        with ``resilient`` (transport envelopes are honestly sized but
+        unregistered in the 4-bit tag space).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` (or pre-built
+        :class:`~repro.faults.injector.FaultInjector`) subjecting the
+        run to message drop/duplication/delay/corruption, crash windows
+        and link outages.  ``None`` (the default) is a zero-cost fast
+        path producing output bit-identical to a faultless build.  A
+        run the stall detector cuts short returns a **partial** result:
+        betweenness restricted to the sources named complete in
+        ``result.completeness`` (exact for that subset) instead of
+        raising.
+    resilient:
+        Run every node behind the ack/retransmit transport
+        (:class:`~repro.faults.transport.ResilientNode`).  Under any
+        recoverable fault plan the recovered betweenness is exactly the
+        fault-free answer.  When ``congest_factor`` is left at its
+        default it is raised to
+        :data:`~repro.faults.transport.RESILIENT_CONGEST_FACTOR` to
+        fund the transport's constant per-edge overhead.
 
     Returns
     -------
@@ -193,9 +255,33 @@ def distributed_betweenness(
         raise KeyError(root)
     ctx = make_context(arithmetic, graph.num_nodes)
     config = config or ProtocolConfig()
+    injector = None
+    if faults is not None:
+        from repro.faults.injector import FaultInjector
+
+        if hasattr(faults, "deliveries"):
+            injector = faults
+            if injector.arith is None:
+                injector.arith = ctx
+            if injector.tracer is None:
+                injector.tracer = tracer
+        else:
+            injector = FaultInjector(faults, arith=ctx, tracer=tracer)
+    node_factory = make_node_factory(
+        root, ctx, config=config, telemetry=telemetry
+    )
+    if resilient:
+        from repro.faults.transport import (
+            RESILIENT_CONGEST_FACTOR,
+            make_resilient_factory,
+        )
+
+        node_factory = make_resilient_factory(node_factory)
+        if congest_factor == DEFAULT_CONGEST_FACTOR:
+            congest_factor = RESILIENT_CONGEST_FACTOR
     simulator = Simulator(
         graph,
-        make_node_factory(root, ctx, config=config, telemetry=telemetry),
+        node_factory,
         strict=strict,
         congest_factor=congest_factor,
         cut=cut,
@@ -203,15 +289,33 @@ def distributed_betweenness(
         telemetry=telemetry,
         engine=engine,
         frame_audit=frame_audit,
+        faults=injector,
     )
-    stats = simulator.run()
-    nodes = [
-        node for node in simulator.nodes if isinstance(node, BetweennessNode)
-    ]
+    try:
+        stats = simulator.run()
+    except SimulationStalledError as stall:
+        nodes = _protocol_nodes(simulator, resilient)
+        result = _collect_partial(
+            graph, nodes, simulator.stats, ctx, root, stall
+        )
+        if telemetry is not None:
+            telemetry.finalize_run(result)
+        return result
+    nodes = _protocol_nodes(simulator, resilient)
     result = _collect(graph, nodes, stats, ctx, root)
     if telemetry is not None:
         telemetry.finalize_run(result)
     return result
+
+
+def _protocol_nodes(
+    simulator: Simulator, resilient: bool
+) -> List[BetweennessNode]:
+    """The protocol nodes of a run, unwrapped from any transport."""
+    raw = simulator.nodes
+    if resilient:
+        raw = [getattr(node, "inner", node) for node in raw]
+    return [node for node in raw if isinstance(node, BetweennessNode)]
 
 
 def _collect(
@@ -250,6 +354,14 @@ def _collect(
             )
     if diameter is None:
         raise ProtocolError("no node learned the diameter")
+    completeness = CompletenessReport(
+        complete=True,
+        complete_sources=tuple(sorted(start_times)),
+        affected_sources=(),
+        unfinished_nodes=(),
+        crashed_nodes=(),
+        stalled_round=None,
+    )
     return DistributedBCResult(
         graph=graph,
         betweenness=betweenness,
@@ -261,6 +373,85 @@ def _collect(
         arithmetic=ctx.name,
         root=root,
         nodes=nodes,
+        completeness=completeness,
+    )
+
+
+def _collect_partial(
+    graph: Graph,
+    nodes: List[BetweennessNode],
+    stats: SimulationStats,
+    ctx: ArithmeticContext,
+    root: int,
+    stall: SimulationStalledError,
+) -> DistributedBCResult:
+    """Graceful degradation: the bounded-partial result of a stalled run.
+
+    A source counts as complete only when **every** other node executed
+    its scheduled aggregation send for it; summing dependencies over
+    that subset is exact for the subset (the per-source telescoping is
+    independent), so the returned betweenness is a true lower-coverage
+    answer rather than a silently wrong total.  The guarantee is sharp
+    under the resilient transport (whose fence gating makes "sent"
+    imply "psi final"); for raw runs under lossy plans it is
+    best-effort — see ``docs/fault-model.md``.
+    """
+    exact = isinstance(ctx, ExactContext)
+    stats.rounds = stall.round_number
+    expected = sorted(
+        node.node_id
+        for node in nodes
+        if node.config.is_source(node.node_id)
+    )
+    sent_by_node = {node.node_id: node.sent_sources() for node in nodes}
+    complete = [
+        source
+        for source in expected
+        if all(
+            source in sent
+            for owner, sent in sent_by_node.items()
+            if owner != source
+        )
+    ]
+    complete_set = frozenset(complete)
+    betweenness: Dict[int, float] = {}
+    betweenness_exact: Optional[Dict[int, Fraction]] = {} if exact else None
+    diameter: Optional[int] = None
+    start_times: Dict[int, int] = {}
+    for node in nodes:
+        raw = node.partial_betweenness_raw(complete_set)
+        if exact:
+            value = Fraction(raw) / 2
+            betweenness_exact[node.node_id] = value
+            betweenness[node.node_id] = float(value)
+        else:
+            betweenness[node.node_id] = ctx.to_float(raw) / 2.0
+        if diameter is None and node.diameter is not None:
+            diameter = node.diameter
+        if node.counting.own_start_time is not None:
+            start_times[node.node_id] = node.counting.own_start_time
+    completeness = CompletenessReport(
+        complete=False,
+        complete_sources=tuple(complete),
+        affected_sources=tuple(
+            source for source in expected if source not in complete_set
+        ),
+        unfinished_nodes=stall.pending_nodes,
+        crashed_nodes=stall.crashed_nodes,
+        stalled_round=stall.round_number,
+    )
+    return DistributedBCResult(
+        graph=graph,
+        betweenness=betweenness,
+        betweenness_exact=betweenness_exact,
+        diameter=diameter,
+        start_times=start_times,
+        rounds=stats.rounds,
+        stats=stats,
+        arithmetic=ctx.name,
+        root=root,
+        nodes=nodes,
+        completeness=completeness,
     )
 
 

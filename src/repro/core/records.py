@@ -15,7 +15,7 @@ from typing import Any, Dict, Iterator, List, Tuple
 class SourceRecord:
     """One node's knowledge about one BFS source (a row of L_v)."""
 
-    __slots__ = ("source", "start_time", "dist", "sigma", "preds", "psi")
+    __slots__ = ("source", "start_time", "dist", "sigma", "preds", "psi", "sent")
 
     def __init__(
         self,
@@ -37,6 +37,13 @@ class SourceRecord:
         #: psi_s(v) accumulator for the aggregation phase (Eq. 14);
         #: initialized lazily by the aggregation handler.
         self.psi: Any = None
+        #: True once this node's scheduled Algorithm 3 send for s ran.
+        #: By the schedule, every BFS(s) descendant sends strictly
+        #: earlier and deliveries precede sends within a round — so a
+        #: sent record's psi (and hence delta_s·(v)) is final.  This is
+        #: what the fault pipeline's per-source completeness report is
+        #: computed from.
+        self.sent = False
 
     def sending_time(self, diameter: int) -> int:
         """T_s(v) = T_s + D − d(s, v), the Algorithm 3 schedule offset."""

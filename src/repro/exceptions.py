@@ -71,7 +71,82 @@ class CongestViolationError(CongestError):
 
 
 class SimulationNotTerminatedError(CongestError):
-    """The simulator hit its round limit before all nodes halted."""
+    """The simulator hit its round limit before all nodes halted.
+
+    Attributes
+    ----------
+    round_number:
+        The round at which the simulator gave up (first round past the
+        limit).
+    round_limit:
+        The configured ``max_rounds`` safety valve.
+    pending_nodes:
+        Ids of the nodes that had not set ``done`` when the limit was
+        hit — the first place to look when a protocol hangs.
+    graph_name:
+        Name of the graph the run was on (diagnostic convenience).
+    """
+
+    def __init__(self, round_number, round_limit, pending_nodes, graph_name=None):
+        self.round_number = round_number
+        self.round_limit = round_limit
+        self.pending_nodes = tuple(pending_nodes)
+        self.graph_name = graph_name
+        shown = ", ".join(str(v) for v in self.pending_nodes[:10])
+        if len(self.pending_nodes) > 10:
+            shown += ", ... ({} total)".format(len(self.pending_nodes))
+        super().__init__(
+            "simulation exceeded {} rounds on {!r}: {} node(s) never "
+            "halted ({})".format(
+                round_limit,
+                graph_name,
+                len(self.pending_nodes),
+                shown or "none pending, messages still in flight",
+            )
+        )
+
+
+class SimulationStalledError(CongestError):
+    """Fault injection starved the run of progress (crash-aware termination).
+
+    Raised by the fault injector when no *fresh* protocol traffic (a
+    send that is neither a retransmission nor an acknowledgement) has
+    appeared for ``FaultPlan.stall_patience`` consecutive rounds while
+    nodes are still pending — the signature of an unrecoverable fault
+    (e.g. a permanently crashed node partitioning the protocol).  The
+    pipeline converts it into a structured *partial* result instead of
+    letting the run spin to the round limit.
+
+    Attributes
+    ----------
+    round_number:
+        The round at which the stall was declared.
+    last_progress_round:
+        The last round that carried fresh (non-recovery) traffic.
+    pending_nodes:
+        Ids of nodes that had not halted at stall time.
+    crashed_nodes:
+        Ids of nodes inside a crash window at stall time (permanent
+        crashes stay here forever).
+    """
+
+    def __init__(
+        self, round_number, last_progress_round, pending_nodes, crashed_nodes
+    ):
+        self.round_number = round_number
+        self.last_progress_round = last_progress_round
+        self.pending_nodes = tuple(pending_nodes)
+        self.crashed_nodes = tuple(crashed_nodes)
+        super().__init__(
+            "simulation stalled at round {}: no fresh traffic since round "
+            "{}; {} node(s) pending, {} crashed ({})".format(
+                round_number,
+                last_progress_round,
+                len(self.pending_nodes),
+                len(self.crashed_nodes),
+                ", ".join(str(v) for v in self.crashed_nodes[:10]) or "-",
+            )
+        )
 
 
 class WireCodecError(CongestError):
@@ -83,6 +158,30 @@ class WireCodecError(CongestError):
     frame audit when a materialized per-edge frame disagrees with the
     bits the accounting charged for it.
     """
+
+
+class FrameChecksumError(WireCodecError):
+    """A checked frame failed its CRC-8 verification.
+
+    Raised by :func:`repro.wire.codec.decode_frame_checked` when the
+    transmitted checksum disagrees with the one recomputed from the
+    received payload — the corruption-rejecting decode path of the
+    fault model (a receiver discards the frame; link-level recovery is
+    the transport's job).
+
+    Attributes
+    ----------
+    expected, actual:
+        The recomputed and the transmitted CRC-8 values.
+    """
+
+    def __init__(self, expected, actual):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            "frame checksum mismatch: payload hashes to {:#04x} but the "
+            "frame carries {:#04x}".format(expected, actual)
+        )
 
 
 class InvariantViolationError(CongestError):

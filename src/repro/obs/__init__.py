@@ -20,6 +20,7 @@ from repro.obs.monitors import (
     LFloatErrorMonitor,
     Monitor,
     MonitorVerdict,
+    SelfHealingMonitor,
     WireExactnessMonitor,
     default_monitors,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "AggregationCollisionMonitor",
     "BandwidthMonitor",
     "LFloatErrorMonitor",
+    "SelfHealingMonitor",
     "WireExactnessMonitor",
     "default_monitors",
     "Profiler",

@@ -439,6 +439,99 @@ class WireExactnessMonitor(Monitor):
         }
 
 
+class SelfHealingMonitor(Monitor):
+    """Ack/retransmit bookkeeping of the resilient transport, audited.
+
+    Watches the transport traffic of a :mod:`repro.faults` resilient
+    run from the outside: every ``Envelope``/``Fence`` frame opens an
+    obligation (the sequence number must eventually be covered by a
+    cumulative ``Ack(upto)`` on the reverse edge), every ack discharges
+    all obligations at or below ``upto``.  A run that *finishes* while
+    data frames remain unacknowledged means the go-back-N loop declared
+    victory early — the self-healing invariant is broken.
+
+    A run that ends in a partial result (an unrecoverable crash plan)
+    legitimately strands obligations on the dead channels, so
+    :meth:`finalize` only flags complete runs.  On a run without
+    transport traffic the verdict is ``SKIPPED``.
+    """
+
+    name = "self_healing_acks"
+
+    #: transport message type names this monitor recognizes.
+    _DATA_TYPES = ("Envelope", "Fence")
+
+    def __init__(self, mode: str = "record"):
+        super().__init__(mode)
+        #: directed edge -> set of unacknowledged sequence numbers.
+        self._unacked: Dict[Tuple[int, int], set] = {}
+        self.frames_seen = 0
+        self.acks_seen = 0
+        self.retransmissions = 0
+
+    def on_send(
+        self,
+        round_number: int,
+        sender: int,
+        receiver: int,
+        message: Any,
+        bits: int,
+    ) -> None:
+        type_name = type(message).__name__
+        if type_name in self._DATA_TYPES:
+            self.frames_seen += 1
+            if getattr(message, "retransmit", False):
+                self.retransmissions += 1
+            self._unacked.setdefault((sender, receiver), set()).add(
+                message.seq
+            )
+        elif type_name == "Ack":
+            # The ack travels the reverse edge and discharges every
+            # sequence number at or below ``upto`` (go-back-N).
+            self.acks_seen += 1
+            pending = self._unacked.get((receiver, sender))
+            if pending:
+                upto = message.upto
+                pending.difference_update(
+                    [seq for seq in pending if seq <= upto]
+                )
+
+    def finalize(self, result) -> None:
+        if self.frames_seen == 0:
+            self.skipped = True
+            return
+        self.checked = self.frames_seen
+        completeness = getattr(result, "completeness", None)
+        if completeness is not None and not completeness.complete:
+            # Stranded obligations on crashed channels are the expected
+            # shape of a partial run; report them in detail() only.
+            return
+        for (sender, receiver), pending in sorted(self._unacked.items()):
+            if pending:
+                self._violation(
+                    "run completed but channel {} -> {} still has {} "
+                    "unacknowledged frame(s) (seqs {})".format(
+                        sender,
+                        receiver,
+                        len(pending),
+                        sorted(pending)[:5],
+                    )
+                )
+
+    def detail(self) -> Dict[str, Any]:
+        stranded = {
+            "{}->{}".format(s, r): len(pending)
+            for (s, r), pending in sorted(self._unacked.items())
+            if pending
+        }
+        return {
+            "frames_seen": self.frames_seen,
+            "acks_seen": self.acks_seen,
+            "retransmissions": self.retransmissions,
+            "unacked_channels": stranded,
+        }
+
+
 def default_monitors(mode: str = "record") -> List[Monitor]:
     """The standard trio covering Lemma 4, Lemmas 3–5 and Theorem 1."""
     return [

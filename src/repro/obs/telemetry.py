@@ -144,6 +144,13 @@ class Telemetry:
             gauge("run.wall_seconds").set(
                 time.perf_counter() - self._wall_start
             )
+        faults = getattr(stats, "faults", None)
+        if faults is not None:
+            # A faulted run (Simulator faults=...) hangs its FaultStats
+            # off the simulation stats; surface every injection counter
+            # as a gauge so exported metrics carry the chaos profile.
+            for name, value in faults.as_dict().items():
+                gauge("faults.{}".format(name)).set(value)
 
     # ------------------------------------------------------------------
     # protocol hooks

@@ -20,11 +20,15 @@ from repro.wire.codec import (
     ROUND,
     SIGMA,
     UINT,
+    CHECKSUM_BITS,
     Field,
     decode_frame,
+    decode_frame_checked,
     decode_message,
     encode_frame,
+    encode_frame_checked,
     encode_message,
+    frame_checksum,
     layout_bits,
     register,
     registered_types,
@@ -86,6 +90,10 @@ __all__ = [
     "decode_message",
     "encode_frame",
     "decode_frame",
+    "CHECKSUM_BITS",
+    "frame_checksum",
+    "encode_frame_checked",
+    "decode_frame_checked",
     "same_fields",
     # messages
     "Message",

@@ -145,3 +145,122 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert "total weight" in out
         assert "weighted diameter" in out
+
+
+class TestChaosCommand:
+    def run(self, *argv):
+        return main(list(argv))
+
+    def test_chaos_recovers_and_checks(self, capsys):
+        assert (
+            self.run(
+                "chaos",
+                "--graph",
+                "figure1",
+                "--arithmetic",
+                "exact",
+                "--drop",
+                "0.1",
+                "--seed",
+                "7",
+                "--check",
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "check OK" in out
+        assert "Recovered betweenness" in out
+
+    def test_chaos_check_lfloat_is_differential(self, capsys):
+        # Under L-bit floats the protocol differs from Brandes by the
+        # Theorem 1 envelope even without faults, so --check compares
+        # against a fault-free run of the same arithmetic instead.
+        assert (
+            self.run(
+                "chaos",
+                "--graph",
+                "er:14:0.3:5",
+                "--drop",
+                "0.08",
+                "--dup",
+                "0.02",
+                "--corrupt",
+                "0.01",
+                "--seed",
+                "7",
+                "--check",
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "check OK" in out
+        assert "fault-free run" in out
+
+    def test_chaos_partial_exits_2(self, capsys):
+        assert (
+            self.run(
+                "chaos",
+                "--graph",
+                "figure1",
+                "--crash",
+                "3@40",
+                "--seed",
+                "1",
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "Partial betweenness" in out
+        assert "affected sources" in out
+
+    def test_chaos_plan_round_trip(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        assert (
+            self.run(
+                "chaos",
+                "--graph",
+                "figure1",
+                "--drop",
+                "0.05",
+                "--seed",
+                "3",
+                "--plan-out",
+                str(plan_path),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            self.run(
+                "chaos", "--graph", "figure1", "--plan", str(plan_path)
+            )
+            == 0
+        )
+        assert "seed=3" in capsys.readouterr().out
+
+    def test_chaos_bad_crash_spec(self):
+        with pytest.raises(SystemExit):
+            self.run("chaos", "--graph", "figure1", "--crash", "banana")
+
+    def test_chaos_frame_audit_rejected(self):
+        with pytest.raises(SystemExit):
+            self.run("chaos", "--graph", "figure1", "--frame-audit")
+
+    def test_report_renders_non_termination(self, capsys, monkeypatch):
+        # A run that trips the round limit must be rendered as the
+        # structured context table, not a traceback.
+        from repro.exceptions import SimulationNotTerminatedError
+
+        def never_finishes(graph, **kwargs):
+            raise SimulationNotTerminatedError(
+                101, 100, (2, 5), graph_name=graph.name
+            )
+
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "distributed_betweenness", never_finishes)
+        assert self.run("report", "--graph", "path:6") == 1
+        out = capsys.readouterr().out
+        assert "did NOT terminate" in out
+        assert "round limit" in out
+        assert "[2, 5]" in out
