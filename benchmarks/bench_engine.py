@@ -1,28 +1,38 @@
-"""E15 — execution-engine comparison: event-driven vs lockstep sweep.
+"""E15 — execution-engine comparison: sweep vs event vs vectorized bulk.
 
 The sweep engine steps all N nodes every round; under the paper's
 pipelined schedule most of those steps are no-ops (a node settles each
 source once and sends each aggregation value at one scheduled round).
 The event engine steps only active nodes, so its work tracks the
-protocol's true activity volume instead of N × rounds.
+protocol's true activity volume instead of N × rounds.  The bulk engine
+drops the round loop entirely: it derives the protocol's closed-form
+schedule and executes it as numpy array programs (`docs/simulator.md`,
+"Bulk engine"), so its cost tracks the total send volume.
 
-This benchmark times both engines on the high-diameter families from E6
-(where idle rounds dominate), checks the outputs are bit-identical, and
-writes the measured trajectory to ``BENCH_engine.json`` at the repo
-root.  On a single-core container the observed end-to-end speedup is
-roughly 2× at N ≥ 200; the theoretical ceiling is the step-count ratio
-(≈ 5.4× on paths — see ``docs/simulator.md``), which Python-level
-per-step costs keep out of reach.
+This benchmark times all three engines on the high-diameter families
+from E6 (where idle rounds dominate), checks the outputs are
+bit-identical, and writes the measured trajectory to
+``BENCH_engine.json`` at the repo root.  On a single-core container the
+event engine lands around 2× over sweep and the bulk engine at 10-15×
+(N ≥ 400), tapering slightly at N = 800 where the O(sends · log sends)
+sort terms grow.
 
 Timings are wall-clock and noisy on shared machines, so measurements
 interleave the engines and keep the best of ``REPS`` repetitions; the
-hard assertions are deliberately conservative (event must not be
-*slower* at N ≥ 200) while the table and JSON report the actual ratio.
+hard assertions are deliberately conservative while the table and JSON
+report the actual ratios.
+
+A scaling microbenchmark additionally gates the bulk engine's stats
+reduction (:func:`repro.engines.bulk.populate_stats`): quadrupling N at
+a fixed send volume must not materially change its runtime — the
+reduction is O(active edges), never O(N × rounds).
 """
 
 import json
 import time
 from pathlib import Path
+
+import pytest
 
 from repro.analysis import print_table
 from repro.core import distributed_betweenness
@@ -38,7 +48,8 @@ from repro.wire import (
 
 from .conftest import once
 
-SIZES = (100, 200, 300, 400)
+SIZES = (100, 200, 400, 800)
+ENGINES = ("sweep", "event", "bulk")
 FAMILIES = {"path": path_graph, "cycle": cycle_graph}
 REPS = 2
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -57,16 +68,16 @@ def _fingerprint(result):
     )
 
 
-def measure(sizes=SIZES, families=None, reps=REPS):
-    """Time both engines on each family × size; best-of-``reps``.
+def measure(sizes=SIZES, families=None, reps=REPS, engines=ENGINES):
+    """Time each engine on each family × size; best-of-``reps``.
 
     The engines are interleaved within each repetition so ambient noise
-    (another process, thermal drift) hits both roughly equally.  Returns
+    (another process, thermal drift) hits them roughly equally.  Returns
     one row dict per instance with the best wall-clock per engine, the
-    speedup, the result-identity check, and a ``phases`` map of
-    per-phase round counts — collected by one extra telemetry-carrying
-    run *outside* the timed repetitions, so the timed runs keep the
-    telemetry-disabled fast path.
+    sweep-relative speedups, the result-identity check, and a ``phases``
+    map of per-phase round counts — collected by one extra
+    telemetry-carrying run *outside* the timed repetitions, so the timed
+    runs keep the telemetry-disabled fast path.
     """
     families = dict(FAMILIES) if families is None else families
     rows = []
@@ -76,7 +87,7 @@ def measure(sizes=SIZES, families=None, reps=REPS):
             best = {}
             outputs = {}
             for _ in range(max(1, reps)):
-                for engine in ("sweep", "event"):
+                for engine in engines:
                     start = time.perf_counter()
                     result = distributed_betweenness(
                         graph, arithmetic="lfloat", engine=engine
@@ -89,36 +100,57 @@ def measure(sizes=SIZES, families=None, reps=REPS):
             distributed_betweenness(
                 graph, arithmetic="lfloat", engine="event", telemetry=telemetry
             )
-            rows.append(
-                {
-                    "family": family,
-                    "n": n,
-                    "rounds": outputs["event"][2],
-                    "sweep_seconds": round(best["sweep"], 4),
-                    "event_seconds": round(best["event"], 4),
-                    "speedup": round(best["sweep"] / best["event"], 3),
-                    "identical_results": outputs["sweep"] == outputs["event"],
-                    "phases": telemetry.phases.rounds_by_phase(),
-                }
-            )
+            reference = outputs[engines[0]]
+            row = {
+                "family": family,
+                "n": n,
+                "rounds": reference[2],
+                "identical_results": all(
+                    outputs[engine] == reference for engine in engines
+                ),
+                "phases": telemetry.phases.rounds_by_phase(),
+            }
+            for engine in engines:
+                row[engine + "_seconds"] = round(best[engine], 4)
+            if "event" in best:
+                row["event_speedup"] = round(best["sweep"] / best["event"], 3)
+            if "bulk" in best:
+                row["bulk_speedup"] = round(best["sweep"] / best["bulk"], 3)
+            rows.append(row)
     return rows
 
 
 def write_json(rows, path=OUTPUT):
-    """Persist the measured trajectory as ``BENCH_engine.json``."""
+    """Persist the measured trajectory as ``BENCH_engine.json``.
+
+    The ``bulk_speedup`` summary maps each family to its best
+    bulk-over-sweep ratio at N ≥ 400 — the acceptance regime for the
+    vectorized engine.
+    """
     big = [row for row in rows if row["n"] >= 200]
+    bulk_speedup = {}
+    for row in rows:
+        if row["n"] >= 400 and "bulk_speedup" in row:
+            family = row["family"]
+            bulk_speedup[family] = max(
+                bulk_speedup.get(family, 0.0), row["bulk_speedup"]
+            )
     payload = {
         "benchmark": "engine_comparison",
         "arithmetic": "lfloat",
-        "engines": ["sweep", "event"],
+        "engines": list(ENGINES),
         "reps": REPS,
         "rows": rows,
         "summary": {
             "all_identical": all(row["identical_results"] for row in rows),
-            "min_speedup_n_ge_200": min(
-                (row["speedup"] for row in big), default=None
+            "min_event_speedup_n_ge_200": min(
+                (row["event_speedup"] for row in big if "event_speedup" in row),
+                default=None,
             ),
-            "max_speedup": max(row["speedup"] for row in rows),
+            "bulk_speedup": bulk_speedup or None,
+            "families_ge_10x_at_n_ge_400": sum(
+                1 for ratio in bulk_speedup.values() if ratio >= 10.0
+            ),
         },
     }
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
@@ -127,15 +159,27 @@ def write_json(rows, path=OUTPUT):
 
 def _print_rows(rows, title):
     print_table(
-        ["family", "N", "rounds", "sweep s", "event s", "speedup", "identical"],
+        [
+            "family",
+            "N",
+            "rounds",
+            "sweep s",
+            "event s",
+            "bulk s",
+            "event x",
+            "bulk x",
+            "identical",
+        ],
         [
             [
                 row["family"],
                 row["n"],
                 row["rounds"],
                 row["sweep_seconds"],
-                row["event_seconds"],
-                row["speedup"],
+                row.get("event_seconds", "-"),
+                row.get("bulk_seconds", "-"),
+                row.get("event_speedup", "-"),
+                row.get("bulk_speedup", "-"),
                 row["identical_results"],
             ]
             for row in rows
@@ -153,12 +197,14 @@ def test_engine_speedup_and_identity(benchmark):
             REPS, OUTPUT.name
         ),
     )
-    # Bit-identical outputs on every instance, both engines.
+    # Bit-identical outputs on every instance, all engines.
     assert payload["summary"]["all_identical"]
     big = [row for row in rows if row["n"] >= 200]
     assert big, "benchmark must cover N >= 200"
-    # Conservative gate (noise-proof); the JSON holds the real ratio.
-    assert all(row["speedup"] > 1.0 for row in big)
+    # Conservative gates (noise-proof); the JSON holds the real ratios.
+    assert all(row["event_speedup"] > 1.0 for row in big)
+    assert all(row["bulk_speedup"] > 3.0 for row in rows if row["n"] >= 400)
+    assert payload["summary"]["families_ge_10x_at_n_ge_400"] >= 2
     # The telemetry run must have seen all four protocol phases, with
     # the phase rounds partitioning the run (minus the final quiet round).
     for row in rows:
@@ -169,6 +215,63 @@ def test_engine_speedup_and_identity(benchmark):
             "tree_build",
         ]
         assert sum(row["phases"].values()) <= row["rounds"]
+
+
+# ----------------------------------------------------------------------
+# bulk stats-reduction scaling: O(active edges), never O(N x rounds)
+# ----------------------------------------------------------------------
+STATS_SENDS = 200_000
+
+
+def measure_stats_scaling(sends=STATS_SENDS):
+    """Time ``populate_stats`` at a fixed send volume while N grows 4x.
+
+    A per-round accumulator that touched every node (the sweep's shape)
+    would slow down ~4x; the bulk reduction groups the send inventory
+    directly, so its runtime must track the send count alone (plus an
+    O(rounds) tail for the round series, held constant here).
+    """
+    np = pytest.importorskip("numpy")
+    from repro.congest.stats import SimulationStats
+    from repro.engines.bulk import populate_stats
+
+    rounds = 2_000
+    timings = {}
+    rng = np.random.default_rng(7)
+    for n_nodes in (2_000, 8_000):
+        r = np.sort(rng.integers(0, rounds, size=sends)).astype(np.int64)
+        snd = rng.integers(0, n_nodes, size=sends).astype(np.int64)
+        tgt = (snd + 1 + rng.integers(0, 3, size=sends)) % n_nodes
+        bits = rng.integers(8, 64, size=sends).astype(np.int64)
+        rank = np.arange(sends, dtype=np.int64)
+        best = None
+        for _ in range(3):
+            stats = SimulationStats()
+            start = time.perf_counter()
+            populate_stats(stats, rounds, n_nodes, r, snd, tgt, bits, rank)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+            assert stats.message_count == sends
+        timings[n_nodes] = best
+    return {
+        "sends": sends,
+        "rounds": rounds,
+        "seconds_n_2000": round(timings[2_000], 4),
+        "seconds_n_8000": round(timings[8_000], 4),
+        "n_scaling_ratio": round(timings[8_000] / timings[2_000], 3),
+    }
+
+
+def test_bulk_stats_reduction_is_active_edge_bound(benchmark):
+    stats = once(benchmark, measure_stats_scaling)
+    print_table(
+        ["metric", "value"],
+        [[key, value] for key, value in stats.items()],
+        title="E15c bulk stats-reduction scaling (fixed sends, N x4)",
+    )
+    # 4x the nodes at a fixed send volume: an O(N)-per-round accumulator
+    # would show ~4x; allow generous noise headroom around flat.
+    assert stats["n_scaling_ratio"] < 2.0
 
 
 # ----------------------------------------------------------------------

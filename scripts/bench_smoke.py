@@ -1,21 +1,28 @@
 """Quick engine-comparison smoke gate.
 
 Runs a reduced version of ``benchmarks/bench_engine.py`` (one small size
-plus one size at the N >= 200 regime the acceptance gate cares about),
-writes the same ``BENCH_engine.json`` artifact at the repo root, and
-exits non-zero if either
+plus N = 400, the regime the vectorized-engine acceptance gate cares
+about), writes the same ``BENCH_engine.json`` artifact at the repo root,
+and exits non-zero if either
 
-* the two engines disagree on any output (results, rounds, statistics,
-  per-round series), or
-* the event engine is *slower* than the sweep at any N >= 200 instance.
+* any engine disagrees with the sweep on any output (results, rounds,
+  statistics, per-round series), or
+* the event engine is *slower* than the sweep at any N >= 200 instance,
+  or
+* the bulk engine is below 5x over the sweep at any N >= 400 instance
+  (the full benchmark reports 10-15x; 5x is the noise-proof floor).
+
+Without numpy the bulk engine is skipped (the dispatcher would refuse
+it) and only the sweep/event gates run.
 
 Usage::
 
-    python scripts/bench_smoke.py          # ~15 s on a 1-core container
+    python scripts/bench_smoke.py          # ~1 min on a 1-core container
 
-The full benchmark (more sizes, pytest-benchmark integration) lives in
-``benchmarks/bench_engine.py``; this script exists so CI and humans can
-get a pass/fail answer without pulling in the pytest machinery.
+The full benchmark (more sizes, N = 800, the stats-scaling microbench,
+pytest-benchmark integration) lives in ``benchmarks/bench_engine.py``;
+this script exists so CI and humans can get a pass/fail answer without
+pulling in the pytest machinery.
 """
 
 import sys
@@ -33,12 +40,15 @@ from benchmarks.bench_faults import (  # noqa: E402
     write_json as write_faults_json,
 )
 
-SIZES = (64, 200)
+SIZES = (64, 400)
 REPS = 2
 
 
 def main() -> int:
-    rows = measure(sizes=SIZES, reps=REPS)
+    from repro.engines import numpy_available
+
+    engines = ("sweep", "event", "bulk") if numpy_available() else ("sweep", "event")
+    rows = measure(sizes=SIZES, reps=REPS, engines=engines)
     write_json(rows)
     _print_rows(rows, "engine smoke (best of {} interleaved reps)".format(REPS))
     print("wrote {}".format(ROOT / "BENCH_engine.json"))
@@ -57,10 +67,15 @@ def main() -> int:
             failures.append(
                 "{family}-{n}: engines disagree on outputs".format(**row)
             )
-        if row["n"] >= 200 and row["speedup"] <= 1.0:
+        if row["n"] >= 200 and row["event_speedup"] <= 1.0:
             failures.append(
                 "{family}-{n}: event engine slower than sweep "
                 "({event_seconds}s vs {sweep_seconds}s)".format(**row)
+            )
+        if row["n"] >= 400 and row.get("bulk_speedup", 10.0) < 5.0:
+            failures.append(
+                "{family}-{n}: bulk engine below 5x over sweep "
+                "({bulk_seconds}s vs {sweep_seconds}s)".format(**row)
             )
     if not disabled["identical_results"]:
         failures.append(
@@ -77,9 +92,14 @@ def main() -> int:
         for line in failures:
             print("FAIL: " + line, file=sys.stderr)
         return 1
-    big = min(row["speedup"] for row in rows if row["n"] >= 200)
-    print("OK: outputs identical; event >= sweep at N >= 200 "
-          "(min speedup {:.2f}x)".format(big))
+    big = min(row["event_speedup"] for row in rows if row["n"] >= 200)
+    line = "OK: outputs identical; event >= sweep at N >= 200 " \
+        "(min speedup {:.2f}x)".format(big)
+    bulk = [row["bulk_speedup"] for row in rows
+            if row["n"] >= 400 and "bulk_speedup" in row]
+    if bulk:
+        line += "; bulk {:.1f}x over sweep at N >= 400".format(min(bulk))
+    print(line)
     return 0
 
 

@@ -93,7 +93,7 @@ class ExperimentRunner:
         arithmetic: str = "lfloat",
         metrics: Optional[Dict[str, Callable]] = None,
         run: Optional[Callable] = None,
-        engine: str = "event",
+        engine: str = "auto",
         collect_phases: bool = False,
     ):
         self.arithmetic = arithmetic
@@ -277,7 +277,7 @@ def run_many(
     graphs: Iterable[Graph],
     family: str = "batch",
     arithmetic: str = "lfloat",
-    engine: str = "event",
+    engine: str = "auto",
     processes: Optional[int] = None,
     collect_phases: bool = False,
 ) -> List[RunRecord]:

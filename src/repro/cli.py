@@ -122,10 +122,12 @@ def _add_protocol_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=("event", "sweep"),
-        default="event",
-        help="simulator engine: event-driven active-node scheduling "
-        "(default) or the lockstep reference sweep",
+        choices=("auto", "bulk", "event", "sweep"),
+        default="auto",
+        help="simulator engine: auto (default) picks the fastest capable "
+        "backend — the vectorized numpy bulk engine when available, else "
+        "event-driven active-node scheduling; sweep is the lockstep "
+        "reference",
     )
     parser.add_argument(
         "--frame-audit",
@@ -425,7 +427,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             graph.num_nodes,
             result.diameter,
             result.arithmetic,
-            args.engine,
+            result.stats.engine or args.engine,
         ),
     )
     print()
@@ -552,7 +554,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     completeness = result.completeness
     fault_stats = getattr(result.stats, "faults", None)
     rows = [
-        ["engine", args.engine],
+        ["engine", result.stats.engine or args.engine],
         ["transport", "raw (no recovery)" if args.raw else "resilient"],
         ["rounds", result.rounds],
         ["complete", completeness.complete],

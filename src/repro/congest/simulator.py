@@ -77,8 +77,13 @@ from repro.graphs.graph import Graph
 #: Theta(N)-bit messages of exact arithmetic on path-count-heavy graphs.
 DEFAULT_CONGEST_FACTOR = 32
 
-#: Recognized execution engines (see the module docstring).
-ENGINES = ("sweep", "event")
+#: Recognized execution engines (see the module docstring).  ``"auto"``
+#: resolves to the fastest capable engine at construction time via
+#: :func:`repro.engines.resolve_engine`; ``"bulk"`` is the vectorized
+#: numpy backend (raises
+#: :class:`~repro.exceptions.EngineCapabilityError` when the run falls
+#: outside its envelope).
+ENGINES = ("sweep", "event", "bulk", "auto")
 
 
 class Simulator:
@@ -233,6 +238,15 @@ class Simulator:
         if faults is not None:
             faults.bind(self)
             self.stats.faults = faults.stats
+        # Resolve "auto" / validate "bulk" now that nodes and faults are
+        # in place, so self.engine is a concrete name before run() (and
+        # before telemetry snapshots it in on_run_start).  Lazy import:
+        # repro.congest stays importable without the engines package.
+        if engine in ("auto", "bulk"):
+            from repro.engines import resolve_engine
+
+            self.engine = resolve_engine(engine, self)
+        self.stats.engine = self.engine
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationStats:
@@ -257,6 +271,10 @@ class Simulator:
         try:
             if self.engine == "event":
                 stats = self._run_event()
+            elif self.engine == "bulk":
+                from repro.engines.bulk import run_bulk
+
+                stats = run_bulk(self)
             else:
                 stats = self._run_sweep()
         finally:

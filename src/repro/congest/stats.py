@@ -68,6 +68,10 @@ class SimulationStats:
         #: fault counters (a :class:`repro.faults.injector.FaultStats`)
         #: when the run carried a fault plan; None on clean runs.
         self.faults = None
+        #: the engine that actually executed the run ("sweep"/"event"/
+        #: "bulk") — the resolved name, never "auto".  Deliberately kept
+        #: out of :meth:`summary` so summaries stay engine-identical.
+        self.engine: Optional[str] = None
 
     def start_round(self):
         self.round_series.append((0, 0))

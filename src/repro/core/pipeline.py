@@ -158,7 +158,7 @@ def distributed_betweenness(
     config: Optional[ProtocolConfig] = None,
     tracer=None,
     telemetry=None,
-    engine: str = "event",
+    engine: str = "auto",
     frame_audit: bool = False,
     faults=None,
     resilient: bool = False,
@@ -199,12 +199,18 @@ def distributed_betweenness(
         ``finalize_run(result)`` hook fires so post-run monitors (the
         Theorem 1 error check) can judge the collected result.
     engine:
-        Simulator execution engine: ``"event"`` (default) steps only
-        active nodes and is several times faster on the pipelined
-        schedule; ``"sweep"`` steps every node every round (the
-        assumption-free reference).  Both produce identical results —
-        :class:`BetweennessNode` honours the event engine's wake
-        contract (see :mod:`repro.congest.simulator`).
+        Simulator execution engine.  ``"auto"`` (default) resolves to
+        the fastest capable backend via
+        :mod:`repro.engines.dispatcher`: the vectorized ``"bulk"``
+        engine when numpy is available and the run fits its envelope,
+        else ``"event"``.  ``"event"`` steps only active nodes;
+        ``"sweep"`` steps every node every round (the assumption-free
+        reference); ``"bulk"`` executes whole rounds as numpy array
+        ops.  All engines produce bit-identical results (the
+        differential suite enforces it); explicit ``"bulk"`` raises
+        :class:`~repro.exceptions.EngineCapabilityError` outside its
+        envelope.  The resolved name is reported in
+        ``result.stats`` consumers via ``Simulator.engine``.
     frame_audit:
         When True, every per-edge per-round frame is materialized
         through the :mod:`repro.wire` codec and length-checked against
@@ -497,7 +503,7 @@ def distributed_apsp(
     root: int = 0,
     strict: bool = True,
     congest_factor: int = DEFAULT_CONGEST_FACTOR,
-    engine: str = "event",
+    engine: str = "auto",
     **kwargs,
 ) -> DistributedAPSPResult:
     """Run Algorithm 2 alone (the Holzer–Wattenhofer-style APSP core).

@@ -67,7 +67,7 @@ def distributed_weighted_betweenness(
     root: int = 0,
     strict: bool = True,
     congest_factor: int = DEFAULT_CONGEST_FACTOR,
-    engine: str = "event",
+    engine: str = "auto",
     telemetry=None,
     frame_audit: bool = False,
 ) -> WeightedBCResult:

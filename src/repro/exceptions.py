@@ -70,6 +70,31 @@ class CongestViolationError(CongestError):
         )
 
 
+class EngineCapabilityError(CongestError):
+    """A run was pinned to an engine that cannot execute it.
+
+    Raised when ``engine="bulk"`` is requested explicitly but the run
+    falls outside the bulk engine's capability envelope (numpy missing,
+    exact arithmetic, fault injection, custom node algorithms, ...).
+    ``engine="auto"`` never raises this: the dispatcher silently falls
+    back to the next capable engine instead.
+
+    Attributes
+    ----------
+    engine:
+        The engine that was requested.
+    reason:
+        Why the engine cannot run this simulation.
+    """
+
+    def __init__(self, engine: str, reason: str):
+        self.engine = engine
+        self.reason = reason
+        super().__init__(
+            "engine {!r} cannot run this simulation: {}".format(engine, reason)
+        )
+
+
 class SimulationNotTerminatedError(CongestError):
     """The simulator hit its round limit before all nodes halted.
 

@@ -93,6 +93,16 @@ class Telemetry:
         """Whether the simulator should call :meth:`on_send` per message."""
         return bool(self._send_monitors)
 
+    @property
+    def wants_rounds(self) -> bool:
+        """Whether any monitor needs the per-round edge-load snapshots.
+
+        The bulk engine consults this: when no round monitor is attached
+        it skips the per-round replay entirely and reduces the send
+        inventory with array ops.
+        """
+        return bool(self._round_monitors)
+
     def on_run_start(self, simulator) -> None:
         """Bind per-run constants; called by :meth:`Simulator.run`."""
         self._wall_start = time.perf_counter()

@@ -1,13 +1,15 @@
-"""Differential suite: the event engine must match the sweep engine bit for bit.
+"""Differential suite: every engine must match the sweep engine bit for bit.
 
 The sweep engine (`engine="sweep"`) is the assumption-free reference:
 every node is stepped every round.  The event engine skips idle nodes
 and fast-forwards idle rounds, relying on the active-set invariant
-(`docs/simulator.md`).  These tests run the full betweenness protocol —
-and smaller purpose-built protocols exercising self-wakes, passive
-messages and inbox ordering — under both engines and require *identical*
-outputs: betweenness values, rounds, per-round traffic series, worst
-edge, everything.
+(`docs/simulator.md`).  The bulk engine replaces the round loop
+entirely with a closed-form numpy schedule (`docs/simulator.md`,
+"Bulk engine") and only supports the lfloat protocol envelope.  These
+tests run the full betweenness protocol — and smaller purpose-built
+protocols exercising self-wakes, passive messages and inbox ordering —
+under all engines and require *identical* outputs: betweenness values,
+rounds, per-round traffic series, worst edge, everything.
 """
 
 import pytest
@@ -54,28 +56,52 @@ GRAPHS = [
 ]
 
 
+def _engines_for(arithmetic):
+    """The engines able to run a given arithmetic on this machine.
+
+    The bulk engine's capability envelope only admits the shared-lfloat
+    protocol (exact sigma/psi values are unbounded rationals, not
+    vectorizable), so the exact rows stay a two-way comparison; without
+    numpy installed (CI's fallback leg) the lfloat rows do too.
+    """
+    from repro.engines import numpy_available
+
+    engines = ["sweep", "event"]
+    if arithmetic == "lfloat" and numpy_available():
+        engines.append("bulk")
+    return tuple(engines)
+
+
 @pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
 @pytest.mark.parametrize("arithmetic", ["exact", "lfloat"])
 def test_engines_identical_on_betweenness(graph, arithmetic):
-    sweep = distributed_betweenness(graph, arithmetic=arithmetic, engine="sweep")
-    event = distributed_betweenness(graph, arithmetic=arithmetic, engine="event")
-    assert _fingerprint(sweep) == _fingerprint(event)
+    runs = {
+        engine: _fingerprint(
+            distributed_betweenness(graph, arithmetic=arithmetic, engine=engine)
+        )
+        for engine in _engines_for(arithmetic)
+    }
+    reference = runs.pop("sweep")
+    for engine, fingerprint in runs.items():
+        assert fingerprint == reference, engine
 
 
 @pytest.mark.parametrize("arithmetic", ["exact", "lfloat"])
 def test_engines_identical_through_codec_path(arithmetic):
     """The frame-audit path (every message materialized through the wire
-    codec) must not perturb results: both engines, audited, match the
-    unaudited reference bit for bit."""
+    codec) must not perturb results: every engine, audited, matches the
+    unaudited reference bit for bit.  For the bulk engine the audit
+    forces the per-send replay path, so this also differentials replay
+    against the vectorized fast path."""
     graph = connected_erdos_renyi_graph(16, 0.25, seed=5)
     reference = _fingerprint(
         distributed_betweenness(graph, arithmetic=arithmetic, engine="sweep")
     )
-    for engine in ("sweep", "event"):
+    for engine in _engines_for(arithmetic):
         audited = distributed_betweenness(
             graph, arithmetic=arithmetic, engine=engine, frame_audit=True
         )
-        assert _fingerprint(audited) == reference
+        assert _fingerprint(audited) == reference, engine
 
 
 @pytest.mark.parametrize("strict", [True, False])
@@ -87,9 +113,9 @@ def test_engines_identical_nonstrict_and_strict(strict):
                 graph, arithmetic="lfloat", strict=strict, engine=engine
             )
         )
-        for engine in ("sweep", "event")
+        for engine in _engines_for("lfloat")
     ]
-    assert runs[0] == runs[1]
+    assert all(run == runs[0] for run in runs[1:])
 
 
 def test_unknown_engine_rejected():
@@ -237,12 +263,81 @@ def test_event_engine_skips_idle_nodes_but_rounds_match():
     """Same rounds as sweep even though most steps are skipped."""
     graph = path_graph(40)
     fingerprints = {}
-    for engine in ("sweep", "event"):
+    for engine in _engines_for("lfloat"):
         result = distributed_betweenness(graph, arithmetic="lfloat", engine=engine)
         fingerprints[engine] = _fingerprint(result)
-    assert fingerprints["sweep"] == fingerprints["event"]
+    reference = fingerprints.pop("sweep")
+    for engine, fingerprint in fingerprints.items():
+        assert fingerprint == reference, engine
     # Sanity: the run is long enough that skipping matters.
-    assert fingerprints["event"]["rounds"] > 400
+    assert reference["rounds"] > 400
+
+
+# ----------------------------------------------------------------------
+# dispatcher: engine="auto" resolution and graceful degradation
+# ----------------------------------------------------------------------
+def test_auto_resolves_to_bulk_with_numpy():
+    """With numpy importable (tier-1 w/ extras), auto means bulk."""
+    pytest.importorskip("numpy")
+    from repro.engines import reset_probe
+
+    reset_probe()
+    result = distributed_betweenness(figure1_graph(), arithmetic="lfloat")
+    assert result.stats.engine == "bulk"
+
+
+def test_auto_without_numpy_falls_back_to_event(monkeypatch):
+    """Absent numpy, auto degrades to the event engine — same results."""
+    import sys
+
+    from repro.engines import reset_probe
+
+    reference = _fingerprint(
+        distributed_betweenness(figure1_graph(), arithmetic="lfloat", engine="sweep")
+    )
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    reset_probe()
+    try:
+        result = distributed_betweenness(figure1_graph(), arithmetic="lfloat")
+        assert result.stats.engine == "event"
+        assert _fingerprint(result) == reference
+    finally:
+        monkeypatch.undo()
+        reset_probe()
+
+
+def test_auto_falls_back_to_event_for_exact_arithmetic():
+    """Exact arithmetic is outside the bulk envelope; auto must not pick it."""
+    result = distributed_betweenness(figure1_graph(), arithmetic="exact")
+    assert result.stats.engine == "event"
+
+
+def test_explicit_bulk_rejects_exact_arithmetic():
+    pytest.importorskip("numpy")
+    from repro.exceptions import EngineCapabilityError
+
+    with pytest.raises(EngineCapabilityError, match="L-float"):
+        distributed_betweenness(
+            figure1_graph(), arithmetic="exact", engine="bulk"
+        )
+
+
+def test_explicit_bulk_without_numpy_raises(monkeypatch):
+    import sys
+
+    from repro.engines import reset_probe
+    from repro.exceptions import EngineCapabilityError
+
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    reset_probe()
+    try:
+        with pytest.raises(EngineCapabilityError, match="numpy"):
+            distributed_betweenness(
+                figure1_graph(), arithmetic="lfloat", engine="bulk"
+            )
+    finally:
+        monkeypatch.undo()
+        reset_probe()
 
 
 # ----------------------------------------------------------------------
@@ -274,14 +369,16 @@ def test_tracer_streams_identical_across_engines(graph):
     from repro.congest import Tracer
 
     streams = {}
-    for engine in ("sweep", "event"):
+    for engine in _engines_for("lfloat"):
         tracer = Tracer()
         distributed_betweenness(
             graph, arithmetic="lfloat", engine=engine, tracer=tracer
         )
         assert not tracer.truncated
         streams[engine] = tracer.deliveries()
-    assert streams["sweep"] == streams["event"]
+    reference = streams.pop("sweep")
+    for engine, stream in streams.items():
+        assert stream == reference, engine
 
 
 def test_tracer_json_round_trip_preserves_stream():
