@@ -101,10 +101,16 @@ def measure(sizes=SIZES, families=None, reps=REPS, engines=ENGINES):
                 graph, arithmetic="lfloat", engine="event", telemetry=telemetry
             )
             reference = outputs[engines[0]]
+            reference_summary = reference[4]
             row = {
                 "family": family,
                 "n": n,
                 "rounds": reference[2],
+                # Structural metrics: machine-independent, so the
+                # history ledger's regression gates require them to
+                # match exactly across runs of an identical config.
+                "bits": reference_summary["bits"],
+                "messages": reference_summary["messages"],
                 "identical_results": all(
                     outputs[engine] == reference for engine in engines
                 ),

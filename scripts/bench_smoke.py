@@ -56,10 +56,28 @@ def main() -> int:
     # Fault-layer gate: disabled path identical, recovery exact.
     disabled = measure_disabled_overhead(n=64, reps=REPS)
     recovery = measure_recovery_overhead(drop_rates=(0.0, 0.05))
-    write_faults_json(disabled, recovery)
+    faults_payload = write_faults_json(disabled, recovery)
     print()
     print_faults_report(disabled, recovery)
     print("wrote {}".format(ROOT / "BENCH_faults.json"))
+
+    # Record both payloads in the append-only run-history ledger so
+    # ``repro bench compare --ledger`` and future sessions can gate
+    # against this machine's trajectory, keyed by git revision.
+    import json
+
+    from repro.obs.history import DEFAULT_HISTORY_PATH, HistoryLedger, git_revision
+
+    ledger = HistoryLedger(ROOT / DEFAULT_HISTORY_PATH)
+    rev = git_revision(str(ROOT))
+    engine_payload = json.loads((ROOT / "BENCH_engine.json").read_text())
+    recorded = ledger.ingest_bench_engine(engine_payload, git_rev=rev)
+    recorded += ledger.ingest_bench_faults(faults_payload, git_rev=rev)
+    print(
+        "ledger: {} entries appended to {} (rev {})".format(
+            recorded, ledger.path, rev or "unknown"
+        )
+    )
 
     failures = []
     for row in rows:

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Validate repro-metrics-v1 telemetry JSONL files.
+
+Thin CLI over :mod:`repro.obs.schema` — the same validator the test
+suite and the run-history ingester use.  Checks the event-kind
+vocabulary, required keys and value types of every row; exits non-zero
+on the first file with problems.
+
+    PYTHONPATH=src python scripts/validate_telemetry.py run.jsonl
+    PYTHONPATH=src python scripts/validate_telemetry.py --stream live.jsonl
+    PYTHONPATH=src python scripts/validate_telemetry.py --allow-torn-tail crashed.jsonl
+
+``--stream`` admits the streaming-only event kinds (``progress``
+heartbeats) that live JSONL sinks interleave with the core rows.
+``--allow-torn-tail`` tolerates one half-written trailing line — the
+signature of a run killed mid-write — validating the complete rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate repro-metrics-v1 telemetry JSONL"
+    )
+    parser.add_argument("paths", nargs="+", metavar="JSONL")
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="admit streaming-only event kinds (progress heartbeats)",
+    )
+    parser.add_argument(
+        "--allow-torn-tail",
+        action="store_true",
+        help="tolerate one half-written trailing line (crashed run)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print failures"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.schema import load_jsonl_rows, validate_rows
+
+    failures = 0
+    for path in args.paths:
+        try:
+            if args.allow_torn_tail:
+                rows, warnings = load_jsonl_rows(path, allow_partial=True)
+                for warning in warnings:
+                    print("{}: warning: {}".format(path, warning))
+                problems = validate_rows(rows, stream=args.stream)
+            else:
+                with open(path, "r", encoding="utf-8") as fh:
+                    text = fh.read()
+                from repro.obs.schema import validate_jsonl_text
+
+                rows, problems = validate_jsonl_text(text, stream=args.stream)
+        except (OSError, ValueError) as err:
+            print("{}: FAIL: {}".format(path, err))
+            failures += 1
+            continue
+        if problems:
+            failures += 1
+            print("{}: FAIL ({} problem(s))".format(path, len(problems)))
+            for problem in problems:
+                print("  {}".format(problem))
+        elif not args.quiet:
+            print("{}: OK ({} rows)".format(path, len(rows)))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

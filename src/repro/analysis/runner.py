@@ -154,6 +154,7 @@ class ExperimentRunner:
         family: str,
         graphs: Iterable[Graph],
         processes: Optional[int] = None,
+        stream_dir: Optional[PathLike] = None,
     ) -> List[RunRecord]:
         """Like :meth:`run_family`, fanned out via :func:`run_many`.
 
@@ -173,6 +174,7 @@ class ExperimentRunner:
             engine=self.engine,
             processes=processes,
             collect_phases=self.collect_phases,
+            stream_dir=stream_dir,
         )
         self.records.extend(out)
         return out
@@ -227,6 +229,11 @@ class ExperimentRunner:
         return text
 
 
+def _safe_name(name: str) -> str:
+    """Graph names can contain path-hostile characters; keep it boring."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
 def _phase_columns(telemetry) -> Dict[str, float]:
     """``phase_<name>_rounds`` extras from a run's closed phase spans."""
     return {
@@ -238,7 +245,7 @@ def _phase_columns(telemetry) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 # multiprocessing fan-out
 # ----------------------------------------------------------------------
-_Task = Tuple[str, Graph, str, str, bool]
+_Task = Tuple[str, Graph, str, str, bool, Optional[str]]
 
 
 def _run_one(task: _Task) -> RunRecord:
@@ -247,8 +254,15 @@ def _run_one(task: _Task) -> RunRecord:
     Module-level (not a closure) so a ``multiprocessing`` pool can
     pickle it; the graph rides along in the task tuple.
     """
-    family, graph, arithmetic, engine, collect_phases = task
-    if collect_phases:
+    family, graph, arithmetic, engine, collect_phases, stream_path = task
+    if stream_path is not None:
+        from repro.obs import Telemetry
+
+        # Live JSONL per run: a killed worker still leaves its rows.
+        telemetry = Telemetry.with_streaming(
+            jsonl_path=stream_path, progress=True
+        )
+    elif collect_phases:
         from repro.obs import Telemetry
 
         telemetry = Telemetry()
@@ -258,6 +272,8 @@ def _run_one(task: _Task) -> RunRecord:
         graph, arithmetic=arithmetic, engine=engine, telemetry=telemetry
     )
     extra = _phase_columns(telemetry) if telemetry is not None else {}
+    if telemetry is not None and getattr(telemetry, "bus", None) is not None:
+        telemetry.bus.close()
     return RunRecord(
         family=family,
         graph_name=graph.name,
@@ -280,6 +296,7 @@ def run_many(
     engine: str = "auto",
     processes: Optional[int] = None,
     collect_phases: bool = False,
+    stream_dir: Optional[PathLike] = None,
 ) -> List[RunRecord]:
     """Run the protocol on every graph, fanning out across processes.
 
@@ -305,10 +322,33 @@ def run_many(
     collect_phases:
         Add ``phase_<name>_rounds`` extras per record (phase spans are
         plain numbers, so they cross the pool boundary untouched).
+    stream_dir:
+        Stream each run's telemetry live to
+        ``<stream_dir>/<family>-<index>-<name>.jsonl`` (flushed per
+        event, so a crashed worker leaves a readable partial log);
+        implies per-run telemetry with phase collection.
     """
+    if stream_dir is not None:
+        os.makedirs(stream_dir, exist_ok=True)
     tasks = [
-        (family, graph, arithmetic, engine, collect_phases)
-        for graph in graphs
+        (
+            family,
+            graph,
+            arithmetic,
+            engine,
+            collect_phases,
+            (
+                os.path.join(
+                    str(stream_dir),
+                    "{}-{:03d}-{}.jsonl".format(
+                        family, index, _safe_name(graph.name)
+                    ),
+                )
+                if stream_dir is not None
+                else None
+            ),
+        )
+        for index, graph in enumerate(graphs)
     ]
     if not tasks:
         return []

@@ -9,8 +9,17 @@ Subcommands
 ``schedule``  analytic BFS start / sending times (Figure 1 style tables)
 ``gadget``    build and verify a Section IX lower-bound gadget
 ``report``    instrumented run: phase table, invariant monitor verdicts,
-              optional profile and JSONL metrics export
+              optional profile, JSONL metrics export, live streaming
+              (``--progress``/``--stream-jsonl``), partial-log rendering
+              (``--from``) and Chrome trace export (``--chrome-trace``)
+``watch``     tail a live-streamed telemetry JSONL
+``bench``     benchmark regression gates (``compare``) and history
+              ledger ingestion (``ingest``)
 ``info``      graph statistics
+
+``trace diff`` compares two saved traces (or two engines on one graph)
+and pinpoints the first divergent delivery down to the decoded frame
+field when payload words were captured (``trace --payloads``).
 
 Graphs are specified with ``--graph``: either a named generator
 (``karate``, ``figure1``, ``path:20``, ``cycle:16``, ``grid:4x5``,
@@ -140,12 +149,27 @@ def _add_protocol_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _streaming_telemetry(args: argparse.Namespace):
+    """A live-streaming Telemetry when ``--progress``/``--stream-jsonl``
+    was given, else None (keeping the zero-cost no-telemetry path)."""
+    if not (getattr(args, "progress", False) or getattr(args, "stream_jsonl", None)):
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry.with_streaming(
+        jsonl_path=args.stream_jsonl,
+        progress=True,
+        console=bool(args.progress),
+    )
+
+
 def cmd_bc(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     from repro.graphs.weighted import WeightedGraph
 
     if isinstance(graph, WeightedGraph):
         return _cmd_bc_weighted(args, graph)
+    telemetry = _streaming_telemetry(args)
     result = distributed_betweenness(
         graph,
         arithmetic=args.arithmetic,
@@ -153,7 +177,10 @@ def cmd_bc(args: argparse.Namespace) -> int:
         strict=not args.lenient,
         engine=args.engine,
         frame_audit=args.frame_audit,
+        telemetry=telemetry,
     )
+    if telemetry is not None and telemetry.bus is not None:
+        telemetry.bus.close()
     ranked = sorted(
         graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
     )
@@ -343,7 +370,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.congest import Tracer
 
     graph = _load_graph(args)
-    tracer = Tracer()
+    tracer = Tracer(capture_payloads=args.payloads)
     result = distributed_betweenness(
         graph,
         arithmetic=args.arithmetic,
@@ -376,22 +403,190 @@ def cmd_trace(args: argparse.Namespace) -> int:
         ],
         title="Traffic by message type",
     )
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(tracer.to_json())
+        print(
+            "\ntrace written to {} ({} deliveries{})".format(
+                args.trace_out,
+                len(tracer),
+                ", payload words included" if args.payloads else "",
+            )
+        )
     return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.congest import Tracer
+    from repro.obs.tracediff import diff_report, first_divergence
+
+    if args.traces and len(args.traces) != 2:
+        raise SystemExit(
+            "trace diff wants exactly two trace files (or none, to run "
+            "--engines on --graph); got {}".format(len(args.traces))
+        )
+    if args.traces:
+        traces = []
+        for path in args.traces:
+            with open(path, "r", encoding="utf-8") as fh:
+                traces.append(Tracer.from_json(fh.read()))
+        trace_a, trace_b = traces
+        label_a, label_b = args.traces
+    else:
+        engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+        if len(engines) != 2:
+            raise SystemExit(
+                "--engines wants two comma-separated engines, "
+                "got {!r}".format(args.engines)
+            )
+        graph = _load_graph(args)
+        traces = []
+        for engine in engines:
+            tracer = Tracer(capture_payloads=True)
+            distributed_betweenness(
+                graph,
+                arithmetic=args.arithmetic,
+                root=args.root,
+                tracer=tracer,
+                engine=engine,
+            )
+            traces.append(tracer)
+        trace_a, trace_b = traces
+        label_a, label_b = engines
+    report = diff_report(
+        trace_a,
+        trace_b,
+        arithmetic=args.arithmetic,
+        label_a=label_a,
+        label_b=label_b,
+        context=args.context,
+    )
+    print(report)
+    diverged = (
+        first_divergence(trace_a, trace_b, arithmetic=args.arithmetic)
+        is not None
+    )
+    return 1 if diverged else 0
+
+
+def _report_from_rows(args: argparse.Namespace) -> int:
+    """Render ``repro report`` output from a (possibly torn) JSONL export."""
+    from repro.obs.schema import load_jsonl_rows, meta_row
+
+    rows, warnings = load_jsonl_rows(args.from_path)
+    for warning in warnings:
+        print("warning: {}".format(warning), file=sys.stderr)
+    meta = meta_row(rows)
+    if meta is None:
+        print(
+            "error: {} has no meta header row — not a telemetry "
+            "export".format(args.from_path),
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        "Run on {} (N={}, engine={}, requested={}{})".format(
+            meta.get("graph"),
+            meta.get("num_nodes"),
+            meta.get("engine"),
+            meta.get("engine_requested", meta.get("engine")),
+            ", {}".format(meta["engine_reason"])
+            if meta.get("engine_reason")
+            else "",
+        )
+    )
+    progress_rows = [r for r in rows if r.get("event") == "progress"]
+    metric_rows = [r for r in rows if r.get("event") == "metric"]
+    if progress_rows and not metric_rows:
+        last = progress_rows[-1]
+        print(
+            "run INCOMPLETE: last heartbeat at round {}{} — the stream "
+            "ended before finalization".format(
+                last.get("round"),
+                " ({}%)".format(last["percent"]) if "percent" in last else "",
+            )
+        )
+    phase_rows = [r for r in rows if r.get("event") == "phase"]
+    if phase_rows:
+        print()
+        print_table(
+            ["phase", "start round", "end round", "rounds", "wall ms"],
+            [
+                [
+                    row.get("name"),
+                    row.get("start_round"),
+                    row.get("end_round"),
+                    row.get("rounds"),
+                    round(1000 * row.get("wall_seconds", 0.0), 3),
+                ]
+                for row in phase_rows
+            ],
+            title="Protocol phases",
+        )
+    if metric_rows:
+        print()
+        print_table(
+            ["metric", "value"],
+            [
+                [row.get("name"), row.get("value")]
+                for row in sorted(
+                    metric_rows, key=lambda r: str(r.get("name"))
+                )
+            ],
+            title="Metrics",
+        )
+    monitor_rows = [r for r in rows if r.get("event") == "monitor"]
+    if monitor_rows:
+        print()
+        print_table(
+            ["monitor", "status", "checked", "violations"],
+            [
+                [
+                    row.get("monitor"),
+                    row.get("status"),
+                    row.get("checked"),
+                    row.get("violation_count"),
+                ]
+                for row in monitor_rows
+            ],
+            title="Invariant monitors",
+        )
+    if args.chrome_trace:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        count = write_chrome_trace(rows, args.chrome_trace)
+        print(
+            "\nchrome trace written to {} ({} events)".format(
+                args.chrome_trace, count
+            )
+        )
+    return 0 if all(row.get("ok", True) for row in monitor_rows) else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import Telemetry, default_monitors
 
+    if args.from_path:
+        return _report_from_rows(args)
     graph = _load_graph(args)
     tracer = None
     if args.timeline:
         from repro.congest import Tracer
 
         tracer = Tracer()
-    telemetry = Telemetry(
-        monitors=default_monitors(args.monitor_mode),
-        profile=args.profile,
-    )
+    if args.progress or args.stream_jsonl:
+        telemetry = Telemetry.with_streaming(
+            jsonl_path=args.stream_jsonl,
+            progress=True,
+            console=bool(args.progress),
+            monitors=default_monitors(args.monitor_mode),
+            profile=args.profile,
+        )
+    else:
+        telemetry = Telemetry(
+            monitors=default_monitors(args.monitor_mode),
+            profile=args.profile,
+        )
     from repro.exceptions import SimulationNotTerminatedError
 
     try:
@@ -418,6 +613,10 @@ def cmd_report(args: argparse.Namespace) -> int:
             ],
             title="Run did NOT terminate",
         )
+        if telemetry.bus is not None:
+            # The streamed partial log is exactly what post-mortems
+            # want from a non-terminating run; leave it closed cleanly.
+            telemetry.bus.close()
         return 1
     print_table(
         ["statistic", "value"],
@@ -429,6 +628,16 @@ def cmd_report(args: argparse.Namespace) -> int:
             result.arithmetic,
             result.stats.engine or args.engine,
         ),
+    )
+    meta = telemetry.events()[0]
+    print(
+        "engine: requested={} resolved={}{}".format(
+            meta.get("engine_requested", args.engine),
+            meta.get("engine"),
+            " ({})".format(meta["engine_reason"])
+            if meta.get("engine_reason")
+            else "",
+        )
     )
     print()
     print_table(
@@ -470,6 +679,17 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.metrics_out:
         telemetry.write_jsonl(args.metrics_out)
         print("\nmetrics written to {}".format(args.metrics_out))
+    if args.chrome_trace:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        count = write_chrome_trace(telemetry.events(), args.chrome_trace)
+        print(
+            "\nchrome trace written to {} ({} events)".format(
+                args.chrome_trace, count
+            )
+        )
+    if telemetry.bus is not None:
+        telemetry.bus.close()
     return 0 if telemetry.all_ok() else 1
 
 
@@ -708,6 +928,172 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_watch_row(row, out) -> None:
+    """One streamed row -> live terminal output (progress overdraws)."""
+    event = row.get("event")
+    if event == "meta":
+        out.write(
+            "watching {} on {} (N={}, engine={})\n".format(
+                row.get("schema"),
+                row.get("graph"),
+                row.get("num_nodes"),
+                row.get("engine"),
+            )
+        )
+    elif event == "progress":
+        parts = ["round {}".format(row.get("round"))]
+        if "percent" in row:
+            parts.insert(0, "{:6.2f}%".format(row["percent"]))
+        if row.get("phase"):
+            parts.append(str(row["phase"]))
+        if "eta_seconds" in row and not row.get("final"):
+            parts.append("eta {:.1f}s".format(row["eta_seconds"]))
+        out.write("\r" + "  ".join(parts).ljust(64))
+        if row.get("final"):
+            out.write("\n")
+    elif event == "phase":
+        out.write(
+            "\rphase {}: rounds {}..{} ({} rounds)".format(
+                row.get("name"),
+                row.get("start_round"),
+                row.get("end_round"),
+                row.get("rounds"),
+            ).ljust(64)
+            + "\n"
+        )
+    elif event == "monitor":
+        out.write(
+            "monitor {}: {}\n".format(row.get("monitor"), row.get("status"))
+        )
+    out.flush()
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Tail a live-streamed telemetry JSONL as it is written."""
+    import json as _json
+    import time as _time
+
+    out = sys.stdout
+    try:
+        fh = open(args.path, "r", encoding="utf-8")
+    except OSError as err:
+        print("error: {}".format(err), file=sys.stderr)
+        return 2
+    with fh:
+        buffer = ""
+        saw_final = False
+        idle_since = None
+        deadline = (
+            _time.monotonic() + args.timeout if args.timeout else None
+        )
+        while True:
+            chunk = fh.read()
+            if chunk:
+                idle_since = None
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    if not line.strip():
+                        continue
+                    try:
+                        row = _json.loads(line)
+                    except ValueError:
+                        # A torn line can only be the still-growing tail,
+                        # which the buffering above already defers — a
+                        # complete-but-broken line is skipped.
+                        continue
+                    _render_watch_row(row, out)
+                    if row.get("event") == "progress" and row.get("final"):
+                        saw_final = True
+            else:
+                if not args.follow:
+                    break
+                now = _time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if saw_final and now - idle_since > 0.5:
+                    break
+                if deadline is not None and now > deadline:
+                    break
+                _time.sleep(args.interval)
+        if buffer.strip():
+            print(
+                "\n(torn tail: {} bytes of an unfinished row)".format(
+                    len(buffer)
+                )
+            )
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.history import RegressionGates, compare_payloads
+
+    def load(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return _json.load(fh)
+        except (OSError, ValueError) as err:
+            raise SystemExit("cannot read {}: {}".format(path, err))
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    gates = RegressionGates(
+        max_speedup_drop=args.max_speedup_drop,
+        max_slowdown=args.max_slowdown,
+        check_wall=not args.no_wall,
+    )
+    violations, compared = compare_payloads(baseline, current, gates)
+    print(
+        "compared {} row(s) of {!r}: {} violation(s)".format(
+            compared, baseline.get("benchmark"), len(violations)
+        )
+    )
+    for violation in violations:
+        print("  {}".format(violation))
+    if args.ledger:
+        from repro.obs.history import HistoryLedger, git_revision
+
+        ledger = HistoryLedger(args.ledger)
+        rev = git_revision()
+        for payload in (current,):
+            if payload.get("benchmark") == "engine_comparison":
+                ledger.ingest_bench_engine(payload, git_rev=rev)
+            elif payload.get("benchmark") == "fault_layer":
+                ledger.ingest_bench_faults(payload, git_rev=rev)
+        print("current payload recorded in {}".format(args.ledger))
+    if violations and args.warn_only:
+        print("(warn-only: exiting 0 despite violations)")
+        return 0
+    return 1 if violations else 0
+
+
+def cmd_bench_ingest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.history import HistoryLedger, git_revision
+
+    ledger = HistoryLedger(args.ledger)
+    rev = git_revision()
+    total = 0
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = _json.load(fh)
+        kind = payload.get("benchmark")
+        if kind == "engine_comparison":
+            total += ledger.ingest_bench_engine(payload, git_rev=rev)
+        elif kind == "fault_layer":
+            total += ledger.ingest_bench_faults(payload, git_rev=rev)
+        else:
+            print(
+                "skipping {}: unknown benchmark kind {!r}".format(path, kind),
+                file=sys.stderr,
+            )
+    print("{} record(s) appended to {}".format(total, args.ledger))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -720,6 +1106,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_protocol_options(p_bc)
     p_bc.add_argument(
         "--check", action="store_true", help="also print the Brandes reference"
+    )
+    p_bc.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line (percent/ETA) on stderr",
+    )
+    p_bc.add_argument(
+        "--stream-jsonl",
+        metavar="PATH",
+        help="stream telemetry rows to PATH live, flushed per event",
     )
     p_bc.set_defaults(func=cmd_bc)
 
@@ -763,11 +1159,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_gadget.set_defaults(func=cmd_gadget)
 
-    p_trace = sub.add_parser("trace", help="traced run with phase timeline")
+    p_trace = sub.add_parser(
+        "trace",
+        help="traced run with phase timeline; 'trace diff' compares runs",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", metavar="{diff}")
     _add_graph_options(p_trace)
     _add_protocol_options(p_trace)
     p_trace.add_argument("--width", type=int, default=70)
+    p_trace.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="save the trace as repro-trace-v1 JSON (for 'trace diff')",
+    )
+    p_trace.add_argument(
+        "--payloads",
+        action="store_true",
+        help="also capture each message's encoded frame word, enabling "
+        "decoded field-level diffs",
+    )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_tdiff = trace_sub.add_parser(
+        "diff",
+        help="locate the first divergent delivery between two traces",
+        description="Compare two trace files (saved with 'repro trace "
+        "--trace-out'), or run two engines on one graph and compare the "
+        "resulting streams. Exit 0 when identical, 1 at the first "
+        "divergence.",
+    )
+    p_tdiff.add_argument(
+        "traces",
+        nargs="*",
+        metavar="TRACE_JSON",
+        help="two trace files; omit to run --engines on --graph instead",
+    )
+    _add_graph_options(p_tdiff)
+    p_tdiff.add_argument(
+        "--engines",
+        default="sweep,event",
+        help="two comma-separated engines for the run-and-compare mode "
+        "(default: sweep,event)",
+    )
+    p_tdiff.add_argument(
+        "--arithmetic",
+        default="lfloat",
+        help="arithmetic mode, needed to decode sigma/psi fields "
+        "(default: lfloat)",
+    )
+    p_tdiff.add_argument("--root", type=int, default=0)
+    p_tdiff.add_argument(
+        "--context",
+        type=int,
+        default=3,
+        help="agreeing deliveries to show before the divergence",
+    )
+    p_tdiff.set_defaults(func=cmd_trace_diff)
 
     p_report = sub.add_parser(
         "report",
@@ -797,6 +1244,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         metavar="PATH",
         help="write the run's metrics/phases/verdicts as JSON Lines",
+    )
+    p_report.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line (percent/ETA from the "
+        "closed-form round schedule) on stderr during the run",
+    )
+    p_report.add_argument(
+        "--stream-jsonl",
+        metavar="PATH",
+        help="stream telemetry rows to PATH live, flushed per event "
+        "(a crashed run leaves a readable partial log)",
+    )
+    p_report.add_argument(
+        "--from",
+        dest="from_path",
+        metavar="PATH",
+        help="render the report from an exported (possibly truncated) "
+        "telemetry JSONL instead of running anything",
+    )
+    p_report.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="export the run's phases/profile/monitors as a Chrome "
+        "trace-event JSON (loadable in Perfetto / chrome://tracing)",
     )
     p_report.set_defaults(func=cmd_report)
 
@@ -862,6 +1334,96 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_options(p_info)
     p_info.set_defaults(func=cmd_info)
 
+    p_watch = sub.add_parser(
+        "watch",
+        help="tail a live-streamed telemetry JSONL",
+        description="Follow a telemetry stream written with "
+        "--stream-jsonl, rendering progress, phases and monitor "
+        "verdicts as rows arrive. Torn tail lines (a run killed "
+        "mid-write) are reported, not fatal.",
+    )
+    p_watch.add_argument("path", help="the streaming JSONL file")
+    p_watch.add_argument(
+        "--no-follow",
+        dest="follow",
+        action="store_false",
+        help="render what is in the file now and exit (no tailing)",
+    )
+    p_watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.2,
+        help="poll interval in seconds while following (default 0.2)",
+    )
+    p_watch.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        help="stop following after this many seconds (0 = until the "
+        "run's final row)",
+    )
+    p_watch.set_defaults(func=cmd_watch)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark history: regression gates and ledger ingestion",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bcmp = bench_sub.add_parser(
+        "compare",
+        help="gate a fresh BENCH_*.json against a committed baseline",
+        description="Compare two benchmark payloads (BENCH_engine.json "
+        "or BENCH_faults.json). Structural metrics (rounds, bits, "
+        "messages, result identity) must match exactly; wall-clock "
+        "metrics get configurable ratio gates. Exits 1 on any "
+        "violation unless --warn-only.",
+    )
+    p_bcmp.add_argument("baseline", help="baseline payload JSON")
+    p_bcmp.add_argument("current", help="freshly produced payload JSON")
+    p_bcmp.add_argument(
+        "--max-speedup-drop",
+        type=float,
+        default=0.20,
+        help="fail when an engine speedup falls by more than this "
+        "fraction (default 0.20)",
+    )
+    p_bcmp.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="fail when a timed section exceeds this multiple of the "
+        "baseline (default 2.0)",
+    )
+    p_bcmp.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="skip wall-clock gates entirely (cross-machine compares)",
+    )
+    p_bcmp.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print violations but exit 0 (advisory CI legs)",
+    )
+    p_bcmp.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="also append the current payload to this history ledger",
+    )
+    p_bcmp.set_defaults(func=cmd_bench_compare)
+
+    p_bing = bench_sub.add_parser(
+        "ingest",
+        help="append BENCH_*.json payload rows to the history ledger",
+    )
+    p_bing.add_argument("files", nargs="+", metavar="BENCH_JSON")
+    p_bing.add_argument(
+        "--ledger",
+        default=".repro-history.jsonl",
+        metavar="PATH",
+        help="ledger path (default: .repro-history.jsonl)",
+    )
+    p_bing.set_defaults(func=cmd_bench_ingest)
+
     return parser
 
 
@@ -874,6 +1436,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as err:
         print("error: {}".format(err), file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Output piped into `head` etc.; conventional silent exit.
+        return 0
 
 
 if __name__ == "__main__":

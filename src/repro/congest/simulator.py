@@ -189,6 +189,10 @@ class Simulator:
         )
         self.stats = SimulationStats()
         self.tracer = tracer
+        if tracer is not None and hasattr(tracer, "bind_wire"):
+            # Payload-capturing tracers encode each message through the
+            # run's wire format (see repro.congest.trace).
+            tracer.bind_wire(self.wire)
         self.telemetry = telemetry
         if cut is not None:
             self.stats.cut = CutTracker(frozenset(cut))
@@ -242,10 +246,13 @@ class Simulator:
         # in place, so self.engine is a concrete name before run() (and
         # before telemetry snapshots it in on_run_start).  Lazy import:
         # repro.congest stays importable without the engines package.
+        self.engine_requested = engine
+        self.engine_decision = None
         if engine in ("auto", "bulk"):
-            from repro.engines import resolve_engine
+            from repro.engines import decide_engine
 
-            self.engine = resolve_engine(engine, self)
+            self.engine_decision = decide_engine(engine, self)
+            self.engine = self.engine_decision.resolved
         self.stats.engine = self.engine
 
     # ------------------------------------------------------------------
@@ -291,9 +298,17 @@ class Simulator:
         all_ids = range(len(self.nodes))
         telemetry = self.telemetry
         profiler = telemetry.profiler if telemetry is not None else None
+        # Streaming/progress tick: bound once, None on the fast path, so
+        # a run without a bus or estimator pays one identity check per
+        # round (same discipline as tracer/faults).
+        on_tick = None
+        if telemetry is not None and getattr(telemetry, "wants_ticks", False):
+            on_tick = telemetry.on_round_tick
         faults = self.faults
         round_number = 0
         while True:
+            if on_tick is not None:
+                on_tick(round_number)
             if faults is not None:
                 faults.check_stalled(round_number, self)
                 if self._future:
@@ -332,10 +347,15 @@ class Simulator:
         has_filter = self._has_wake_filter
         telemetry = self.telemetry
         profiler = telemetry.profiler if telemetry is not None else None
+        on_tick = None
+        if telemetry is not None and getattr(telemetry, "wants_ticks", False):
+            on_tick = telemetry.on_round_tick
         faults = self.faults
         done_count = sum(1 for node in nodes if node.done)
         round_number = 0
         while True:
+            if on_tick is not None:
+                on_tick(round_number)
             if faults is not None:
                 faults.check_stalled(round_number, self)
                 if self._future:

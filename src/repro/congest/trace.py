@@ -25,7 +25,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Type
 
-from repro.wire import Message
+from repro.wire import Message, WireFormat, encode_frame
 
 #: Glyphs for the timeline, from idle to busiest octile.
 _SPARK = " .:-=+*#@"
@@ -33,13 +33,21 @@ _SPARK = " .:-=+*#@"
 
 @dataclass(frozen=True)
 class Delivery:
-    """One traced message delivery (recorded at send time)."""
+    """One traced message delivery (recorded at send time).
+
+    ``word`` is the exact encoded frame of the single message under the
+    run's wire format — captured only when the tracer was built with
+    ``capture_payloads=True``.  Together with ``bits`` it can be fed
+    back through :func:`repro.wire.decode_frame` to recover the message
+    fields, which is what the trace-diff forensics do.
+    """
 
     round_number: int
     sender: int
     receiver: int
     message_type: str
     bits: int
+    word: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -70,6 +78,10 @@ class Tracer:
     max_events:
         Hard cap; recording stops (and :attr:`truncated` is set) once
         reached.
+    capture_payloads:
+        Also store each message's exact encoded frame word (the bits
+        that travel on the wire), enabling decoded field-level diffs.
+        Costs one codec pass per recorded message.
     """
 
     def __init__(
@@ -77,6 +89,7 @@ class Tracer:
         message_types: Optional[Iterable[Type[Message]]] = None,
         nodes: Optional[Iterable[int]] = None,
         max_events: int = 1_000_000,
+        capture_payloads: bool = False,
     ):
         self._types = (
             tuple(message_types) if message_types is not None else None
@@ -86,8 +99,18 @@ class Tracer:
         self._events: List[Delivery] = []
         self._fault_events: List[FaultEvent] = []
         self.truncated = False
+        self.capture_payloads = capture_payloads
+        self.wire: Optional[WireFormat] = None
 
     # ------------------------------------------------------------------
+    def bind_wire(self, wire: WireFormat) -> None:
+        """Called by the simulator with the run's wire format.
+
+        Payload capture needs the codec parameters; without a bound
+        wire the tracer records deliveries but no frame words.
+        """
+        self.wire = wire
+
     def record(
         self,
         round_number: int,
@@ -108,6 +131,9 @@ class Tracer:
         if len(self._events) >= self._max_events:
             self.truncated = True
             return
+        word = None
+        if self.capture_payloads and self.wire is not None:
+            word, _ = encode_frame((message,), self.wire)
         self._events.append(
             Delivery(
                 round_number,
@@ -115,6 +141,7 @@ class Tracer:
                 receiver,
                 type(message).__name__,
                 bits,
+                word,
             )
         )
 
@@ -248,7 +275,16 @@ class Tracer:
         and one compact ``[round, sender, receiver, type, bits]`` row
         per delivery — small enough to feed a timeline visualizer.
         :meth:`from_json` reads the format back.
+
+        Payload-capturing tracers append the encoded frame word as an
+        optional sixth row element and record the wire parameters under
+        an optional ``wire`` key; both are absent from plain traces (and
+        ignored by older readers), keeping the schema compatible in both
+        directions.
         """
+        with_words = self.capture_payloads and any(
+            e.word is not None for e in self._events
+        )
         payload = {
             "schema": "repro-trace-v1",
             "truncated": self.truncated,
@@ -260,9 +296,15 @@ class Tracer:
                     e.message_type,
                     e.bits,
                 ]
+                + ([e.word] if with_words else [])
                 for e in self._events
             ],
         }
+        if with_words and self.wire is not None:
+            payload["wire"] = {
+                "num_nodes": self.wire.num_nodes,
+                "round_bits": self.wire.round_bits,
+            }
         if self._fault_events:
             # Optional key: traces from fault-free runs (and traces
             # written by older builds) omit it, keeping the schema
@@ -291,15 +333,27 @@ class Tracer:
                 )
             )
         tracer = cls()
-        tracer._events = [
-            Delivery(int(r), int(s), int(t), str(kind), int(bits))
-            for r, s, t, kind, bits in payload["events"]
-        ]
+        events = []
+        for row in payload["events"]:
+            r, s, t, kind, bits = row[:5]
+            word = int(row[5]) if len(row) > 5 and row[5] is not None else None
+            events.append(
+                Delivery(int(r), int(s), int(t), str(kind), int(bits), word)
+            )
+        tracer._events = events
         tracer._fault_events = [
             FaultEvent(int(r), str(kind), int(s), int(t))
             for r, kind, s, t in payload.get("faults", ())
         ]
         tracer.truncated = bool(payload.get("truncated", False))
+        wire_info = payload.get("wire")
+        if wire_info:
+            round_bits = int(wire_info.get("round_bits", 0))
+            tracer.wire = WireFormat(
+                int(wire_info["num_nodes"]),
+                round_horizon=(1 << round_bits) - 1 if round_bits else 0,
+            )
+            tracer.capture_payloads = True
         return tracer
 
     def summary(self) -> Dict[str, Dict[str, int]]:

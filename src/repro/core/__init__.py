@@ -35,10 +35,12 @@ from repro.core.weighted import (
 from repro.core.records import NodeLedger, SourceRecord
 from repro.core.roundmodel import RoundModel, predict_rounds, rounds_upper_bound
 from repro.core.schedule import (
+    PhaseSchedule,
     bfs_start_times,
     bfs_tree_children,
     count_collisions,
     dfs_preorder,
+    expected_phase_schedule,
     figure1_tables,
     naive_start_times,
     sending_times,
@@ -60,6 +62,7 @@ __all__ = [
     "DistributedAPSPResult",
     "DistributedBCResult",
     "DistributedStressResult",
+    "PhaseSchedule",
     "ProtocolConfig",
     "SampledBCResult",
     "UNIT_BETWEENNESS",
@@ -86,6 +89,7 @@ __all__ = [
     "distributed_sampled_betweenness",
     "distributed_stress",
     "distributed_weighted_betweenness",
+    "expected_phase_schedule",
     "figure1_tables",
     "make_node_factory",
     "naive_start_times",

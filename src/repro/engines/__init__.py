@@ -20,7 +20,9 @@ Modules
 
 from repro.engines.dispatcher import (
     ENGINE_PREFERENCE,
+    EngineDecision,
     bulk_capability,
+    decide_engine,
     numpy_available,
     reset_probe,
     resolve_engine,
@@ -28,7 +30,9 @@ from repro.engines.dispatcher import (
 
 __all__ = [
     "ENGINE_PREFERENCE",
+    "EngineDecision",
     "bulk_capability",
+    "decide_engine",
     "numpy_available",
     "reset_probe",
     "resolve_engine",

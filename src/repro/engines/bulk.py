@@ -57,6 +57,11 @@ from repro.core.messages import (
     TreeWave,
 )
 from repro.core.records import NodeLedger, SourceRecord
+from repro.core.schedule import (
+    census_schedule,
+    dfs_token_schedule,
+    tree_schedule,
+)
 from repro.engines import lfmath
 from repro.exceptions import (
     CongestViolationError,
@@ -237,89 +242,9 @@ def _csr(graph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     return indptr, indices, deg
 
 
-def _tree_schedule(graph, root: int):
-    """BFS depths, min-id parents and children of the BFS(u0) tree."""
-    n = graph.num_nodes
-    depth = [-1] * n
-    parent: List[Optional[int]] = [None] * n
-    children: List[List[int]] = [[] for _ in range(n)]
-    depth[root] = 0
-    frontier = [root]
-    while frontier:
-        nxt = []
-        for v in frontier:
-            dv = depth[v] + 1
-            for u in graph.neighbors(v):
-                if depth[u] < 0:
-                    depth[u] = dv
-                    # min-id parent: the settling node picks the least
-                    # sender id; all depth-(d-1) neighbors send, so that
-                    # is simply the least such neighbor.
-                    parent[u] = min(
-                        w for w in graph.neighbors(u) if depth[w] == dv - 1
-                    )
-                    nxt.append(u)
-        frontier = nxt
-    for u in range(n):
-        if parent[u] is not None:
-            children[parent[u]].append(u)
-    for ch in children:
-        ch.sort()
-    return depth, parent, children
-
-
-def _census_schedule(depth, children, root):
-    """SubtreeCount send rounds S(v) and the census round at the root.
-
-    ``S(v) = max(depth(v) + 2, max_c S(c) + 1)``: a node's children are
-    final two rounds after it settles, and every child's count must have
-    arrived (sent at S(c), received at S(c) + 1).
-    """
-    n = len(depth)
-    order = sorted(range(n), key=depth.__getitem__, reverse=True)
-    send = [0] * n
-    size = [1] * n
-    for v in order:
-        s = depth[v] + 2
-        for c in children[v]:
-            size[v] += size[c]
-            if send[c] + 1 > s:
-                s = send[c] + 1
-        send[v] = s
-    return send, send[root], size
-
-
-def _dfs_schedule(children, parent, root, r_census):
-    """Replay the DFS token walk analytically.
-
-    The root treats census completion as its first visit and forwards
-    one round later; a newly visited node forwards one round after
-    arrival (the paper's line-3 pause); a backtrack hop is forwarded in
-    the round it arrives.  Returns per-node first-visit rounds, the full
-    list of token sends ``(round, sender, target, returning, slot)``,
-    and the round the root observed DFS completion.
-    """
-    n = len(children)
-    first_visit = [0] * n
-    first_visit[root] = r_census
-    next_child = [0] * n
-    sends: List[Tuple[int, int, int, int, int]] = []
-    v, t, slot = root, r_census + 1, _SLOT_TOKEN_DELAY
-    while True:
-        ch = children[v]
-        i = next_child[v]
-        if i < len(ch):
-            next_child[v] = i + 1
-            c = ch[i]
-            sends.append((t, v, c, 0, slot))
-            first_visit[c] = t + 1
-            v, t, slot = c, t + 2, _SLOT_TOKEN_DELAY
-        elif v == root:
-            return first_visit, sends, t
-        else:
-            p = parent[v]
-            sends.append((t, v, p, 1, slot))
-            v, t, slot = p, t + 1, _SLOT_TOKEN_BACK
+# The tree / census / DFS-token schedules are shared with the pure-
+# Python progress estimator and live in repro.core.schedule; the bulk
+# engine wires its drain-order slot constants into the token walk.
 
 
 # ---------------------------------------------------------------------------
@@ -1143,16 +1068,17 @@ def _compute(sim) -> _Plan:
         v for v in range(N) if sim.nodes[v].tree.is_root
     )
     indptr, indices, deg = _csr(graph)
-    depth, parent, children = _tree_schedule(graph, plan.root)
+    depth, parent, children = tree_schedule(graph, plan.root)
     plan.depth = depth
     plan.parent = parent
     plan.children = children
     plan.depth_max = max(depth)
-    plan.census_send, plan.r_census, plan.subtree_size = _census_schedule(
+    plan.census_send, plan.r_census, plan.subtree_size = census_schedule(
         depth, children, plan.root
     )
-    plan.first_visit, token_sends, plan.dfs_complete = _dfs_schedule(
-        children, parent, plan.root, plan.r_census
+    plan.first_visit, token_sends, plan.dfs_complete = dfs_token_schedule(
+        children, parent, plan.root, plan.r_census,
+        _SLOT_TOKEN_DELAY, _SLOT_TOKEN_BACK,
     )
     if config.sources is None:
         src_list = list(range(N))

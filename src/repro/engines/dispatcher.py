@@ -29,11 +29,32 @@ from __future__ import annotations
 
 import importlib
 import logging
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 from repro.exceptions import EngineCapabilityError
 
 logger = logging.getLogger("repro.engines")
+
+
+class EngineDecision(NamedTuple):
+    """Why the dispatcher picked ``resolved`` for a ``requested`` engine.
+
+    ``reason`` is human-readable: the bulk probe's first failed check
+    when the run fell back, or a short confirmation when bulk was
+    chosen.  Threaded into telemetry meta rows and ``repro report`` so
+    history records explain the choice.
+    """
+
+    requested: str
+    resolved: str
+    reason: str
+
+    def as_dict(self):
+        return {
+            "engine_requested": self.requested,
+            "engine": self.resolved,
+            "engine_reason": self.reason,
+        }
 
 #: Auto-resolution order, fastest first.
 ENGINE_PREFERENCE = ("bulk", "event", "sweep")
@@ -147,26 +168,39 @@ def bulk_capability(simulator) -> Tuple[bool, str]:
     return True, ""
 
 
-def resolve_engine(requested: str, simulator) -> str:
+def decide_engine(requested: str, simulator) -> EngineDecision:
     """Resolve ``"auto"`` (or validate ``"bulk"``) against the probes.
 
     Called by :class:`~repro.congest.simulator.Simulator` after its
-    nodes are built.  Returns the concrete engine name to run.
+    nodes are built.  Returns the concrete engine name plus the reason
+    for the choice; explicit ``sweep``/``event`` requests pass through
+    without probing.
     """
+    if requested in ("sweep", "event"):
+        return EngineDecision(requested, requested, "explicitly requested")
     capable, reason = bulk_capability(simulator)
     if requested == "bulk":
         if not capable:
             raise EngineCapabilityError("bulk", reason)
-        return "bulk"
+        return EngineDecision("bulk", "bulk", "explicitly requested")
     # requested == "auto": walk the preference chain.
     if capable:
         logger.info("engine=auto resolved to 'bulk' (numpy batch backend)")
-        return "bulk"
+        return EngineDecision(
+            "auto", "bulk", "capability probe passed (numpy batch backend)"
+        )
     for fallback in ENGINE_PREFERENCE[1:]:
         logger.info(
             "engine=auto resolved to %r (bulk unavailable: %s)",
             fallback,
             reason,
         )
-        return fallback
+        return EngineDecision(
+            "auto", fallback, "bulk unavailable: {}".format(reason)
+        )
     raise EngineCapabilityError(requested, "no capable engine")  # pragma: no cover
+
+
+def resolve_engine(requested: str, simulator) -> str:
+    """Backward-compatible shim: the resolved name of :func:`decide_engine`."""
+    return decide_engine(requested, simulator).resolved

@@ -8,11 +8,31 @@ imports ``repro.obs`` — telemetry reaches them only as a duck-typed
 without this package in the picture.
 
 Entry point: build a :class:`Telemetry` (usually via
-:meth:`Telemetry.with_monitors`) and pass it to
+:meth:`Telemetry.with_monitors`, or :meth:`Telemetry.with_streaming`
+for live output) and pass it to
 :func:`repro.core.pipeline.distributed_betweenness` or a
 :class:`repro.congest.simulator.Simulator`.
+
+Beyond the per-run facade, the package hosts the observability *suite*:
+the streaming bus (:mod:`repro.obs.stream`), the schema validator and
+partial-log reader (:mod:`repro.obs.schema`), the run-history ledger
+and regression gates (:mod:`repro.obs.history`), trace-diff forensics
+(:mod:`repro.obs.tracediff`) and the Chrome trace-event exporter
+(:mod:`repro.obs.chrometrace`).
 """
 
+from repro.obs.chrometrace import chrome_trace, write_chrome_trace
+from repro.obs.history import (
+    HistoryLedger,
+    RegressionGates,
+    Violation,
+    compare_payloads,
+    entry_from_result,
+    entry_from_rows,
+    git_revision,
+    graph_fingerprint,
+    run_key,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.monitors import (
     AggregationCollisionMonitor,
@@ -25,8 +45,23 @@ from repro.obs.monitors import (
     default_monitors,
 )
 from repro.obs.profiler import Profiler
+from repro.obs.schema import load_jsonl_rows, validate_jsonl_text, validate_rows
 from repro.obs.spans import PhaseSpan, PhaseTracker
+from repro.obs.stream import (
+    BusSubscriber,
+    ConsoleProgress,
+    JsonlStreamWriter,
+    ProgressEstimator,
+    TelemetryBus,
+    schedule_for_simulator,
+)
 from repro.obs.telemetry import METRICS_SCHEMA, Telemetry
+from repro.obs.tracediff import (
+    Divergence,
+    diff_report,
+    first_divergence,
+    round_frame_diff,
+)
 
 __all__ = [
     "Counter",
@@ -46,4 +81,32 @@ __all__ = [
     "PhaseTracker",
     "Telemetry",
     "METRICS_SCHEMA",
+    # streaming bus
+    "TelemetryBus",
+    "BusSubscriber",
+    "JsonlStreamWriter",
+    "ProgressEstimator",
+    "ConsoleProgress",
+    "schedule_for_simulator",
+    # schema / partial logs
+    "load_jsonl_rows",
+    "validate_rows",
+    "validate_jsonl_text",
+    # run history + regression gates
+    "HistoryLedger",
+    "RegressionGates",
+    "Violation",
+    "compare_payloads",
+    "entry_from_result",
+    "entry_from_rows",
+    "git_revision",
+    "graph_fingerprint",
+    "run_key",
+    # forensics
+    "Divergence",
+    "first_divergence",
+    "round_frame_diff",
+    "diff_report",
+    "chrome_trace",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,152 @@
+"""Chrome trace-event export of a run's telemetry rows.
+
+Converts a repro-metrics-v1 row list (live-streamed or post-hoc, see
+:mod:`repro.obs.schema`) into the Chrome trace-event JSON format that
+``chrome://tracing``, Perfetto (ui.perfetto.dev) and ``about:tracing``
+load directly — turning a run's phase spans, profiler sections and
+monitor verdicts into a zoomable flame view instead of a table.
+
+Mapping:
+
+* ``phase`` rows — complete ("X") events on the *protocol phases*
+  track, wall-clock aligned, with round numbers in ``args``;
+* ``profile`` rows — complete events on the *profiler* track, laid
+  end-to-end (the profiler records aggregate seconds per section, not
+  timestamps, so relative widths are meaningful and offsets are not);
+* ``monitor`` rows — instant ("i") events, pass/fail in ``args``;
+* ``progress`` rows — a counter ("C") track charting percent-complete;
+* the ``meta`` header — process/thread naming metadata ("M") events.
+
+Timestamps are microseconds as the format requires; the earliest phase
+start is time zero.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_PID = 1
+_TID_PHASES = 1
+_TID_PROFILE = 2
+_TID_MONITORS = 3
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 1)
+
+
+def chrome_trace(rows: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Build the Chrome trace-event payload from telemetry rows."""
+    rows = list(rows)
+    meta = next((r for r in rows if r.get("event") == "meta"), {})
+    phase_rows = [r for r in rows if r.get("event") == "phase"]
+    origin = min(
+        (r["start_wall"] for r in phase_rows if "start_wall" in r),
+        default=0.0,
+    )
+    events: List[Dict[str, Any]] = []
+    process_name = "repro {} ({})".format(
+        meta.get("graph", "run"), meta.get("engine", "?")
+    )
+    events.append(
+        {
+            "ph": "M", "pid": _PID, "tid": _TID_PHASES,
+            "name": "process_name", "args": {"name": process_name},
+        }
+    )
+    for tid, name in (
+        (_TID_PHASES, "protocol phases"),
+        (_TID_PROFILE, "profiler sections"),
+        (_TID_MONITORS, "monitors"),
+    ):
+        events.append(
+            {
+                "ph": "M", "pid": _PID, "tid": tid,
+                "name": "thread_name", "args": {"name": name},
+            }
+        )
+    last_end = 0.0
+    for row in phase_rows:
+        start = row.get("start_wall")
+        if start is None:
+            continue
+        duration = row.get("wall_seconds") or 0.0
+        end_us = _us(start - origin + duration)
+        last_end = max(last_end, end_us)
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": _TID_PHASES,
+                "name": row.get("name", "phase"),
+                "ts": _us(start - origin),
+                "dur": _us(duration),
+                "args": {
+                    "start_round": row.get("start_round"),
+                    "end_round": row.get("end_round"),
+                    "rounds": row.get("rounds"),
+                },
+            }
+        )
+    cursor = 0.0
+    for row in rows:
+        if row.get("event") != "profile":
+            continue
+        duration = _us(row.get("seconds") or 0.0)
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": _TID_PROFILE,
+                "name": row.get("section", "section"),
+                "ts": cursor,
+                "dur": duration,
+                "args": {"calls": row.get("calls")},
+            }
+        )
+        cursor += duration
+    for row in rows:
+        if row.get("event") != "monitor":
+            continue
+        events.append(
+            {
+                "ph": "i",
+                "pid": _PID,
+                "tid": _TID_MONITORS,
+                "name": "{}: {}".format(
+                    row.get("monitor"), row.get("status")
+                ),
+                "ts": last_end,
+                "s": "t",
+                "args": {
+                    "status": row.get("status"),
+                    "violations": row.get("violation_count"),
+                },
+            }
+        )
+    for row in rows:
+        if row.get("event") != "progress" or "percent" not in row:
+            continue
+        # No wall timestamp on heartbeat rows; chart against rounds so
+        # the counter track still shows the trajectory shape.
+        events.append(
+            {
+                "ph": "C",
+                "pid": _PID,
+                "name": "progress",
+                "ts": float(row.get("round", 0)),
+                "args": {"percent": row["percent"]},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(rows: Iterable[Dict[str, Any]], path) -> int:
+    """Write the export to ``path``; returns the event count."""
+    payload = chrome_trace(rows)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return len(payload["traceEvents"])

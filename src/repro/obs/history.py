@@ -1,0 +1,590 @@
+"""Run-history ledger: content-addressed run records and regression gates.
+
+The BENCH_*.json artifacts are overwritten on every benchmark run, so
+the repo's perf trajectory was empty — this module makes it accumulate.
+Every record appended to the ledger (``.repro-history.jsonl`` by
+default) carries a **content-addressed key**: a blake2b digest over the
+canonical JSON of (graph fingerprint, protocol config, engine, git
+revision).  Two identical runs — same topology, same configuration,
+same code — therefore land under the same key, and a key whose metrics
+*change* is, by construction, a regression or an environment delta.
+
+Three record kinds share the ledger:
+
+* ``run`` — one protocol run (ingested from a pipeline result or from
+  exported repro-metrics-v1 rows);
+* ``bench_engine`` — one row of ``BENCH_engine.json`` (per family × N);
+* ``bench_faults`` — the fault-layer overhead/recovery gates of
+  ``BENCH_faults.json``.
+
+The regression gates (:func:`compare_payloads`) power ``repro bench
+compare``: structural metrics (rounds, billed bits, messages,
+result-identity) must match **exactly** for an identical config — they
+are machine-independent — while wall-clock metrics get configurable
+ratio gates (speedup drop, slowdown factor) because timers are not
+portable across hosts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "HISTORY_SCHEMA",
+    "HistoryLedger",
+    "RegressionGates",
+    "Violation",
+    "compare_bench_engine",
+    "compare_bench_faults",
+    "compare_payloads",
+    "entry_from_result",
+    "entry_from_rows",
+    "git_revision",
+    "graph_fingerprint",
+    "run_key",
+]
+
+HISTORY_SCHEMA = "repro-history-v1"
+DEFAULT_HISTORY_PATH = ".repro-history.jsonl"
+
+#: Hex digits kept from the blake2b digests (64 bits — plenty for a
+#: per-repo ledger, short enough to eyeball).
+_KEY_LEN = 16
+
+
+def _canonical(payload: Any) -> bytes:
+    """Deterministic JSON bytes: sorted keys, no whitespace drift."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def graph_fingerprint(graph) -> str:
+    """Content hash of a topology: node count + sorted edge list."""
+    edges = sorted(tuple(sorted(e)) for e in graph.edges())
+    digest = hashlib.blake2b(
+        _canonical([graph.num_nodes, edges]), digest_size=16
+    )
+    return digest.hexdigest()[:_KEY_LEN]
+
+
+def run_key(
+    graph_hash: str,
+    config: Dict[str, Any],
+    engine: str,
+    git_rev: Optional[str] = None,
+) -> str:
+    """The content address of one run configuration."""
+    digest = hashlib.blake2b(
+        _canonical(
+            {
+                "graph": graph_hash,
+                "config": config,
+                "engine": engine,
+                "git_rev": git_rev,
+            }
+        ),
+        digest_size=16,
+    )
+    return digest.hexdigest()[:_KEY_LEN]
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The working tree's HEAD commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=cwd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.decode("ascii", "replace").strip() or None
+
+
+# ----------------------------------------------------------------------
+# record builders
+# ----------------------------------------------------------------------
+def entry_from_result(
+    result,
+    graph,
+    config: Optional[Dict[str, Any]] = None,
+    git_rev: Optional[str] = None,
+    wall_seconds: Optional[float] = None,
+) -> Dict[str, Any]:
+    """A ``run`` record from a pipeline result object."""
+    stats = result.stats
+    cfg = dict(config or {})
+    cfg.setdefault("arithmetic", getattr(result, "arithmetic", None))
+    graph_hash = graph_fingerprint(graph)
+    engine = stats.engine or "unknown"
+    entry = {
+        "kind": "run",
+        "key": run_key(graph_hash, cfg, engine, git_rev),
+        "graph": graph.name,
+        "graph_hash": graph_hash,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "config": cfg,
+        "engine": engine,
+        "git_rev": git_rev,
+        "rounds": stats.rounds,
+        "messages": stats.message_count,
+        "bits": stats.bit_count,
+        "max_edge_bits": stats.max_edge_bits_per_round,
+        "diameter": getattr(result, "diameter", None),
+    }
+    if wall_seconds is not None:
+        entry["wall_seconds"] = round(wall_seconds, 6)
+    return entry
+
+
+def entry_from_rows(
+    rows: Iterable[Dict[str, Any]],
+    git_rev: Optional[str] = None,
+) -> Dict[str, Any]:
+    """A ``run`` record from exported repro-metrics-v1 rows.
+
+    Exported rows carry the graph's name and size but not its edges, so
+    the "graph hash" falls back to hashing (name, N, E) — stable for
+    the deterministic generators the CLI uses.
+    """
+    meta: Dict[str, Any] = {}
+    metrics: Dict[str, Any] = {}
+    for row in rows:
+        if row.get("event") == "meta":
+            meta = row
+        elif row.get("event") == "metric":
+            metrics[row.get("name")] = row.get("value")
+    if not meta:
+        raise ValueError("no meta header row: not a telemetry export")
+    pseudo = hashlib.blake2b(
+        _canonical(
+            [meta.get("graph"), meta.get("num_nodes"), meta.get("num_edges")]
+        ),
+        digest_size=16,
+    ).hexdigest()[:_KEY_LEN]
+    cfg = {
+        "strict": meta.get("strict"),
+        "bit_budget": meta.get("bit_budget"),
+    }
+    engine = meta.get("engine", "unknown")
+    entry = {
+        "kind": "run",
+        "key": run_key(pseudo, cfg, engine, git_rev),
+        "graph": meta.get("graph"),
+        "graph_hash": pseudo,
+        "num_nodes": meta.get("num_nodes"),
+        "num_edges": meta.get("num_edges"),
+        "config": cfg,
+        "engine": engine,
+        "engine_requested": meta.get("engine_requested"),
+        "engine_reason": meta.get("engine_reason"),
+        "git_rev": git_rev,
+        "rounds": metrics.get("run.rounds"),
+        "messages": metrics.get("run.messages"),
+        "bits": metrics.get("run.bits"),
+        "max_edge_bits": metrics.get("run.max_edge_bits_per_round"),
+        "wall_seconds": metrics.get("run.wall_seconds"),
+    }
+    return entry
+
+
+class HistoryLedger:
+    """Append-only JSONL ledger of run and benchmark records."""
+
+    def __init__(self, path=DEFAULT_HISTORY_PATH):
+        self.path = path
+        #: Unparseable lines seen by the most recent :meth:`entries` read.
+        self.skipped_lines = 0
+
+    # ------------------------------------------------------------------
+    def append(self, entry: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp and append one record; returns the stored form."""
+        stored = dict(entry)
+        stored.setdefault("schema", HISTORY_SCHEMA)
+        stored.setdefault("recorded_unix", round(time.time(), 3))
+        with open(self.path, "a+b") as fh:
+            # A prior process killed mid-append leaves a torn line with
+            # no newline; start fresh so we don't concatenate onto it.
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > 0:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.write(
+                (json.dumps(stored, sort_keys=True) + "\n").encode("utf-8")
+            )
+            fh.flush()
+        return stored
+
+    def entries(
+        self,
+        kind: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """All stored records, oldest first.
+
+        The ledger is appended to by many short-lived processes over its
+        lifetime, so a torn line (process killed mid-append) can sit
+        anywhere, not just at the tail — unparseable lines are skipped
+        and counted in :attr:`skipped_lines` rather than raised.
+        """
+        self.skipped_lines = 0
+        if not os.path.exists(self.path):
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                self.skipped_lines += 1
+                continue
+            if kind is not None and row.get("kind") != kind:
+                continue
+            if key is not None and row.get("key") != key:
+                continue
+            out.append(row)
+        return out
+
+    def latest(self, key: str) -> Optional[Dict[str, Any]]:
+        """Most recent record under a content key."""
+        matches = self.entries(key=key)
+        return matches[-1] if matches else None
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # ------------------------------------------------------------------
+    # benchmark ingestion
+    # ------------------------------------------------------------------
+    def ingest_bench_engine(
+        self, payload: Dict[str, Any], git_rev: Optional[str] = None
+    ) -> int:
+        """Append one record per BENCH_engine.json row; returns the count."""
+        engines = payload.get("engines", [])
+        arithmetic = payload.get("arithmetic")
+        count = 0
+        for row in payload.get("rows", ()):
+            ident = {
+                "benchmark": "engine_comparison",
+                "family": row.get("family"),
+                "n": row.get("n"),
+                "engines": list(engines),
+                "arithmetic": arithmetic,
+            }
+            entry = {
+                "kind": "bench_engine",
+                "key": run_key(
+                    "bench", ident, ",".join(engines), git_rev
+                ),
+                "git_rev": git_rev,
+            }
+            entry.update(ident)
+            for metric in (
+                "rounds", "identical_results", "bits", "messages",
+                "sweep_seconds", "event_seconds", "bulk_seconds",
+                "event_speedup", "bulk_speedup",
+            ):
+                if metric in row:
+                    entry[metric] = row[metric]
+            self.append(entry)
+            count += 1
+        return count
+
+    def ingest_bench_faults(
+        self, payload: Dict[str, Any], git_rev: Optional[str] = None
+    ) -> int:
+        """Append the fault-layer gate numbers; returns the record count."""
+        count = 0
+        disabled = payload.get("disabled_overhead")
+        if disabled:
+            ident = {
+                "benchmark": "fault_layer",
+                "gate": "disabled_overhead",
+                "graph": disabled.get("graph"),
+            }
+            entry = {
+                "kind": "bench_faults",
+                "key": run_key("bench", ident, "faults", git_rev),
+                "git_rev": git_rev,
+            }
+            entry.update(ident)
+            entry.update(
+                {
+                    k: disabled.get(k)
+                    for k in ("overhead_ratio", "identical_results")
+                }
+            )
+            self.append(entry)
+            count += 1
+        recovery = payload.get("recovery_overhead", {})
+        for row in recovery.get("rows", ()):
+            ident = {
+                "benchmark": "fault_layer",
+                "gate": "recovery",
+                "graph": recovery.get("graph"),
+                "drop_rate": row.get("drop_rate"),
+            }
+            entry = {
+                "kind": "bench_faults",
+                "key": run_key("bench", ident, "faults", git_rev),
+                "git_rev": git_rev,
+            }
+            entry.update(ident)
+            entry.update(
+                {
+                    k: row.get(k)
+                    for k in (
+                        "rounds", "round_overhead", "recovered_exactly",
+                        "complete", "seconds",
+                    )
+                }
+            )
+            self.append(entry)
+            count += 1
+        return count
+
+
+# ----------------------------------------------------------------------
+# regression gates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Violation:
+    """One failed gate.  ``hard`` gates are machine-independent facts
+    (rounds, bits, result identity); soft gates are wall-clock ratios.
+    """
+
+    gate: str
+    message: str
+    hard: bool = True
+
+    def __str__(self) -> str:
+        return "[{}{}] {}".format(
+            self.gate, "" if self.hard else ", wall-clock", self.message
+        )
+
+
+@dataclass(frozen=True)
+class RegressionGates:
+    """Configurable thresholds for ``repro bench compare``.
+
+    ``max_speedup_drop`` — fail when an engine's speedup over sweep
+    falls by more than this fraction (default 20%).
+    ``max_slowdown`` — fail when a timed section takes more than this
+    multiple of the baseline (default 2x — the acceptance scenario).
+    ``check_wall`` — set False to skip wall-clock gates entirely
+    (cross-machine comparisons where only structure is meaningful).
+    """
+
+    max_speedup_drop: float = 0.20
+    max_slowdown: float = 2.0
+    check_wall: bool = True
+
+
+_STRUCTURAL_KEYS = ("rounds", "bits", "messages")
+_SPEEDUP_KEYS = ("event_speedup", "bulk_speedup")
+_SECONDS_KEYS = ("sweep_seconds", "event_seconds", "bulk_seconds")
+
+
+def compare_bench_engine(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    gates: RegressionGates = RegressionGates(),
+) -> Tuple[List[Violation], int]:
+    """Gate a fresh BENCH_engine payload against a baseline.
+
+    Rows are matched by (family, n); structural metrics must match
+    exactly, wall metrics within the configured ratios.  Returns
+    ``(violations, rows_compared)``.
+    """
+    def rows_by_id(payload):
+        return {
+            (row.get("family"), row.get("n")): row
+            for row in payload.get("rows", ())
+        }
+
+    base_rows = rows_by_id(baseline)
+    cur_rows = rows_by_id(current)
+    violations: List[Violation] = []
+    compared = 0
+    for ident in sorted(set(base_rows) & set(cur_rows)):
+        compared += 1
+        base, cur = base_rows[ident], cur_rows[ident]
+        label = "{}-{}".format(*ident)
+        for key in _STRUCTURAL_KEYS:
+            if key in base and key in cur and base[key] != cur[key]:
+                violations.append(
+                    Violation(
+                        key,
+                        "{}: {} changed for an identical config: "
+                        "{} -> {}".format(label, key, base[key], cur[key]),
+                    )
+                )
+        if base.get("identical_results") and not cur.get(
+            "identical_results", True
+        ):
+            violations.append(
+                Violation(
+                    "identity",
+                    "{}: engines no longer produce identical results".format(
+                        label
+                    ),
+                )
+            )
+        if not gates.check_wall:
+            continue
+        for key in _SPEEDUP_KEYS:
+            if key not in base or key not in cur:
+                continue
+            floor = base[key] * (1.0 - gates.max_speedup_drop)
+            if cur[key] < floor:
+                violations.append(
+                    Violation(
+                        key,
+                        "{}: {} dropped {:.0%}+: {:.2f}x -> {:.2f}x "
+                        "(floor {:.2f}x)".format(
+                            label, key, gates.max_speedup_drop,
+                            base[key], cur[key], floor,
+                        ),
+                        hard=False,
+                    )
+                )
+        for key in _SECONDS_KEYS:
+            if key not in base or key not in cur or not base[key]:
+                continue
+            ratio = cur[key] / base[key]
+            if ratio > gates.max_slowdown:
+                violations.append(
+                    Violation(
+                        key,
+                        "{}: {} slowed {:.2f}x over baseline "
+                        "({:.4f}s -> {:.4f}s; gate {:.2f}x)".format(
+                            label, key, ratio, base[key], cur[key],
+                            gates.max_slowdown,
+                        ),
+                        hard=False,
+                    )
+                )
+    for ident in sorted(set(base_rows) - set(cur_rows)):
+        violations.append(
+            Violation(
+                "coverage",
+                "{}-{}: baseline row missing from the current run".format(
+                    *ident
+                ),
+                hard=False,
+            )
+        )
+    return violations, compared
+
+
+def compare_bench_faults(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    gates: RegressionGates = RegressionGates(),
+) -> Tuple[List[Violation], int]:
+    """Gate a fresh BENCH_faults payload against a baseline."""
+    violations: List[Violation] = []
+    compared = 0
+    base_d = baseline.get("disabled_overhead") or {}
+    cur_d = current.get("disabled_overhead") or {}
+    if base_d and cur_d:
+        compared += 1
+        if base_d.get("identical_results") and not cur_d.get(
+            "identical_results", True
+        ):
+            violations.append(
+                Violation(
+                    "identity",
+                    "faults=None run no longer identical to the bare call",
+                )
+            )
+        if gates.check_wall and base_d.get("overhead_ratio") and cur_d.get(
+            "overhead_ratio"
+        ):
+            ratio = cur_d["overhead_ratio"] / base_d["overhead_ratio"]
+            if ratio > gates.max_slowdown:
+                violations.append(
+                    Violation(
+                        "overhead_ratio",
+                        "disabled-path overhead grew {:.2f}x over "
+                        "baseline".format(ratio),
+                        hard=False,
+                    )
+                )
+    base_rows = {
+        row.get("drop_rate"): row
+        for row in (baseline.get("recovery_overhead") or {}).get("rows", ())
+    }
+    cur_rows = {
+        row.get("drop_rate"): row
+        for row in (current.get("recovery_overhead") or {}).get("rows", ())
+    }
+    for rate in sorted(set(base_rows) & set(cur_rows)):
+        compared += 1
+        base, cur = base_rows[rate], cur_rows[rate]
+        if base.get("recovered_exactly") and not cur.get(
+            "recovered_exactly", True
+        ):
+            violations.append(
+                Violation(
+                    "recovery",
+                    "drop rate {}: recovery is no longer exact".format(rate),
+                )
+            )
+        if rate == 0.0 and "rounds" in base and "rounds" in cur:
+            if base["rounds"] != cur["rounds"]:
+                violations.append(
+                    Violation(
+                        "rounds",
+                        "drop rate 0.0: rounds changed {} -> {}".format(
+                            base["rounds"], cur["rounds"]
+                        ),
+                    )
+                )
+    return violations, compared
+
+
+def compare_payloads(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    gates: RegressionGates = RegressionGates(),
+) -> Tuple[List[Violation], int]:
+    """Dispatch on the payload's ``benchmark`` marker."""
+    kind_b = baseline.get("benchmark")
+    kind_c = current.get("benchmark")
+    if kind_b != kind_c:
+        return (
+            [
+                Violation(
+                    "schema",
+                    "payload kinds differ: baseline {!r} vs current "
+                    "{!r}".format(kind_b, kind_c),
+                )
+            ],
+            0,
+        )
+    if kind_b == "engine_comparison":
+        return compare_bench_engine(baseline, current, gates)
+    if kind_b == "fault_layer":
+        return compare_bench_faults(baseline, current, gates)
+    return (
+        [Violation("schema", "unknown benchmark kind {!r}".format(kind_b))],
+        0,
+    )

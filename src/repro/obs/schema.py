@@ -1,0 +1,204 @@
+"""Schema validation and partial-log loading for repro-metrics-v1 JSONL.
+
+One run's telemetry export (:meth:`repro.obs.Telemetry.to_jsonl`, the
+``--metrics-out`` flag, or a live :class:`~repro.obs.stream.TelemetryBus`
+JSONL sink) is a sequence of JSON objects, one per line, with an
+``event`` discriminator.  This module is the single place that knows
+the row contract; tests, the run-history ingester and the
+``scripts/validate_telemetry.py`` CLI all validate through it.
+
+Versioning rule (documented in docs/observability.md): the schema name
+(``repro-metrics-v1``) bumps its suffix **only on breaking changes** —
+removing a key, renaming a key, or changing a key's type.  Adding new
+*optional* keys (or whole new event kinds guarded behind options, like
+the streaming ``progress`` rows) is backward compatible and does not
+bump the version; consumers must ignore keys and stream-only event
+kinds they do not know.
+
+Partial logs are first-class: a crashed or chaos-killed run streaming
+through :class:`~repro.obs.stream.JsonlStreamWriter` leaves complete
+rows plus at most one torn (half-written) tail line.
+:func:`load_jsonl_rows` skips such a tail with a warning instead of
+raising, so ``repro report --from`` and ``repro watch`` can read the
+wreckage.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.telemetry import METRICS_SCHEMA
+
+__all__ = [
+    "CORE_EVENTS",
+    "STREAM_EVENTS",
+    "load_jsonl_rows",
+    "validate_rows",
+    "validate_jsonl_text",
+]
+
+#: Event kinds of the post-hoc export (exactly what ``events()`` emits).
+CORE_EVENTS = ("meta", "phase", "metric", "monitor", "profile")
+
+#: Extra kinds a live stream may interleave.
+STREAM_EVENTS = CORE_EVENTS + ("progress",)
+
+#: Required keys per event kind (value type checked where unambiguous).
+_REQUIRED: Dict[str, Dict[str, type]] = {
+    "meta": {
+        "schema": str,
+        "graph": str,
+        "num_nodes": int,
+        "num_edges": int,
+        "engine": str,
+        "bit_budget": int,
+    },
+    "phase": {"name": str, "start_round": int},
+    "metric": {"name": str, "kind": str},
+    "monitor": {"monitor": str, "status": str},
+    "profile": {"section": str},
+    "progress": {"round": int},
+}
+
+
+def validate_rows(
+    rows: Sequence[Dict[str, Any]], stream: bool = False
+) -> List[str]:
+    """Check rows against the repro-metrics-v1 contract.
+
+    Returns a list of human-readable problems (empty = valid).
+    ``stream=True`` additionally admits the streaming-only event kinds;
+    unknown keys never fail (forward compatibility), unknown event
+    kinds always do.
+    """
+    problems: List[str] = []
+    allowed = STREAM_EVENTS if stream else CORE_EVENTS
+    if not rows:
+        return ["empty export: expected at least the meta header row"]
+    head = rows[0]
+    if head.get("event") != "meta":
+        problems.append(
+            "row 0: first row must be the meta header, got event={!r}".format(
+                head.get("event")
+            )
+        )
+    elif head.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            "row 0: schema {!r} is not {!r} (unknown or future version; "
+            "the suffix only bumps on breaking changes)".format(
+                head.get("schema"), METRICS_SCHEMA
+            )
+        )
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            problems.append("row {}: not a JSON object".format(index))
+            continue
+        kind = row.get("event")
+        if kind not in allowed:
+            problems.append(
+                "row {}: unknown event kind {!r} (expected one of {})".format(
+                    index, kind, ", ".join(allowed)
+                )
+            )
+            continue
+        if index > 0 and kind == "meta":
+            problems.append(
+                "row {}: duplicate meta header (one run per export)".format(
+                    index
+                )
+            )
+        for key, expected_type in _REQUIRED[kind].items():
+            if key not in row:
+                problems.append(
+                    "row {}: {} row missing required key {!r}".format(
+                        index, kind, key
+                    )
+                )
+            elif expected_type is int:
+                # bool is an int subclass; exclude it explicitly.
+                value = row[key]
+                if isinstance(value, bool) or not isinstance(value, int):
+                    problems.append(
+                        "row {}: {}.{} should be an integer, got {!r}".format(
+                            index, kind, key, value
+                        )
+                    )
+            elif not isinstance(row[key], expected_type):
+                problems.append(
+                    "row {}: {}.{} should be {}, got {!r}".format(
+                        index, kind, key, expected_type.__name__, row[key]
+                    )
+                )
+    return problems
+
+
+def validate_jsonl_text(
+    text: str, stream: bool = False
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Parse and validate JSONL text; returns ``(rows, problems)``.
+
+    Unlike :func:`load_jsonl_rows` this is strict: every line must
+    parse (no torn-tail tolerance) — it is the validator's entry point,
+    not the forensic reader's.
+    """
+    rows: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    for index, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except ValueError:
+            problems.append(
+                "line {}: not valid JSON: {!r}".format(
+                    index + 1, line[:60]
+                )
+            )
+    problems.extend(validate_rows(rows, stream=stream))
+    return rows, problems
+
+
+def load_jsonl_rows(
+    path, allow_partial: bool = True
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Read a (possibly truncated) telemetry JSONL file.
+
+    Returns ``(rows, warnings)``.  A torn tail line — the signature of
+    a run killed mid-write — is skipped with a warning.  A malformed
+    line anywhere *before* the tail means the file is not a telemetry
+    log at all and raises ``ValueError``; with ``allow_partial=False``
+    even the torn tail raises.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    rows: List[Dict[str, Any]] = []
+    warnings: List[str] = []
+    last_index = len(lines) - 1
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except ValueError:
+            if not allow_partial or index != last_index:
+                raise ValueError(
+                    "{}: line {} is not valid JSON: {!r}".format(
+                        path, index + 1, line[:60]
+                    )
+                )
+            warnings.append(
+                "skipped torn tail line {} ({} bytes) — the run likely "
+                "died mid-write; all {} complete rows were kept".format(
+                    index + 1, len(line), len(rows)
+                )
+            )
+    return rows, warnings
+
+
+def meta_row(rows: Sequence[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The meta header of a row list, or None."""
+    for row in rows:
+        if row.get("event") == "meta":
+            return row
+    return None

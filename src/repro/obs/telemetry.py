@@ -56,6 +56,22 @@ class Telemetry:
     registry:
         Share an existing :class:`MetricsRegistry` instead of creating
         a fresh one.
+    bus:
+        Optional :class:`~repro.obs.stream.TelemetryBus` (duck-typed).
+        When given, the facade *streams*: the meta row at run start,
+        each phase row the moment its span closes, throttled
+        ``progress`` heartbeats from the per-round tick hook, and the
+        metric/monitor/profile rows at :meth:`finalize_run` — so a live
+        subscriber sees exactly the :meth:`events` rows (plus the
+        heartbeats), incrementally.
+    progress:
+        Optional :class:`~repro.obs.stream.ProgressEstimator`
+        (duck-typed).  Bound to the simulator at run start; drives the
+        percent/ETA fields of the streamed ``progress`` rows.
+
+    Streaming deliberately does **not** change :attr:`wants_sends` /
+    :attr:`wants_rounds` (those stay tied to monitors), so attaching a
+    bus never pushes the bulk engine off its closed-form fast path.
     """
 
     def __init__(
@@ -63,6 +79,8 @@ class Telemetry:
         monitors: Optional[List[Monitor]] = None,
         profile: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        bus=None,
+        progress=None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.phases = PhaseTracker()
@@ -79,11 +97,53 @@ class Telemetry:
         self._meta: Dict[str, Any] = {}
         self._wall_start: Optional[float] = None
         self._started_epoch: Optional[float] = None
+        self.bus = bus
+        self.progress = progress
+        self._spans_published = 0
+        self._tick_interval = 64
+        self._next_tick_round = 0
+        self._stream_finalized = False
 
     @classmethod
     def with_monitors(cls, mode: str = "record", profile: bool = False) -> "Telemetry":
         """A telemetry bundle carrying the standard monitor trio."""
         return cls(monitors=default_monitors(mode), profile=profile)
+
+    @classmethod
+    def with_streaming(
+        cls,
+        jsonl_path=None,
+        progress: bool = True,
+        console=None,
+        monitors: Optional[List[Monitor]] = None,
+        profile: bool = False,
+    ) -> "Telemetry":
+        """A telemetry bundle wired for live streaming.
+
+        Builds a fresh :class:`~repro.obs.stream.TelemetryBus`, attaches
+        a flushed JSONL writer when ``jsonl_path`` is given and a
+        :class:`~repro.obs.stream.ConsoleProgress` renderer when
+        ``console`` is truthy (a stream object, or ``True`` for stderr),
+        and binds a :class:`~repro.obs.stream.ProgressEstimator` unless
+        ``progress`` is False.
+        """
+        from repro.obs.stream import (
+            ConsoleProgress,
+            ProgressEstimator,
+            TelemetryBus,
+        )
+
+        bus = TelemetryBus()
+        if jsonl_path is not None:
+            bus.attach_jsonl(jsonl_path)
+        if console:
+            bus.attach_sink(
+                ConsoleProgress(None if console is True else console)
+            )
+        estimator = ProgressEstimator() if progress else None
+        return cls(
+            monitors=monitors, profile=profile, bus=bus, progress=estimator
+        )
 
     # ------------------------------------------------------------------
     # simulator hooks
@@ -103,6 +163,15 @@ class Telemetry:
         """
         return bool(self._round_monitors)
 
+    @property
+    def wants_ticks(self) -> bool:
+        """Whether the engines should call :meth:`on_round_tick` per round.
+
+        True only when a bus or progress estimator is attached, so the
+        plain (non-streaming) telemetry keeps the round loops untouched.
+        """
+        return self.bus is not None or self.progress is not None
+
     def on_run_start(self, simulator) -> None:
         """Bind per-run constants; called by :meth:`Simulator.run`."""
         self._wall_start = time.perf_counter()
@@ -116,12 +185,27 @@ class Telemetry:
             "strict": simulator.strict,
             "bit_budget": simulator.bit_budget,
         }
+        # The dispatcher's decision (requested engine, probe reason)
+        # rides along so exported runs explain *why* this engine ran.
+        requested = getattr(simulator, "engine_requested", None)
+        if requested is not None:
+            self._meta["engine_requested"] = requested
+        decision = getattr(simulator, "engine_decision", None)
+        if decision is not None:
+            self._meta["engine_reason"] = decision.reason
         gauge = self.registry.gauge
         gauge("run.num_nodes").set(graph.num_nodes)
         gauge("run.num_edges").set(graph.num_edges)
         gauge("run.bit_budget").set(simulator.bit_budget)
         for monitor in self.monitors:
             monitor.on_run_start(simulator)
+        progress = self.progress
+        if progress is not None:
+            progress.bind(simulator)
+            self._tick_interval = progress.suggest_interval()
+        self._next_tick_round = 0
+        if self.bus is not None:
+            self.bus.publish(self._meta_row())
 
     def on_send(
         self,
@@ -142,9 +226,36 @@ class Telemetry:
         for monitor in self._round_monitors:
             monitor.on_round_end(round_number, edge_load)
 
+    def on_round_tick(self, round_number: int) -> None:
+        """Lightweight per-round streaming hook (sweep/event engines).
+
+        Only called when :attr:`wants_ticks` is True.  Updates the
+        progress estimator and publishes a throttled ``progress``
+        heartbeat row; the throttle interval is derived from the
+        schedule (~100 rows per run) so streaming cost stays flat in N.
+        """
+        progress = self.progress
+        if progress is not None:
+            progress.current_round = round_number
+        if round_number < self._next_tick_round:
+            return
+        self._next_tick_round = round_number + self._tick_interval
+        if self.bus is not None:
+            if progress is not None:
+                row = progress.row(round_number)
+            else:
+                row = {"event": "progress", "round": round_number}
+            self.bus.publish(row)
+
     def on_run_end(self, stats) -> None:
         """Close open spans and record the run's aggregate statistics."""
         self.phases.end(stats.rounds)
+        self._publish_closed_spans()
+        progress = self.progress
+        if progress is not None:
+            final_row = progress.finish(stats.rounds)
+            if self.bus is not None:
+                self.bus.publish(final_row)
         gauge = self.registry.gauge
         gauge("run.rounds").set(stats.rounds)
         gauge("run.messages").set(stats.message_count)
@@ -168,10 +279,30 @@ class Telemetry:
     def phase_begin(self, name: str, round_number: int) -> None:
         """Mark a protocol phase boundary (see :class:`PhaseTracker`)."""
         self.phases.begin(name, round_number)
+        if self.progress is not None:
+            self.progress.note_phase(name)
+        self._publish_closed_spans()
 
     def phase_end(self, round_number: int) -> None:
         """Close the open phase; idempotent once closed."""
         self.phases.end(round_number)
+        self._publish_closed_spans()
+
+    def _publish_closed_spans(self) -> None:
+        """Stream phase rows the moment their spans close.
+
+        Spans close in order and never reopen, so a cursor suffices;
+        the published rows are byte-identical to the :meth:`events`
+        phase rows of the finished run.
+        """
+        if self.bus is None:
+            return
+        spans = self.phases.spans()
+        cursor = self._spans_published
+        while cursor < len(spans) and spans[cursor].end_round is not None:
+            self.bus.publish(dict(event="phase", **spans[cursor].as_dict()))
+            cursor += 1
+        self._spans_published = cursor
 
     # ------------------------------------------------------------------
     # pipeline hooks
@@ -183,6 +314,27 @@ class Telemetry:
             self.registry.gauge("run.diameter").set(diameter)
         for monitor in self.monitors:
             monitor.finalize(result)
+        self.flush_stream()
+
+    def flush_stream(self) -> None:
+        """Publish the final metric/monitor/profile rows to the bus, once.
+
+        Called by :meth:`finalize_run` (the pipeline invokes that after
+        every run); bare-:class:`Simulator` users streaming to a bus
+        should call it themselves after ``run()``.  Idempotent.
+        """
+        if self.bus is None or self._stream_finalized:
+            return
+        self._stream_finalized = True
+        self._publish_closed_spans()
+        publish = self.bus.publish
+        for name, snapshot in sorted(self.registry.snapshot().items()):
+            publish(dict(event="metric", name=name, **snapshot))
+        for verdict in self.verdicts():
+            publish(dict(event="monitor", **verdict.as_dict()))
+        if self.profiler is not None:
+            for section, numbers in sorted(self.profiler.summary().items()):
+                publish(dict(event="profile", section=section, **numbers))
 
     # ------------------------------------------------------------------
     # verdicts and export
@@ -194,16 +346,17 @@ class Telemetry:
         """True when no monitor recorded a violation (skips count as ok)."""
         return all(v.ok for v in self.verdicts())
 
+    def _meta_row(self) -> Dict[str, Any]:
+        return dict(
+            event="meta",
+            schema=METRICS_SCHEMA,
+            started_epoch=self._started_epoch,
+            **self._meta,
+        )
+
     def events(self) -> List[Dict[str, Any]]:
         """Structured export rows: header, phases, metrics, verdicts."""
-        rows: List[Dict[str, Any]] = [
-            dict(
-                event="meta",
-                schema=METRICS_SCHEMA,
-                started_epoch=self._started_epoch,
-                **self._meta,
-            )
-        ]
+        rows: List[Dict[str, Any]] = [self._meta_row()]
         for span in self.phases.spans():
             rows.append(dict(event="phase", **span.as_dict()))
         for name, snapshot in sorted(self.registry.snapshot().items()):

@@ -1,0 +1,324 @@
+"""Trace-diff forensics: locate the first divergence between two runs.
+
+The simulator steps nodes in id order inside synchronous rounds, so a
+run is fully deterministic: two traces of the same (graph, config,
+engine-equivalent) run are byte-for-byte identical delivery streams.
+That determinism turns "these two runs disagree" from a debugging
+nightmare into a comparison problem — walk both streams in order and
+the **first** mismatching delivery is where the executions forked;
+everything after it is cascade.
+
+:func:`first_divergence` finds that point and classifies it (stream
+length, round, edge, message type, bits, or — for payload-capturing
+tracers — the exact decoded frame *field* that differs, decoded through
+:func:`repro.wire.decode_frame`).  :func:`round_frame_diff` renders the
+divergent round as an aligned per-edge frame table, the CONGEST-level
+view of what was on each wire.  :func:`diff_report` combines both into
+the text the ``repro trace diff`` CLI prints.
+
+Typical uses: corrupt one trace file and pinpoint the flipped field;
+diff a sweep-engine trace against an event-engine trace to prove
+equivalence (empty diff); diff before/after a protocol change to see
+exactly which message the change first altered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import WireCodecError
+from repro.wire import decode_frame
+
+__all__ = [
+    "Divergence",
+    "diff_report",
+    "first_divergence",
+    "round_frame_diff",
+]
+
+#: Delivery attributes compared positionally, in blame order: a round
+#: skew explains an edge skew, an edge skew explains a type skew...
+_META_FIELDS = ("round_number", "sender", "receiver", "message_type", "bits")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two traces disagree.
+
+    ``kind`` is one of ``length`` (one stream ended early), a metadata
+    field name from the delivery tuple (``round_number``, ``sender``,
+    ``receiver``, ``message_type``, ``bits``), or ``payload`` (same
+    metadata, different encoded frame).  For payload divergences with
+    decodable frames, ``field`` names the first differing message field
+    and ``value_a`` / ``value_b`` hold its two decoded values;
+    otherwise they hold the raw frame words.
+    """
+
+    index: int
+    round_number: int
+    kind: str
+    sender: Optional[int] = None
+    receiver: Optional[int] = None
+    message_type: Optional[str] = None
+    field: Optional[str] = None
+    value_a: Any = None
+    value_b: Any = None
+
+    def describe(self) -> str:
+        if self.kind == "length":
+            return (
+                "delivery #{}: trace {} ends here (the other continues "
+                "in round {})".format(
+                    self.index,
+                    "A" if self.value_a is None else "B",
+                    self.round_number,
+                )
+            )
+        edge = (
+            "edge {}->{}".format(self.sender, self.receiver)
+            if self.sender is not None
+            else "unknown edge"
+        )
+        if self.kind == "payload":
+            if self.field is not None:
+                return (
+                    "delivery #{} (round {}, {}, {}): field {!r} "
+                    "differs: {!r} vs {!r}".format(
+                        self.index,
+                        self.round_number,
+                        edge,
+                        self.message_type,
+                        self.field,
+                        self.value_a,
+                        self.value_b,
+                    )
+                )
+            return (
+                "delivery #{} (round {}, {}, {}): encoded frames differ "
+                "(words {:#x} vs {:#x}; no decoder for the fields)".format(
+                    self.index,
+                    self.round_number,
+                    edge,
+                    self.message_type,
+                    self.value_a,
+                    self.value_b,
+                )
+            )
+        return "delivery #{} (round {}, {}): {} differs: {!r} vs {!r}".format(
+            self.index, self.round_number, edge, self.kind,
+            self.value_a, self.value_b,
+        )
+
+
+def _resolve_arith(arithmetic, wire):
+    """Accept an arithmetic mode string, a context object, or None."""
+    if arithmetic is None or wire is None:
+        return arithmetic
+    if isinstance(arithmetic, str):
+        from repro.arithmetic.context import make_context
+
+        return make_context(arithmetic, wire.num_nodes)
+    return arithmetic
+
+
+def _decode_one(event, wire, arith):
+    """Decode a captured frame word to its message, or None."""
+    if event.word is None or wire is None:
+        return None
+    try:
+        messages = decode_frame(event.word, event.bits, wire, arith)
+    except WireCodecError:
+        return None
+    return messages[0] if len(messages) == 1 else messages
+
+
+def _payload_divergence(index, a, b, wire, arith) -> Divergence:
+    """Classify a word mismatch down to the decoded field if possible."""
+    common = dict(
+        index=index,
+        round_number=a.round_number,
+        kind="payload",
+        sender=a.sender,
+        receiver=a.receiver,
+        message_type=a.message_type,
+    )
+    msg_a = _decode_one(a, wire, arith)
+    msg_b = _decode_one(b, wire, arith)
+    if msg_a is not None and msg_b is not None and type(msg_a) is type(msg_b):
+        layout = getattr(type(msg_a), "WIRE_LAYOUT", None) or ()
+        for name, _kind in layout:
+            va, vb = getattr(msg_a, name), getattr(msg_b, name)
+            if va != vb:
+                return Divergence(
+                    field=name, value_a=va, value_b=vb, **common
+                )
+    return Divergence(value_a=a.word, value_b=b.word, **common)
+
+
+def first_divergence(
+    trace_a, trace_b, arithmetic=None
+) -> Optional[Divergence]:
+    """The first delivery where two traces disagree, or None.
+
+    ``arithmetic`` (mode string or context) enables decoding of
+    SIGMA/PSI-carrying frames; without it those payload divergences
+    degrade to raw word comparisons.  The wire format comes from the
+    traces themselves (payload-capturing tracers serialize it).
+    """
+    events_a = trace_a.deliveries()
+    events_b = trace_b.deliveries()
+    wire = trace_a.wire if trace_a.wire is not None else trace_b.wire
+    arith = _resolve_arith(arithmetic, wire)
+    for index, (a, b) in enumerate(zip(events_a, events_b)):
+        for name in _META_FIELDS:
+            va, vb = getattr(a, name), getattr(b, name)
+            if va != vb:
+                return Divergence(
+                    index=index,
+                    round_number=min(a.round_number, b.round_number),
+                    kind=name,
+                    sender=a.sender if name not in ("sender",) else None,
+                    receiver=a.receiver if name not in ("receiver",) else None,
+                    message_type=a.message_type,
+                    value_a=va,
+                    value_b=vb,
+                )
+        if a.word is not None and b.word is not None and a.word != b.word:
+            return _payload_divergence(index, a, b, wire, arith)
+    if len(events_a) != len(events_b):
+        index = min(len(events_a), len(events_b))
+        longer = events_a if len(events_a) > len(events_b) else events_b
+        return Divergence(
+            index=index,
+            round_number=longer[index].round_number,
+            kind="length",
+            value_a=None if len(events_a) < len(events_b) else len(events_a),
+            value_b=None if len(events_b) < len(events_a) else len(events_b),
+        )
+    return None
+
+
+def round_frame_diff(
+    trace_a, trace_b, round_number: int, arithmetic=None
+) -> List[Dict[str, Any]]:
+    """Aligned per-edge frame view of one round across two traces.
+
+    Returns one record per edge active in either trace during
+    ``round_number``: ``{"edge": (s, r), "a": frame, "b": frame,
+    "same": bool}`` where each frame is ``{"messages": n, "bits": n,
+    "decoded": [...]}`` (decoded only for payload-capturing traces).
+    Edges are ordered by (sender, receiver) — the deterministic send
+    order — so the table reads like the round's wire activity.
+    """
+    wire = trace_a.wire if trace_a.wire is not None else trace_b.wire
+    arith = _resolve_arith(arithmetic, wire)
+
+    def frames_of(trace):
+        out: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        for event in trace.deliveries():
+            if event.round_number != round_number:
+                continue
+            frame = out.setdefault(
+                (event.sender, event.receiver),
+                {"messages": 0, "bits": 0, "decoded": [], "words": []},
+            )
+            frame["messages"] += 1
+            frame["bits"] += event.bits
+            frame["words"].append(event.word)
+            decoded = _decode_one(event, wire, arith)
+            frame["decoded"].append(
+                repr(decoded) if decoded is not None else event.message_type
+            )
+        return out
+
+    frames_a = frames_of(trace_a)
+    frames_b = frames_of(trace_b)
+    rows: List[Dict[str, Any]] = []
+    for edge in sorted(set(frames_a) | set(frames_b)):
+        fa, fb = frames_a.get(edge), frames_b.get(edge)
+        same = (
+            fa is not None
+            and fb is not None
+            and fa["bits"] == fb["bits"]
+            and fa["words"] == fb["words"]
+            and fa["decoded"] == fb["decoded"]
+        )
+        rows.append({"edge": edge, "a": fa, "b": fb, "same": same})
+    return rows
+
+
+def _frame_cell(frame: Optional[Dict[str, Any]]) -> str:
+    if frame is None:
+        return "(silent)"
+    return "{} msg / {} bits: {}".format(
+        frame["messages"], frame["bits"], "; ".join(frame["decoded"])
+    )
+
+
+def diff_report(
+    trace_a,
+    trace_b,
+    arithmetic=None,
+    label_a: str = "A",
+    label_b: str = "B",
+    context: int = 3,
+) -> str:
+    """Human-readable divergence report for ``repro trace diff``.
+
+    Identical traces report as such; otherwise the report names the
+    first divergent delivery (down to the decoded field when payloads
+    were captured), shows the last ``context`` agreeing deliveries, and
+    renders the divergent round as an aligned per-edge frame table.
+    """
+    divergence = first_divergence(trace_a, trace_b, arithmetic=arithmetic)
+    count_a, count_b = len(trace_a.deliveries()), len(trace_b.deliveries())
+    lines = [
+        "trace {}: {} deliveries{}".format(
+            label_a, count_a, " (truncated)" if trace_a.truncated else ""
+        ),
+        "trace {}: {} deliveries{}".format(
+            label_b, count_b, " (truncated)" if trace_b.truncated else ""
+        ),
+    ]
+    if divergence is None:
+        lines.append("traces are identical")
+        return "\n".join(lines)
+    lines.append("")
+    lines.append("FIRST DIVERGENCE: " + divergence.describe())
+    shared = trace_a.deliveries()[: divergence.index]
+    if shared and context > 0:
+        lines.append("")
+        lines.append("last {} agreeing deliveries:".format(
+            min(context, len(shared))
+        ))
+        for event in shared[-context:]:
+            lines.append(
+                "  round {:>4}  {:>3} -> {:<3}  {:<14} {} bits".format(
+                    event.round_number,
+                    event.sender,
+                    event.receiver,
+                    event.message_type,
+                    event.bits,
+                )
+            )
+    lines.append("")
+    lines.append(
+        "round {} per-edge frames ({} | {}):".format(
+            divergence.round_number, label_a, label_b
+        )
+    )
+    for row in round_frame_diff(
+        trace_a, trace_b, divergence.round_number, arithmetic=arithmetic
+    ):
+        marker = "  " if row["same"] else "* "
+        lines.append(
+            "{}edge {:>3} -> {:<3}  {}  |  {}".format(
+                marker,
+                row["edge"][0],
+                row["edge"][1],
+                _frame_cell(row["a"]),
+                _frame_cell(row["b"]),
+            )
+        )
+    return "\n".join(lines)
