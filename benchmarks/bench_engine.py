@@ -115,6 +115,13 @@ def measure(sizes=SIZES, families=None, reps=REPS, engines=ENGINES):
                     outputs[engine] == reference for engine in engines
                 ),
                 "phases": telemetry.phases.rounds_by_phase(),
+                # Aggregate NodeLedger footprint (records + CSR
+                # predecessor links, in abstract words) — the array
+                # ledger's memory trajectory, from the telemetry run's
+                # finalize gauges.
+                "ledger_words": telemetry.registry.gauge(
+                    "ledger.words"
+                ).value,
             }
             for engine in engines:
                 row[engine + "_seconds"] = round(best[engine], 4)
@@ -149,6 +156,11 @@ def write_json(rows, path=OUTPUT):
         "rows": rows,
         "summary": {
             "all_identical": all(row["identical_results"] for row in rows),
+            "peak_ledger_words": max(
+                (row["ledger_words"] for row in rows
+                 if row.get("ledger_words") is not None),
+                default=None,
+            ),
             "min_event_speedup_n_ge_200": min(
                 (row["event_speedup"] for row in big if "event_speedup" in row),
                 default=None,
@@ -221,6 +233,10 @@ def test_engine_speedup_and_identity(benchmark):
             "tree_build",
         ]
         assert sum(row["phases"].values()) <= row["rounds"]
+        # The array ledger stores N records per node on the full
+        # protocol: the aggregate words gauge must reflect that scale.
+        assert row["ledger_words"] is not None
+        assert row["ledger_words"] >= 4 * row["n"] * row["n"]
 
 
 # ----------------------------------------------------------------------

@@ -81,6 +81,10 @@ class ExperimentRunner:
     engine:
         Simulator engine passed to every run (``"event"`` by default,
         matching :func:`repro.core.distributed_betweenness`).
+    protocol:
+        Registered protocol name passed to every run (None means the
+        registry default, ``hua-bc``).  Kept as a name rather than a
+        descriptor so grids stay picklable across the worker pool.
     collect_phases:
         Attach a phases-only :class:`~repro.obs.Telemetry` to every run
         and add one ``phase_<name>_rounds`` column per protocol phase
@@ -95,9 +99,11 @@ class ExperimentRunner:
         run: Optional[Callable] = None,
         engine: str = "auto",
         collect_phases: bool = False,
+        protocol: Optional[str] = None,
     ):
         self.arithmetic = arithmetic
         self.engine = engine
+        self.protocol = protocol
         self.metrics = metrics or {}
         self.collect_phases = collect_phases
         self._custom_run = run is not None
@@ -112,6 +118,7 @@ class ExperimentRunner:
                 arithmetic=self.arithmetic,
                 engine=self.engine,
                 telemetry=telemetry,
+                protocol=self.protocol,
             )
         )
         self.records: List[RunRecord] = []
@@ -175,6 +182,7 @@ class ExperimentRunner:
             processes=processes,
             collect_phases=self.collect_phases,
             stream_dir=stream_dir,
+            protocol=self.protocol,
         )
         self.records.extend(out)
         return out
@@ -245,16 +253,20 @@ def _phase_columns(telemetry) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 # multiprocessing fan-out
 # ----------------------------------------------------------------------
-_Task = Tuple[str, Graph, str, str, bool, Optional[str]]
+_Task = Tuple[str, Graph, str, str, bool, Optional[str], Optional[str]]
 
 
 def _run_one(task: _Task) -> RunRecord:
     """Worker body: one protocol run -> one plain-data record.
 
     Module-level (not a closure) so a ``multiprocessing`` pool can
-    pickle it; the graph rides along in the task tuple.
+    pickle it; the graph rides along in the task tuple, and the
+    protocol travels as its registry name (descriptors hold closures).
     """
-    family, graph, arithmetic, engine, collect_phases, stream_path = task
+    (
+        family, graph, arithmetic, engine, collect_phases, stream_path,
+        protocol,
+    ) = task
     if stream_path is not None:
         from repro.obs import Telemetry
 
@@ -269,7 +281,11 @@ def _run_one(task: _Task) -> RunRecord:
     else:
         telemetry = None
     result = distributed_betweenness(
-        graph, arithmetic=arithmetic, engine=engine, telemetry=telemetry
+        graph,
+        arithmetic=arithmetic,
+        engine=engine,
+        telemetry=telemetry,
+        protocol=protocol,
     )
     extra = _phase_columns(telemetry) if telemetry is not None else {}
     if telemetry is not None and getattr(telemetry, "bus", None) is not None:
@@ -297,6 +313,7 @@ def run_many(
     processes: Optional[int] = None,
     collect_phases: bool = False,
     stream_dir: Optional[PathLike] = None,
+    protocol: Optional[str] = None,
 ) -> List[RunRecord]:
     """Run the protocol on every graph, fanning out across processes.
 
@@ -327,6 +344,9 @@ def run_many(
         ``<stream_dir>/<family>-<index>-<name>.jsonl`` (flushed per
         event, so a crashed worker leaves a readable partial log);
         implies per-run telemetry with phase collection.
+    protocol:
+        Registered protocol name for every run (None → registry
+        default).  A string, not a descriptor, so tasks stay picklable.
     """
     if stream_dir is not None:
         os.makedirs(stream_dir, exist_ok=True)
@@ -347,6 +367,7 @@ def run_many(
                 if stream_dir is not None
                 else None
             ),
+            protocol,
         )
         for index, graph in enumerate(graphs)
     ]

@@ -118,6 +118,15 @@ def _add_graph_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_protocol_options(parser: argparse.ArgumentParser) -> None:
+    from repro.protocols import DEFAULT_PROTOCOL, protocol_names
+
+    parser.add_argument(
+        "--protocol",
+        choices=protocol_names(),
+        default=DEFAULT_PROTOCOL,
+        help="registered node algorithm to run (default: {}; cfp-bc is "
+        "the time-reversed accumulation rival)".format(DEFAULT_PROTOCOL),
+    )
     parser.add_argument(
         "--arithmetic",
         default="lfloat",
@@ -168,6 +177,12 @@ def cmd_bc(args: argparse.Namespace) -> int:
     from repro.graphs.weighted import WeightedGraph
 
     if isinstance(graph, WeightedGraph):
+        if getattr(args, "protocol", None) not in (None, "hua-bc"):
+            raise SystemExit(
+                "--protocol {} is not available for weighted graphs "
+                "(the subdivision pipeline drives the stock protocol "
+                "directly)".format(args.protocol)
+            )
         return _cmd_bc_weighted(args, graph)
     telemetry = _streaming_telemetry(args)
     result = distributed_betweenness(
@@ -178,6 +193,7 @@ def cmd_bc(args: argparse.Namespace) -> int:
         engine=args.engine,
         frame_audit=args.frame_audit,
         telemetry=telemetry,
+        protocol=args.protocol,
     )
     if telemetry is not None and telemetry.bus is not None:
         telemetry.bus.close()
@@ -192,9 +208,10 @@ def cmd_bc(args: argparse.Namespace) -> int:
     print_table(
         ["node", "betweenness", "degree"] + (["Brandes"] if args.check else []),
         rows,
-        title="Distributed betweenness on {} (N={}, rounds={}, D={}, "
+        title="Distributed betweenness on {} ({}, N={}, rounds={}, D={}, "
         "max bits/edge/round={})".format(
             graph.name,
+            result.protocol,
             graph.num_nodes,
             result.rounds,
             result.diameter,
@@ -247,6 +264,7 @@ def cmd_apsp(args: argparse.Namespace) -> int:
         strict=not args.lenient,
         engine=args.engine,
         frame_audit=args.frame_audit,
+        protocol=args.protocol,
     )
     closeness = result.closeness()
     graph_c = result.graph_centrality()
@@ -270,6 +288,7 @@ def cmd_stress(args: argparse.Namespace) -> int:
         root=args.root,
         engine=args.engine,
         frame_audit=args.frame_audit,
+        protocol=args.protocol,
     )
     ranked = sorted(graph.nodes(), key=lambda v: result.stress[v], reverse=True)
     print_table(
@@ -292,6 +311,7 @@ def cmd_sample(args: argparse.Namespace) -> int:
         root=args.root,
         engine=args.engine,
         frame_audit=args.frame_audit,
+        protocol=args.protocol,
     )
     ranked = sorted(graph.nodes(), key=lambda v: result.estimate[v], reverse=True)
     print_table(
@@ -379,10 +399,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
         tracer=tracer,
         engine=args.engine,
         frame_audit=args.frame_audit,
+        protocol=args.protocol,
     )
     print(
-        "{}: {} rounds, {} messages, {} bits\n".format(
+        "{} ({}): {} rounds, {} messages, {} bits\n".format(
             graph.name,
+            result.protocol,
             result.rounds,
             result.stats.message_count,
             result.stats.bit_count,
@@ -432,6 +454,31 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
                 traces.append(Tracer.from_json(fh.read()))
         trace_a, trace_b = traces
         label_a, label_b = args.traces
+    elif args.protocols:
+        # Protocol-vs-protocol mode: same engine, two registered node
+        # algorithms — the forensic view of where a rival's traffic
+        # schedule departs from the stock one.
+        protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+        if len(protocols) != 2:
+            raise SystemExit(
+                "--protocols wants two comma-separated protocol names, "
+                "got {!r}".format(args.protocols)
+            )
+        graph = _load_graph(args)
+        traces = []
+        for protocol in protocols:
+            tracer = Tracer(capture_payloads=True)
+            distributed_betweenness(
+                graph,
+                arithmetic=args.arithmetic,
+                root=args.root,
+                tracer=tracer,
+                engine="event",
+                protocol=protocol,
+            )
+            traces.append(tracer)
+        trace_a, trace_b = traces
+        label_a, label_b = protocols
     else:
         engines = [e.strip() for e in args.engines.split(",") if e.strip()]
         if len(engines) != 2:
@@ -485,8 +532,9 @@ def _report_from_rows(args: argparse.Namespace) -> int:
         )
         return 2
     print(
-        "Run on {} (N={}, engine={}, requested={}{})".format(
+        "Run on {} ({}, N={}, engine={}, requested={}{})".format(
             meta.get("graph"),
+            meta.get("protocol", "hua-bc"),
             meta.get("num_nodes"),
             meta.get("engine"),
             meta.get("engine_requested", meta.get("engine")),
@@ -599,6 +647,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             engine=args.engine,
             frame_audit=args.frame_audit,
+            protocol=args.protocol,
         )
     except SimulationNotTerminatedError as err:
         # The structured fields answer the first three questions a
@@ -621,8 +670,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     print_table(
         ["statistic", "value"],
         [[key, value] for key, value in result.stats.summary().items()],
-        title="Run statistics on {} (N={}, D={}, {}, engine={})".format(
+        title="Run statistics on {} ({}, N={}, D={}, {}, engine={})".format(
             graph.name,
+            result.protocol,
             graph.num_nodes,
             result.diameter,
             result.arithmetic,
@@ -639,6 +689,16 @@ def cmd_report(args: argparse.Namespace) -> int:
             else "",
         )
     )
+    ledger_words = telemetry.registry.gauge("ledger.words").value
+    if ledger_words is not None:
+        print(
+            "memory: {} ledger records, {} predecessor links, "
+            "{} words total across nodes".format(
+                telemetry.registry.gauge("ledger.records").value,
+                telemetry.registry.gauge("ledger.pred_links").value,
+                ledger_words,
+            )
+        )
     print()
     print_table(
         ["phase", "start round", "end round", "rounds", "wall ms"],
@@ -770,10 +830,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         engine=args.engine,
         faults=plan,
         resilient=not args.raw,
+        protocol=args.protocol,
     )
     completeness = result.completeness
     fault_stats = getattr(result.stats, "faults", None)
     rows = [
+        ["protocol", result.protocol],
         ["engine", result.stats.engine or args.engine],
         ["transport", "raw (no recovery)" if args.raw else "resilient"],
         ["rounds", result.rounds],
@@ -841,6 +903,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     root=args.root,
                     strict=not args.lenient,
                     engine=args.engine,
+                    protocol=args.protocol,
                 )
                 mismatched = [
                     v
@@ -1062,6 +1125,8 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
                 ledger.ingest_bench_engine(payload, git_rev=rev)
             elif payload.get("benchmark") == "fault_layer":
                 ledger.ingest_bench_faults(payload, git_rev=rev)
+            elif payload.get("benchmark") == "protocol_arena":
+                ledger.ingest_bench_arena(payload, git_rev=rev)
         print("current payload recorded in {}".format(args.ledger))
     if violations and args.warn_only:
         print("(warn-only: exiting 0 despite violations)")
@@ -1085,6 +1150,8 @@ def cmd_bench_ingest(args: argparse.Namespace) -> int:
             total += ledger.ingest_bench_engine(payload, git_rev=rev)
         elif kind == "fault_layer":
             total += ledger.ingest_bench_faults(payload, git_rev=rev)
+        elif kind == "protocol_arena":
+            total += ledger.ingest_bench_arena(payload, git_rev=rev)
         else:
             print(
                 "skipping {}: unknown benchmark kind {!r}".format(path, kind),
@@ -1200,6 +1267,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="sweep,event",
         help="two comma-separated engines for the run-and-compare mode "
         "(default: sweep,event)",
+    )
+    p_tdiff.add_argument(
+        "--protocols",
+        metavar="A,B",
+        help="two comma-separated registered protocols to run on the "
+        "event engine and diff (e.g. hua-bc,cfp-bc); overrides --engines",
     )
     p_tdiff.add_argument(
         "--arithmetic",
@@ -1372,11 +1445,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bcmp = bench_sub.add_parser(
         "compare",
         help="gate a fresh BENCH_*.json against a committed baseline",
-        description="Compare two benchmark payloads (BENCH_engine.json "
-        "or BENCH_faults.json). Structural metrics (rounds, bits, "
-        "messages, result identity) must match exactly; wall-clock "
-        "metrics get configurable ratio gates. Exits 1 on any "
-        "violation unless --warn-only.",
+        description="Compare two benchmark payloads (BENCH_engine.json, "
+        "BENCH_faults.json or BENCH_arena.json). Structural metrics "
+        "(rounds, bits, messages, result identity) must match exactly; "
+        "wall-clock metrics get configurable ratio gates. Exits 1 on "
+        "any violation unless --warn-only.",
     )
     p_bcmp.add_argument("baseline", help="baseline payload JSON")
     p_bcmp.add_argument("current", help="freshly produced payload JSON")

@@ -153,6 +153,20 @@ class Simulator:
         :class:`~repro.exceptions.SimulationStalledError`.  ``None``
         (the default) is a zero-cost fast path: one identity check per
         hook site, and the run is bit-identical to a faultless build.
+    protocol:
+        Optional protocol name or :class:`~repro.protocols.Protocol`
+        descriptor identifying the algorithm the node factory builds.
+        When omitted it is inferred from the constructed nodes' exact
+        class (``None`` for unregistered custom algorithms).  The
+        engine dispatcher, the progress estimator and the telemetry
+        metadata consult it instead of probing for the stock node.
+    gc_pause:
+        Pause the cyclic garbage collector for the duration of the
+        run.  Off by default — the array-backed ledger removed the
+        Theta(N^2) tracked records that once made this dominate (see
+        :meth:`run`); opt in for long single-process event-engine
+        sweeps, where skipping collections over the message churn is
+        still worth ~15% at N = 800.
     """
 
     def __init__(
@@ -169,6 +183,8 @@ class Simulator:
         engine: str = "sweep",
         frame_audit: bool = False,
         faults=None,
+        protocol=None,
+        gc_pause: bool = False,
     ):
         if engine not in ENGINES:
             raise ValueError(
@@ -242,6 +258,27 @@ class Simulator:
         if faults is not None:
             faults.bind(self)
             self.stats.faults = faults.stats
+        #: Explicit GC pause around the run loop.  The PR 1 workaround
+        #: for the old object-ledger's Theta(N^2) tracked records; the
+        #: array-backed ledger keeps its rows in GC-invisible buffers,
+        #: so the pause is off by default and opt-in for long sweeps.
+        self.gc_pause = gc_pause
+        # The registered protocol this run executes: an explicit name /
+        # descriptor, or inferred from the node class the factory built
+        # (transport wrappers expose the protocol node as ``.inner``).
+        # None for unregistered custom algorithms.  Lazy import keeps
+        # repro.congest importable without the protocols package.
+        from repro.protocols import get_protocol, protocol_of_node
+
+        if protocol is not None:
+            self.protocol = get_protocol(protocol)
+        else:
+            probe = self.nodes[0] if self.nodes else None
+            if probe is not None:
+                probe = getattr(probe, "inner", probe)
+            self.protocol = (
+                protocol_of_node(probe) if probe is not None else None
+            )
         # Resolve "auto" / validate "bulk" now that nodes and faults are
         # in place, so self.engine is a concrete name before run() (and
         # before telemetry snapshots it in on_run_start).  Lazy import:
@@ -259,21 +296,27 @@ class Simulator:
     def run(self) -> SimulationStats:
         """Drive rounds until every node is done and no message is in flight.
 
-        The cyclic garbage collector is paused for the duration of the
-        run (and restored afterwards): the round loop allocates heavily
-        but produces no reference cycles, while the live per-node state
-        grows to Theta(N^2) records — so each allocation-triggered
-        collection scans an ever-larger heap for nothing.  On large
-        inputs the collector would otherwise dominate the wall clock
-        (measured: over half the runtime at N = 800).
+        Historical note: PR 1 paused the cyclic garbage collector here
+        unconditionally, because the old object-backed ledger grew
+        Theta(N^2) tracked records and each allocation-triggered
+        collection scanned them for nothing (over half the wall clock
+        at N = 800).  The array-backed
+        :class:`~repro.core.records.NodeLedger` keeps its rows in flat
+        buffers the collector never sees, so the unconditional pause is
+        retired: runs up to N = 2000 complete on the event engine with
+        GC live.  What remains is ordinary collection pressure from the
+        per-round message churn — measured ~15% of wall clock at
+        N = 800 on the event engine — so the pause survives as the
+        opt-in ``gc_pause`` flag for long single-process sweeps
+        (correctness is identical either way).
 
         Returns the populated :class:`SimulationStats`.
         """
         telemetry = self.telemetry
         if telemetry is not None:
             telemetry.on_run_start(self)
-        was_enabled = gc.isenabled()
-        if was_enabled:
+        pause = self.gc_pause and gc.isenabled()
+        if pause:
             gc.disable()
         try:
             if self.engine == "event":
@@ -285,7 +328,7 @@ class Simulator:
             else:
                 stats = self._run_sweep()
         finally:
-            if was_enabled:
+            if pause:
                 gc.enable()
         if telemetry is not None:
             telemetry.on_run_end(stats)

@@ -34,7 +34,7 @@ from repro.arithmetic.context import ArithmeticContext
 from repro.congest.node import RoundContext
 from repro.core.config import UNIT_STRESS, ProtocolConfig
 from repro.core.messages import AggStart, AggValue
-from repro.core.records import NodeLedger, SourceRecord
+from repro.core.records import NodeLedger
 from repro.core.tree import TreePhase
 from repro.exceptions import ProtocolError
 
@@ -72,7 +72,7 @@ class AggregationPhase:
         #: ``base + T_max + D``.  The final local computation fires in
         #: the first round past it.
         self._horizon: Optional[int] = None
-        #: send schedule: absolute round -> source id (unique by Lemma 4).
+        #: send schedule: absolute round -> ledger row (unique by Lemma 4).
         self._schedule: Dict[int, int] = {}
         #: ascending send rounds with a cursor, for O(1) next-wake lookup.
         self._send_rounds: List[int] = []
@@ -86,6 +86,23 @@ class AggregationPhase:
         #: protocol-exact end of the aggregation phase, consumed by the
         #: telemetry phase spans (None if aggregation was disabled).
         self.finished_round: Optional[int] = None
+
+    #: human name of the collision-freedom invariant the schedule rests
+    #: on — interpolated into the ProtocolError when arm() catches two
+    #: sources claiming the same send round.  Rival protocols override
+    #: this together with :meth:`_send_round_for`.
+    schedule_invariant = "Lemma 4"
+
+    def _send_round_for(self, start_time: int, dist: int) -> int:
+        """Line 3: the absolute send round for a (T_s, d(s,u)) record.
+
+        ``base + T_s + D − d(s, u)`` — deeper nodes send earlier, so a
+        node's shortest-path descendants deliver exactly one round
+        before its own send.  The schedule hook is the single point a
+        rival protocol overrides to re-time the backward phase (see
+        :mod:`repro.protocols.cfp`).
+        """
+        return self.base + start_time + self.diameter - dist
 
     # ------------------------------------------------------------------
     def arm(self, start: AggStart) -> None:
@@ -103,23 +120,35 @@ class AggregationPhase:
             self.betweenness_raw = self.arith.psi_zero()
             self.finished = True
             return
-        for record in self.ledger:
-            record.psi = self.arith.psi_zero()
-            if record.source == self.node_id:
+        ledger = self.ledger
+        psi_zero = self.arith.psi_zero
+        psi_col = ledger.psi_col
+        source_col = ledger.source_col
+        start_col = ledger.start_col
+        dist_col = ledger.dist_col
+        schedule = self._schedule
+        send_round_for = self._send_round_for
+        node_id = self.node_id
+        for row in range(len(ledger)):
+            psi_col[row] = psi_zero()
+            source = source_col[row]
+            if source == node_id:
                 continue  # the source itself never sends (P_s(s) is empty)
-            send_round = self.base + record.sending_time(self.diameter)
-            if send_round in self._schedule:
+            send_round = send_round_for(start_col[row], dist_col[row])
+            other = schedule.get(send_round)
+            if other is not None:
                 raise ProtocolError(
                     "node {}: sources {} and {} share send round {} — "
-                    "Lemma 4 violated".format(
-                        self.node_id,
-                        self._schedule[send_round],
-                        record.source,
+                    "{} violated".format(
+                        node_id,
+                        source_col[other],
+                        source,
                         send_round,
+                        self.schedule_invariant,
                     )
                 )
-            self._schedule[send_round] = record.source
-        self._send_rounds = sorted(self._schedule)
+            schedule[send_round] = row
+        self._send_rounds = sorted(schedule)
 
     def handle_start(
         self, ctx: RoundContext, starts: List[Tuple[int, AggStart]]
@@ -147,27 +176,29 @@ class AggregationPhase:
                     )
                 )
             return
+        ledger = self.ledger
         if values:
-            ledger_get = self.ledger.get
+            row_of = ledger.row_of
+            psi_col = ledger.psi_col
             psi_add = self.arith.psi_add
             for sender, message in values:
-                record = ledger_get(message.source)
-                if record is None or record.psi is None:
+                row = row_of(message.source)
+                if row is None or psi_col[row] is None:
                     raise ProtocolError(
                         "node {} got an aggregation value for unknown "
                         "source {}".format(self.node_id, message.source)
                     )
-                record.psi = psi_add(record.psi, message.value)
+                psi_col[row] = psi_add(psi_col[row], message.value)
         if self._schedule:
-            source = self._schedule.pop(ctx.round_number, None)
-            if source is not None:
-                record = self.ledger.get(source)
+            row = self._schedule.pop(ctx.round_number, None)
+            if row is not None:
+                source = ledger.source_col[row]
                 value = self.arith.psi_add(
-                    self._unit_term(record), record.psi
+                    self._unit_term(ledger.sigma_col[row]), ledger.psi_col[row]
                 )
-                record.sent = True
+                ledger.sent_col[row] = 1
                 message = AggValue(source, value)
-                for pred in record.preds:
+                for pred in ledger.preds_at(row):
                     ctx.send(pred, message)
         if not self.finished and ctx.round_number > self._horizon:
             self._finish()
@@ -195,7 +226,7 @@ class AggregationPhase:
             return rounds[cursor]
         return max(finish_round, round_number + 1)
 
-    def _unit_term(self, record: SourceRecord):
+    def _unit_term(self, sigma):
         """The seed of Eq. (14) this node adds when it sends.
 
         Betweenness: 1/sigma_su.  Stress: 1 (a path continuation).
@@ -206,7 +237,7 @@ class AggregationPhase:
             return self.arith.psi_zero()
         if self.config.unit == UNIT_STRESS:
             return self.arith.psi_one()
-        return self.arith.reciprocal(record.sigma)
+        return self.arith.reciprocal(sigma)
 
     # ------------------------------------------------------------------
     def _finish(self) -> None:
@@ -217,10 +248,14 @@ class AggregationPhase:
         psi_add = arith.psi_add
         total = arith.psi_zero()
         node_id = self.node_id
-        for record in self.ledger:
-            if record.source == node_id:
+        ledger = self.ledger
+        source_col = ledger.source_col
+        sigma_col = ledger.sigma_col
+        psi_col = ledger.psi_col
+        for row in range(len(ledger)):
+            if source_col[row] == node_id:
                 continue
-            total = psi_add(total, dependency(record.psi, record.sigma))
+            total = psi_add(total, dependency(psi_col[row], sigma_col[row]))
         self.betweenness_raw = total
         self.finished = True
 
@@ -231,10 +266,14 @@ class AggregationPhase:
         (e.g. delta_{v1·}(v2) = 3).
         """
         out: Dict[int, Any] = {}
-        for record in self.ledger:
-            if record.source == self.node_id or record.psi is None:
+        ledger = self.ledger
+        source_col = ledger.source_col
+        sigma_col = ledger.sigma_col
+        psi_col = ledger.psi_col
+        for row in range(len(ledger)):
+            if source_col[row] == self.node_id or psi_col[row] is None:
                 continue
-            out[record.source] = self.arith.dependency(
-                record.psi, record.sigma
+            out[source_col[row]] = self.arith.dependency(
+                psi_col[row], sigma_col[row]
             )
         return out

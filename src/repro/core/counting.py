@@ -38,7 +38,7 @@ from repro.arithmetic.context import ArithmeticContext
 from repro.congest.node import RoundContext
 from repro.core.config import ProtocolConfig
 from repro.core.messages import AggStart, BfsWave, DfsToken, DoneReport
-from repro.core.records import NodeLedger, SourceRecord
+from repro.core.records import NodeLedger
 from repro.core.tree import TreePhase
 from repro.exceptions import ProtocolError
 
@@ -136,12 +136,13 @@ class CountingPhase:
     def _handle_waves(
         self, ctx: RoundContext, waves: List[Tuple[int, BfsWave]]
     ) -> None:
-        ledger_get = self.ledger.get
+        row_of = self.ledger.row_of
+        dist_col = self.ledger.dist_col
         fresh_source: Optional[int] = None
         fresh: List[Tuple[int, BfsWave]] = []
         for sender, wave in waves:
-            record = ledger_get(wave.source)
-            if record is None:
+            row = row_of(wave.source)
+            if row is None:
                 if fresh_source is None:
                     fresh_source = wave.source
                 elif fresh_source != wave.source:
@@ -154,13 +155,13 @@ class CountingPhase:
                         )
                     )
                 fresh.append((sender, wave))
-            elif wave.dist + 1 <= record.dist:
+            elif wave.dist + 1 <= dist_col[row]:
                 # A predecessor-looking wave arriving after we settled
                 # would mean the synchrony argument failed.
                 raise ProtocolError(
                     "node {} got a late wave for source {} (settled at "
                     "d={}, wave d={})".format(
-                        self.node_id, wave.source, record.dist, wave.dist
+                        self.node_id, wave.source, dist_col[row], wave.dist
                     )
                 )
             # Waves from same-level or downstream neighbors are the
@@ -196,7 +197,7 @@ class CountingPhase:
             preds = tuple(sorted(sender for sender, _ in arrivals))
         dist = first.dist + 1
         start_time = first.start_time
-        self.ledger.add(SourceRecord(source, start_time, dist, sigma, preds))
+        self.ledger.add_row(source, start_time, dist, sigma, preds)
         ctx.broadcast(BfsWave(source, start_time, dist, sigma))
 
     # ------------------------------------------------------------------
@@ -268,11 +269,7 @@ class CountingPhase:
         self._bfs_start_round = None
         self.own_start_time = ctx.round_number
         sigma_one = self.arith.sigma_one()
-        self.ledger.add(
-            SourceRecord(
-                self.node_id, self.own_start_time, 0, sigma_one, ()
-            )
-        )
+        self.ledger.add_row(self.node_id, self.own_start_time, 0, sigma_one, ())
         ctx.broadcast(
             BfsWave(self.node_id, self.own_start_time, 0, sigma_one)
         )

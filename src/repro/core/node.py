@@ -53,6 +53,13 @@ class BetweennessNode(NodeAlgorithm):
         protocol-exact round number rather than a guess from traffic.
     """
 
+    #: Phase-class hooks: a protocol variant (see :mod:`repro.protocols`)
+    #: subclasses the node and swaps one of these to re-time or replace
+    #: a phase while inheriting the dispatch loop, the wake
+    #: registration and the output surface unchanged.
+    counting_class = CountingPhase
+    aggregation_class = AggregationPhase
+
     def __init__(
         self,
         node_id: int,
@@ -68,10 +75,10 @@ class BetweennessNode(NodeAlgorithm):
         self.telemetry = telemetry
         self.ledger = NodeLedger(node_id)
         self.tree = TreePhase(node_id, is_root=(node_id == root))
-        self.counting = CountingPhase(
+        self.counting = self.counting_class(
             node_id, self.tree, self.ledger, arith, config=config
         )
-        self.aggregation = AggregationPhase(
+        self.aggregation = self.aggregation_class(
             node_id, self.tree, self.ledger, arith, config=config
         )
         self._dfs_started = False
@@ -183,8 +190,8 @@ class BetweennessNode(NodeAlgorithm):
         round as under the sweep engine.
         """
         if type(message) is BfsWave:
-            record = self.ledger.get(message.source)
-            if record is not None and message.dist + 1 > record.dist:
+            row = self.ledger.row_of(message.source)
+            if row is not None and message.dist + 1 > self.ledger.dist_col[row]:
                 return False
         return True
 
@@ -235,8 +242,11 @@ class BetweennessNode(NodeAlgorithm):
         node's dependency delta_s·(v) is trustworthy even in a run that
         was cut short.
         """
+        ledger = self.ledger
+        source_col = ledger.source_col
+        sent_col = ledger.sent_col
         return frozenset(
-            record.source for record in self.ledger if record.sent
+            source_col[row] for row in range(len(ledger)) if sent_col[row]
         )
 
     def partial_betweenness_raw(self, complete_sources) -> Any:
@@ -250,12 +260,17 @@ class BetweennessNode(NodeAlgorithm):
         arith = self.arith
         total = arith.psi_zero()
         node_id = self.node_id
-        for record in self.ledger:
-            if record.source == node_id or record.psi is None:
+        ledger = self.ledger
+        source_col = ledger.source_col
+        sigma_col = ledger.sigma_col
+        psi_col = ledger.psi_col
+        for row in range(len(ledger)):
+            source = source_col[row]
+            if source == node_id or psi_col[row] is None:
                 continue
-            if record.source in complete_sources:
+            if source in complete_sources:
                 total = arith.psi_add(
-                    total, arith.dependency(record.psi, record.sigma)
+                    total, arith.dependency(psi_col[row], sigma_col[row])
                 )
         return total
 
@@ -265,16 +280,19 @@ def make_node_factory(
     arith: ArithmeticContext,
     config: ProtocolConfig = ProtocolConfig(),
     telemetry=None,
+    node_class=None,
 ):
     """The factory the simulator calls for every node.
 
     ``telemetry`` is handed to the root node only (see
     :class:`BetweennessNode`); every other node keeps the zero-cost
-    ``None`` default.
+    ``None`` default.  ``node_class`` lets a protocol variant (see
+    :mod:`repro.protocols`) substitute its node subclass.
     """
+    cls = BetweennessNode if node_class is None else node_class
 
     def factory(node_id: int, neighbors: Tuple[int, ...]) -> BetweennessNode:
-        return BetweennessNode(
+        return cls(
             node_id,
             neighbors,
             root,

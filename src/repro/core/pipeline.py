@@ -111,6 +111,10 @@ class DistributedBCResult:
     #: per-source completeness; ``completeness.complete`` is False only
     #: for partial results recovered from a stalled faulted run.
     completeness: Optional[CompletenessReport] = None
+    #: registry name of the protocol that produced this result (see
+    #: :mod:`repro.protocols`); stamped into telemetry metadata and
+    #: history run keys.
+    protocol: str = "hua-bc"
 
     def normalized(self) -> Dict[int, float]:
         """Betweenness divided by (N-1)(N-2)/2."""
@@ -162,6 +166,7 @@ def distributed_betweenness(
     frame_audit: bool = False,
     faults=None,
     resilient: bool = False,
+    protocol=None,
 ) -> DistributedBCResult:
     """Compute every node's betweenness with the paper's algorithm.
 
@@ -236,6 +241,14 @@ def distributed_betweenness(
         default it is raised to
         :data:`~repro.faults.transport.RESILIENT_CONGEST_FACTOR` to
         fund the transport's constant per-edge overhead.
+    protocol:
+        Registered protocol name (or
+        :class:`~repro.protocols.Protocol` descriptor) to run:
+        ``"hua-bc"`` (the paper's Algorithms 2–3, the default) or any
+        rival registered in :mod:`repro.protocols` (e.g. ``"cfp-bc"``).
+        The descriptor supplies the node factory, the engine capability
+        flags and the result extractor; the chosen name is recorded in
+        ``result.protocol``.
 
     Returns
     -------
@@ -273,10 +286,18 @@ def distributed_betweenness(
                 injector.tracer = tracer
         else:
             injector = FaultInjector(faults, arith=ctx, tracer=tracer)
-    node_factory = make_node_factory(
+    from repro.protocols import get_protocol
+
+    proto = get_protocol(protocol)
+    node_factory = proto.build_factory(
         root, ctx, config=config, telemetry=telemetry
     )
     if resilient:
+        if not proto.fault_wrappable:
+            raise ProtocolError(
+                "protocol {!r} opted out of the resilient transport "
+                "(fault_wrappable=False)".format(proto.name)
+            )
         from repro.faults.transport import (
             RESILIENT_CONGEST_FACTOR,
             make_resilient_factory,
@@ -296,32 +317,37 @@ def distributed_betweenness(
         engine=engine,
         frame_audit=frame_audit,
         faults=injector,
+        protocol=proto,
     )
     try:
         stats = simulator.run()
     except SimulationStalledError as stall:
-        nodes = _protocol_nodes(simulator, resilient)
+        nodes = _protocol_nodes(simulator, resilient, proto.node_class)
         result = _collect_partial(
-            graph, nodes, simulator.stats, ctx, root, stall
+            graph, nodes, simulator.stats, ctx, root, stall,
+            protocol=proto.name,
         )
         if telemetry is not None:
             telemetry.finalize_run(result)
         return result
-    nodes = _protocol_nodes(simulator, resilient)
-    result = _collect(graph, nodes, stats, ctx, root)
+    nodes = _protocol_nodes(simulator, resilient, proto.node_class)
+    if proto.extract is not None:
+        result = proto.extract(simulator, graph, ctx, root)
+    else:
+        result = _collect(graph, nodes, stats, ctx, root, protocol=proto.name)
     if telemetry is not None:
         telemetry.finalize_run(result)
     return result
 
 
 def _protocol_nodes(
-    simulator: Simulator, resilient: bool
+    simulator: Simulator, resilient: bool, node_class=BetweennessNode
 ) -> List[BetweennessNode]:
     """The protocol nodes of a run, unwrapped from any transport."""
     raw = simulator.nodes
     if resilient:
         raw = [getattr(node, "inner", node) for node in raw]
-    return [node for node in raw if isinstance(node, BetweennessNode)]
+    return [node for node in raw if isinstance(node, node_class)]
 
 
 def _collect(
@@ -330,6 +356,7 @@ def _collect(
     stats: SimulationStats,
     ctx: ArithmeticContext,
     root: int,
+    protocol: str = "hua-bc",
 ) -> DistributedBCResult:
     exact = isinstance(ctx, ExactContext)
     betweenness: Dict[int, float] = {}
@@ -380,6 +407,7 @@ def _collect(
         root=root,
         nodes=nodes,
         completeness=completeness,
+        protocol=protocol,
     )
 
 
@@ -390,6 +418,7 @@ def _collect_partial(
     ctx: ArithmeticContext,
     root: int,
     stall: SimulationStalledError,
+    protocol: str = "hua-bc",
 ) -> DistributedBCResult:
     """Graceful degradation: the bounded-partial result of a stalled run.
 
@@ -458,6 +487,7 @@ def _collect_partial(
         root=root,
         nodes=nodes,
         completeness=completeness,
+        protocol=protocol,
     )
 
 

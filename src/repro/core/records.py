@@ -2,18 +2,47 @@
 
 Algorithm 2 has every node v accumulate, for each source s, the tuple
 ``L_v ∋ (s, T_s, d(s, v), sigma_sv, P_s(v))`` — the BFS start time, the
-distance, the shortest-path count and the predecessor set.  That tuple
-is :class:`SourceRecord`; the per-node collection is the
-:class:`NodeLedger`.
+distance, the shortest-path count and the predecessor set.  The
+per-node collection is the :class:`NodeLedger`.
+
+The ledger is **array-backed**: one machine-int column per scalar field
+(source, T_s, d), object columns for sigma/psi, a byte column for the
+sent flag, and the predecessor sets packed CSR-style into a single flat
+int array with an offsets column.  A full ledger on an N-node graph is
+a dict plus a handful of flat buffers instead of N tracked Python
+objects holding N tuples — the buffers are invisible to the cyclic
+garbage collector, so full-graph runs no longer drown in GC scans of
+Θ(N²) ledger objects (the reason PR 1 had to pause the collector).
+
+Two access levels coexist:
+
+* **Row level** (hot paths): :meth:`NodeLedger.row_of` maps a source to
+  its row index (bound directly to ``dict.get`` — the hottest lookup in
+  the protocol, consulted on every BFS-wave delivery), and the public
+  column attributes (``dist_col``, ``sigma_col``, ``psi_col``, …) are
+  indexed by that row.
+* **Record level** (tests, analysis, compatibility):
+  :meth:`NodeLedger.get` and iteration yield :class:`LedgerRow` views —
+  lightweight two-slot proxies with the same attributes the old
+  per-record objects had (``source``, ``start_time``, ``dist``,
+  ``sigma``, ``preds``, ``psi``, ``sent``, ``sending_time``).
+  :class:`SourceRecord` remains as the detached value type accepted by
+  :meth:`NodeLedger.add`.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Dict, Iterator, List, Tuple
 
 
 class SourceRecord:
-    """One node's knowledge about one BFS source (a row of L_v)."""
+    """One node's knowledge about one BFS source (a detached row of L_v).
+
+    The ledger stores rows in columns, not as these objects; this class
+    survives as the value type for :meth:`NodeLedger.add` and for tests
+    or callers that want a free-standing record.
+    """
 
     __slots__ = ("source", "start_time", "dist", "sigma", "preds", "psi", "sent")
 
@@ -38,11 +67,6 @@ class SourceRecord:
         #: initialized lazily by the aggregation handler.
         self.psi: Any = None
         #: True once this node's scheduled Algorithm 3 send for s ran.
-        #: By the schedule, every BFS(s) descendant sends strictly
-        #: earlier and deliveries precede sends within a round — so a
-        #: sent record's psi (and hence delta_s·(v)) is final.  This is
-        #: what the fault pipeline's per-source completeness report is
-        #: computed from.
         self.sent = False
 
     def sending_time(self, diameter: int) -> int:
@@ -57,52 +81,203 @@ class SourceRecord:
         )
 
 
+class LedgerRow:
+    """A live view of one ledger row, API-compatible with SourceRecord.
+
+    Two slots, allocated on demand by :meth:`NodeLedger.get` and
+    iteration; reads and writes go straight through to the columns, so
+    a view is never stale.
+    """
+
+    __slots__ = ("_ledger", "_row")
+
+    def __init__(self, ledger: "NodeLedger", row: int):
+        self._ledger = ledger
+        self._row = row
+
+    @property
+    def source(self) -> int:
+        return self._ledger.source_col[self._row]
+
+    @property
+    def start_time(self) -> int:
+        return self._ledger.start_col[self._row]
+
+    @property
+    def dist(self) -> int:
+        return self._ledger.dist_col[self._row]
+
+    @property
+    def sigma(self) -> Any:
+        return self._ledger.sigma_col[self._row]
+
+    @sigma.setter
+    def sigma(self, value: Any) -> None:
+        self._ledger.sigma_col[self._row] = value
+
+    @property
+    def preds(self) -> Tuple[int, ...]:
+        return self._ledger.preds_at(self._row)
+
+    @property
+    def psi(self) -> Any:
+        return self._ledger.psi_col[self._row]
+
+    @psi.setter
+    def psi(self, value: Any) -> None:
+        self._ledger.psi_col[self._row] = value
+
+    @property
+    def sent(self) -> bool:
+        return bool(self._ledger.sent_col[self._row])
+
+    @sent.setter
+    def sent(self, value: bool) -> None:
+        self._ledger.sent_col[self._row] = 1 if value else 0
+
+    def sending_time(self, diameter: int) -> int:
+        """T_s(v) = T_s + D − d(s, v), the Algorithm 3 schedule offset."""
+        return self.start_time + diameter - self.dist
+
+    def detach(self) -> SourceRecord:
+        """A free-standing SourceRecord copy of this row."""
+        record = SourceRecord(
+            self.source, self.start_time, self.dist, self.sigma, self.preds
+        )
+        record.psi = self.psi
+        record.sent = self.sent
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            "SourceRecord(s={}, Ts={}, d={}, sigma={!r}, preds={})".format(
+                self.source, self.start_time, self.dist, self.sigma, self.preds
+            )
+        )
+
+
 class NodeLedger:
-    """The collection L_v of source records held by one node."""
+    """The collection L_v of source records held by one node.
+
+    Array-backed: parallel columns indexed by insertion order (row 0 is
+    the first source settled).  ``source_col``/``start_col``/``dist_col``
+    are machine-int arrays, ``sigma_col``/``psi_col`` are object lists
+    (LFloat or int), ``sent_col`` is a byte array, and the predecessor
+    sets live CSR-packed in a private flat buffer read back through
+    :meth:`preds_at`.
+    """
 
     def __init__(self, owner: int):
         self.owner = owner
-        self._records: Dict[int, SourceRecord] = {}
-        #: The record for ``source``, or None if not yet settled.  Bound
-        #: directly to ``dict.get``: this is the hottest lookup in the
-        #: protocol (every BFS-wave delivery consults it), and the bound
-        #: C method skips a Python-level frame per call.
-        self.get = self._records.get
+        self._index: Dict[int, int] = {}
+        self.source_col = array("q")
+        self.start_col = array("q")
+        self.dist_col = array("q")
+        self.sigma_col: List[Any] = []
+        self.psi_col: List[Any] = []
+        self.sent_col = bytearray()
+        self._pred_flat = array("q")
+        self._pred_off = array("q", [0])
+        #: The row index for ``source``, or None if not yet settled.
+        #: Bound directly to ``dict.get``: this is the hottest lookup in
+        #: the protocol (every BFS-wave delivery consults it), and the
+        #: bound C method skips a Python-level frame per call.
+        self.row_of = self._index.get
+
+    # ------------------------------------------------------------------
+    # pickling: the bound dict.get cannot be serialized; rebind on load.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("row_of", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.row_of = self._index.get
+
+    # ------------------------------------------------------------------
+    def add_row(
+        self,
+        source: int,
+        start_time: int,
+        dist: int,
+        sigma: Any,
+        preds: Tuple[int, ...],
+    ) -> int:
+        """Append a newly settled source row (must be new); returns it."""
+        index = self._index
+        if source in index:
+            raise KeyError(
+                "node {} already has a record for source {}".format(
+                    self.owner, source
+                )
+            )
+        row = len(index)
+        index[source] = row
+        self.source_col.append(source)
+        self.start_col.append(start_time)
+        self.dist_col.append(dist)
+        self.sigma_col.append(sigma)
+        self.psi_col.append(None)
+        self.sent_col.append(0)
+        self._pred_flat.extend(preds)
+        self._pred_off.append(len(self._pred_flat))
+        return row
 
     def add(self, record: SourceRecord) -> None:
         """Insert a newly settled source row (must be new)."""
-        if record.source in self._records:
-            raise KeyError(
-                "node {} already has a record for source {}".format(
-                    self.owner, record.source
-                )
-            )
-        self._records[record.source] = record
+        row = self.add_row(
+            record.source,
+            record.start_time,
+            record.dist,
+            record.sigma,
+            record.preds,
+        )
+        if record.psi is not None:
+            self.psi_col[row] = record.psi
+        if record.sent:
+            self.sent_col[row] = 1
+
+    def get(self, source: int, default=None):
+        """The :class:`LedgerRow` view for ``source``, or ``default``."""
+        row = self._index.get(source)
+        if row is None:
+            return default
+        return LedgerRow(self, row)
+
+    def preds_at(self, row: int) -> Tuple[int, ...]:
+        """P_s(v) for the source at ``row``, unpacked from the CSR buffer."""
+        offsets = self._pred_off
+        return tuple(self._pred_flat[offsets[row] : offsets[row + 1]])
 
     def __contains__(self, source: int) -> bool:
-        return source in self._records
+        return source in self._index
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._index)
 
-    def __iter__(self) -> Iterator[SourceRecord]:
-        return iter(self._records.values())
+    def __iter__(self) -> Iterator[LedgerRow]:
+        for row in range(len(self._index)):
+            yield LedgerRow(self, row)
 
     def sources(self) -> List[int]:
         """All settled sources, sorted."""
-        return sorted(self._records)
+        return sorted(self._index)
 
     def eccentricity(self) -> int:
         """max_s d(s, v) over settled sources (v's eccentricity once full)."""
-        return max((r.dist for r in self._records.values()), default=0)
+        dist_col = self.dist_col
+        return max(dist_col) if len(dist_col) else 0
 
     def max_start_time(self) -> int:
         """max_s T_s over settled sources."""
-        return max((r.start_time for r in self._records.values()), default=0)
+        start_col = self.start_col
+        return max(start_col) if len(start_col) else 0
 
     def distances(self) -> Dict[int, int]:
         """Map source -> d(s, v): this node's row of the APSP matrix."""
-        return {s: r.dist for s, r in self._records.items()}
+        dist_col = self.dist_col
+        return {s: dist_col[row] for s, row in self._index.items()}
 
     def predecessor_links(self) -> int:
         """Total predecessor pointers stored (Σ_s |P_s(v)|).
@@ -110,9 +285,9 @@ class NodeLedger:
         Bounded by N * deg(v): the dominant term of the node's local
         space, the distributed analogue of Brandes' O(N + M) footprint
         (here the *per-node* state is O(N * deg), i.e. O(M) amortized
-        per source across the network).
+        per source across the network).  O(1) off the CSR buffer.
         """
-        return sum(len(r.preds) for r in self._records.values())
+        return len(self._pred_flat)
 
     def storage_summary(self) -> Dict[str, int]:
         """Per-node space profile: records, predecessor links, fields.
@@ -120,8 +295,8 @@ class NodeLedger:
         ``fields`` counts the scalar slots (source, T_s, d, sigma) —
         4 per record — so total words ≈ fields + predecessor links.
         """
-        records = len(self._records)
-        links = self.predecessor_links()
+        records = len(self._index)
+        links = len(self._pred_flat)
         return {
             "records": records,
             "pred_links": links,
@@ -131,5 +306,19 @@ class NodeLedger:
 
     def __repr__(self) -> str:
         return "NodeLedger(owner={}, sources={})".format(
-            self.owner, len(self._records)
+            self.owner, len(self._index)
         )
+
+
+def ledger_storage_totals(ledgers) -> Dict[str, int]:
+    """Aggregate :meth:`NodeLedger.storage_summary` over many ledgers.
+
+    The network-wide space profile — what the telemetry gauges and the
+    ``repro report`` memory line show, and what the engine benchmark
+    records as peak ledger words.
+    """
+    totals = {"records": 0, "pred_links": 0, "fields": 0, "words": 0}
+    for ledger in ledgers:
+        for key, value in ledger.storage_summary().items():
+            totals[key] += value
+    return totals

@@ -56,7 +56,7 @@ from repro.core.messages import (
     TreeJoin,
     TreeWave,
 )
-from repro.core.records import NodeLedger, SourceRecord
+from repro.core.records import NodeLedger
 from repro.core.schedule import (
     census_schedule,
     dfs_token_schedule,
@@ -120,77 +120,77 @@ def _lf(m: int, e: int, L: int, mode: Rounding) -> LFloat:
     return LFloat(int(m), int(e), L, mode)
 
 
-def _rebuild_ledger(owner: int, records: Dict[int, SourceRecord]) -> NodeLedger:
+def _rebuild_ledger(state: Dict) -> NodeLedger:
     """Pickle helper: a materialized bulk ledger travels as a plain one."""
-    ledger = NodeLedger(owner)
-    ledger._records.update(records)
+    ledger = NodeLedger.__new__(NodeLedger)
+    ledger.__setstate__(state)
     return ledger
 
 
-class _BulkLedger(NodeLedger):
-    """A :class:`NodeLedger` whose records materialize on first access.
+#: NodeLedger state read by every accessor — index, columns and the CSR
+#: predecessor buffers.  Reading any of them on a not-yet-filled bulk
+#: ledger triggers the one-time materialization.
+_LAZY_ATTRS = frozenset(
+    (
+        "_index",
+        "row_of",
+        "source_col",
+        "start_col",
+        "dist_col",
+        "sigma_col",
+        "psi_col",
+        "sent_col",
+        "_pred_flat",
+        "_pred_off",
+    )
+)
 
-    The bulk engine holds every ledger row in shared arrays; building
-    Theta(N^2) :class:`SourceRecord` objects eagerly would cost more
-    than the whole vectorized run.  Each accessor materializes the
-    owner's rows (insertion order = ascending settle round, exactly as
-    the sweep engine inserted them) and then defers to the base class.
+
+class _BulkLedger(NodeLedger):
+    """A :class:`NodeLedger` whose rows materialize on first access.
+
+    The bulk engine holds every ledger row in shared plan arrays;
+    filling Theta(N^2) per-node ledger rows eagerly would cost more
+    than the whole vectorized run.  Any read of the index or a column —
+    directly or through a base-class accessor — triggers the one-time
+    fill, in ascending settle-round order exactly as the sweep engine
+    inserted them.
     """
 
-    def __init__(self, owner: int, fill: Callable[["_BulkLedger"], None]):
+    def __init__(
+        self,
+        owner: int,
+        fill: Callable[["_BulkLedger"], None],
+        summary: Optional[Callable[[], Dict[str, int]]] = None,
+    ):
         super().__init__(owner)
         self._fill: Optional[Callable[["_BulkLedger"], None]] = fill
-        self.get = self._lazy_get  # rebind the base class's bound dict.get
+        self._summary = summary
+
+    def __getattribute__(self, name):
+        if (
+            name in _LAZY_ATTRS
+            # __dict__ lookup, not attribute lookup: _fill is absent
+            # while the base __init__ seeds the empty columns.
+            and object.__getattribute__(self, "__dict__").get("_fill")
+            is not None
+        ):
+            object.__getattribute__(self, "_materialize")()
+        return object.__getattribute__(self, name)
 
     def _materialize(self) -> None:
         fill = self._fill
         if fill is not None:
             self._fill = None
             fill(self)
-            self.get = self._records.get
-
-    def _lazy_get(self, source, default=None):
-        self._materialize()
-        return self._records.get(source, default)
-
-    def add(self, record):
-        self._materialize()
-        return NodeLedger.add(self, record)
-
-    def __contains__(self, source):
-        self._materialize()
-        return NodeLedger.__contains__(self, source)
-
-    def __len__(self):
-        self._materialize()
-        return NodeLedger.__len__(self)
-
-    def __iter__(self):
-        self._materialize()
-        return NodeLedger.__iter__(self)
-
-    def sources(self):
-        self._materialize()
-        return NodeLedger.sources(self)
-
-    def eccentricity(self):
-        self._materialize()
-        return NodeLedger.eccentricity(self)
-
-    def max_start_time(self):
-        self._materialize()
-        return NodeLedger.max_start_time(self)
-
-    def distances(self):
-        self._materialize()
-        return NodeLedger.distances(self)
-
-    def predecessor_links(self):
-        self._materialize()
-        return NodeLedger.predecessor_links(self)
 
     def storage_summary(self):
-        self._materialize()
+        # The telemetry gauges ask every ledger for its footprint; a
+        # closed-form answer off the plan arrays keeps instrumented
+        # bulk runs from materializing Theta(N^2) rows just to be
+        # measured.
+        if self.__dict__.get("_fill") is not None and self._summary is not None:
+            return self._summary()
         return NodeLedger.storage_summary(self)
 
     def __reduce__(self):
@@ -198,7 +198,10 @@ class _BulkLedger(NodeLedger):
         # ledger is indistinguishable from a plain one, so ship that
         # (run_many's parallel mode pickles result nodes back).
         self._materialize()
-        return (_rebuild_ledger, (self.owner, self._records))
+        state = self.__getstate__()
+        state.pop("_fill", None)
+        state.pop("_summary", None)
+        return (_rebuild_ledger, (state,))
 
 
 class _Plan:
@@ -924,8 +927,23 @@ def _replay(sim, plan: _Plan) -> None:
 # ---------------------------------------------------------------------------
 # node back-fill
 # ---------------------------------------------------------------------------
+def _plan_storage_summary(plan: _Plan, v: int) -> Dict[str, int]:
+    """One node's NodeLedger.storage_summary(), straight off the plan."""
+    S = len(plan.src)
+    pairs = np.arange(S, dtype=np.int64) * plan.N + v
+    links = int(
+        (plan.pred_indptr[pairs + 1] - plan.pred_indptr[pairs]).sum()
+    )
+    return {
+        "records": S,
+        "pred_links": links,
+        "fields": 4 * S,
+        "words": 4 * S + links,
+    }
+
+
 def _fill_ledger(plan: _Plan, ledger: NodeLedger) -> None:
-    """Materialize one node's records, in ascending settle-round order."""
+    """Materialize one node's rows, in ascending settle-round order."""
     v = ledger.owner
     N = plan.N
     L = plan.L
@@ -933,21 +951,22 @@ def _fill_ledger(plan: _Plan, ledger: NodeLedger) -> None:
     pairs = np.arange(S, dtype=np.int64) * N + v
     dists = plan.dist_flat[pairs]
     order = np.argsort(plan.T + dists)
-    records = ledger._records
     src = plan.src
+    aggregate = plan.aggregate
+    psi_col = ledger.psi_col
+    sent_col = ledger.sent_col
     for s_i in order.tolist():
         p = s_i * N + v
         source = int(src[s_i])
         sigma = _lf(plan.sig_m[p], plan.sig_e[p], L, Rounding.CEIL)
         lo, hi = plan.pred_indptr[p], plan.pred_indptr[p + 1]
         preds = tuple(int(x) for x in plan.pred_rows[lo:hi])
-        record = SourceRecord(
+        row = ledger.add_row(
             source, int(plan.T[s_i]), int(dists[s_i]), sigma, preds
         )
-        if plan.aggregate:
-            record.psi = _lf(plan.psi_m[p], plan.psi_e[p], L, Rounding.FLOOR)
-            record.sent = source != v
-        records[source] = record
+        if aggregate:
+            psi_col[row] = _lf(plan.psi_m[p], plan.psi_e[p], L, Rounding.FLOOR)
+            sent_col[row] = 1 if source != v else 0
 
 
 def _populate_nodes(sim, plan: _Plan) -> None:
@@ -1030,7 +1049,9 @@ def _populate_nodes(sim, plan: _Plan) -> None:
         if node.telemetry is not None:
             node._phase_cursor = 4 if aggregate else 3
         ledger = _BulkLedger(
-            v, lambda led, _plan=plan: _fill_ledger(_plan, led)
+            v,
+            lambda led, _plan=plan: _fill_ledger(_plan, led),
+            lambda _plan=plan, _v=v: _plan_storage_summary(_plan, _v),
         )
         node.ledger = ledger
         counting.ledger = ledger

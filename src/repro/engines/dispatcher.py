@@ -111,6 +111,17 @@ def bulk_capability(simulator) -> Tuple[bool, str]:
     Returns ``(True, "")`` when capable, else ``(False, reason)`` with a
     human-readable reason for the first failed check.
     """
+    # The protocol registry is the first gate: the bulk engine encodes
+    # one specific send schedule, so only protocols that declare
+    # themselves bulk-capable (the stock hua-bc) may pass.  A rival
+    # protocol (e.g. cfp-bc) falls back by name; an unregistered custom
+    # node algorithm falls back via the node-class check below.
+    protocol = getattr(simulator, "protocol", None)
+    if protocol is not None and not protocol.bulk_capable:
+        return False, (
+            "protocol {!r} is not bulk-capable (the closed-form array "
+            "program encodes the stock schedule only)".format(protocol.name)
+        )
     if not numpy_available():
         return False, "numpy is not installed (pip install 'repro[fast]')"
     if simulator.faults is not None:
@@ -122,11 +133,14 @@ def bulk_capability(simulator) -> Tuple[bool, str]:
     from repro.arithmetic.context import LFloatArithmetic
     from repro.core.node import BetweennessNode
 
+    expected_class = (
+        protocol.node_class if protocol is not None else BetweennessNode
+    )
     roots = 0
     arith = None
     config = None
     for node in simulator.nodes:
-        if type(node) is not BetweennessNode:
+        if type(node) is not expected_class:
             return False, (
                 "node {} is a {}, not the stock BetweennessNode".format(
                     node.node_id, type(node).__name__

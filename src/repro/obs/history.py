@@ -15,7 +15,13 @@ Three record kinds share the ledger:
   exported repro-metrics-v1 rows);
 * ``bench_engine`` — one row of ``BENCH_engine.json`` (per family × N);
 * ``bench_faults`` — the fault-layer overhead/recovery gates of
-  ``BENCH_faults.json``.
+  ``BENCH_faults.json``;
+* ``bench_arena`` — one row of ``BENCH_arena.json`` (per protocol ×
+  family × N league-table entry).
+
+The registered protocol is part of every ``run`` record's config, so a
+``hua-bc`` run and a ``cfp-bc`` run over the same graph land under
+*different* content keys and never gate against each other.
 
 The regression gates (:func:`compare_payloads`) power ``repro bench
 compare``: structural metrics (rounds, billed bits, messages,
@@ -41,6 +47,7 @@ __all__ = [
     "HistoryLedger",
     "RegressionGates",
     "Violation",
+    "compare_bench_arena",
     "compare_bench_engine",
     "compare_bench_faults",
     "compare_payloads",
@@ -127,6 +134,7 @@ def entry_from_result(
     stats = result.stats
     cfg = dict(config or {})
     cfg.setdefault("arithmetic", getattr(result, "arithmetic", None))
+    cfg.setdefault("protocol", getattr(result, "protocol", "hua-bc"))
     graph_hash = graph_fingerprint(graph)
     engine = stats.engine or "unknown"
     entry = {
@@ -178,6 +186,7 @@ def entry_from_rows(
     cfg = {
         "strict": meta.get("strict"),
         "bit_budget": meta.get("bit_budget"),
+        "protocol": meta.get("protocol", "hua-bc"),
     }
     engine = meta.get("engine", "unknown")
     entry = {
@@ -300,6 +309,42 @@ class HistoryLedger:
                 "rounds", "identical_results", "bits", "messages",
                 "sweep_seconds", "event_seconds", "bulk_seconds",
                 "event_speedup", "bulk_speedup",
+            ):
+                if metric in row:
+                    entry[metric] = row[metric]
+            self.append(entry)
+            count += 1
+        return count
+
+    def ingest_bench_arena(
+        self, payload: Dict[str, Any], git_rev: Optional[str] = None
+    ) -> int:
+        """Append one record per BENCH_arena.json row; returns the count.
+
+        Arena rows are keyed by (protocol, family, n) so each protocol's
+        league-table entry accumulates its own trajectory.
+        """
+        arithmetic = payload.get("arithmetic")
+        count = 0
+        for row in payload.get("rows", ()):
+            ident = {
+                "benchmark": "protocol_arena",
+                "protocol": row.get("protocol"),
+                "family": row.get("family"),
+                "n": row.get("n"),
+                "arithmetic": arithmetic,
+            }
+            entry = {
+                "kind": "bench_arena",
+                "key": run_key(
+                    "bench", ident, row.get("engine", "auto"), git_rev
+                ),
+                "git_rev": git_rev,
+            }
+            entry.update(ident)
+            for metric in (
+                "engine", "rounds", "bits", "messages", "max_edge_bits",
+                "wall_seconds", "matches_brandes",
             ):
                 if metric in row:
                     entry[metric] = row[metric]
@@ -494,6 +539,78 @@ def compare_bench_engine(
     return violations, compared
 
 
+def compare_bench_arena(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    gates: RegressionGates = RegressionGates(),
+) -> Tuple[List[Violation], int]:
+    """Gate a fresh BENCH_arena payload against a baseline.
+
+    Rows are matched by (protocol, family, n).  Round/bit/message
+    totals are machine-independent facts of the protocol and must match
+    exactly; a row whose ``matches_brandes`` flag flips to False is a
+    correctness regression; wall clock gets the soft slowdown gate.
+    """
+    def rows_by_id(payload):
+        return {
+            (row.get("protocol"), row.get("family"), row.get("n")): row
+            for row in payload.get("rows", ())
+        }
+
+    base_rows = rows_by_id(baseline)
+    cur_rows = rows_by_id(current)
+    violations: List[Violation] = []
+    compared = 0
+    for ident in sorted(set(base_rows) & set(cur_rows)):
+        compared += 1
+        base, cur = base_rows[ident], cur_rows[ident]
+        label = "{}/{}-{}".format(*ident)
+        for key in _STRUCTURAL_KEYS:
+            if key in base and key in cur and base[key] != cur[key]:
+                violations.append(
+                    Violation(
+                        key,
+                        "{}: {} changed for an identical config: "
+                        "{} -> {}".format(label, key, base[key], cur[key]),
+                    )
+                )
+        if base.get("matches_brandes") and not cur.get(
+            "matches_brandes", True
+        ):
+            violations.append(
+                Violation(
+                    "identity",
+                    "{}: protocol no longer matches Brandes".format(label),
+                )
+            )
+        if not gates.check_wall:
+            continue
+        if base.get("wall_seconds") and cur.get("wall_seconds"):
+            ratio = cur["wall_seconds"] / base["wall_seconds"]
+            if ratio > gates.max_slowdown:
+                violations.append(
+                    Violation(
+                        "wall_seconds",
+                        "{}: slowed {:.2f}x over baseline "
+                        "({:.4f}s -> {:.4f}s; gate {:.2f}x)".format(
+                            label, ratio, base["wall_seconds"],
+                            cur["wall_seconds"], gates.max_slowdown,
+                        ),
+                        hard=False,
+                    )
+                )
+    for ident in sorted(set(base_rows) - set(cur_rows)):
+        violations.append(
+            Violation(
+                "coverage",
+                "{}/{}-{}: baseline row missing from the current "
+                "run".format(*ident),
+                hard=False,
+            )
+        )
+    return violations, compared
+
+
 def compare_bench_faults(
     baseline: Dict[str, Any],
     current: Dict[str, Any],
@@ -584,6 +701,8 @@ def compare_payloads(
         return compare_bench_engine(baseline, current, gates)
     if kind_b == "fault_layer":
         return compare_bench_faults(baseline, current, gates)
+    if kind_b == "protocol_arena":
+        return compare_bench_arena(baseline, current, gates)
     return (
         [Violation("schema", "unknown benchmark kind {!r}".format(kind_b))],
         0,

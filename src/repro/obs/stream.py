@@ -178,18 +178,26 @@ class TelemetryBus:
 def schedule_for_simulator(simulator):
     """The run's exact :class:`~repro.core.schedule.PhaseSchedule`, or None.
 
-    The closed-form schedule holds for the stock protocol envelope —
-    every node the standard :class:`~repro.core.node.BetweennessNode`
-    with one shared config and one root, no fault injection, a connected
-    graph.  (Unlike the bulk engine's probe this needs neither numpy nor
-    L-float arithmetic: round boundaries depend only on topology and
-    sources.)  Outside the envelope the estimator simply runs without a
-    total, reporting rounds instead of percentages.
+    The closed-form schedule holds inside a protocol envelope — every
+    node the exact class the run's registered protocol declares, one
+    shared config and one root, no fault injection, a connected graph.
+    Protocols publish their round-boundary oracle via
+    ``Protocol.schedule``; a protocol without one (or an unregistered
+    node algorithm) simply runs without a total, reporting rounds
+    instead of percentages.  (Unlike the bulk engine's probe this needs
+    neither numpy nor L-float arithmetic: round boundaries depend only
+    on topology and sources.)
     """
     from repro.core.node import BetweennessNode
 
     if simulator.faults is not None:
         return None
+    protocol = getattr(simulator, "protocol", None)
+    if protocol is not None and protocol.schedule is None:
+        return None
+    expected_class = (
+        protocol.node_class if protocol is not None else BetweennessNode
+    )
     nodes = simulator.nodes
     if len(nodes) < 2:
         return None
@@ -197,7 +205,7 @@ def schedule_for_simulator(simulator):
     root = None
     roots = 0
     for node in nodes:
-        if type(node) is not BetweennessNode:
+        if type(node) is not expected_class:
             return None
         if config is None:
             config = node.config
@@ -213,10 +221,14 @@ def schedule_for_simulator(simulator):
         not 0 <= s < n for s in config.sources
     ):
         return None
-    from repro.core.schedule import expected_phase_schedule
+    if protocol is not None:
+        oracle = protocol.schedule
+    else:
+        from repro.core.schedule import expected_phase_schedule
 
+        oracle = expected_phase_schedule
     try:
-        return expected_phase_schedule(
+        return oracle(
             simulator.graph,
             root=root,
             sources=config.sources,

@@ -185,6 +185,12 @@ class Telemetry:
             "strict": simulator.strict,
             "bit_budget": simulator.bit_budget,
         }
+        # Which registered protocol the run executes (None for
+        # unregistered custom node algorithms): runs of rival protocols
+        # must never be comparable rows in exported metrics.
+        protocol = getattr(simulator, "protocol", None)
+        if protocol is not None:
+            self._meta["protocol"] = protocol.name
         # The dispatcher's decision (requested engine, probe reason)
         # rides along so exported runs explain *why* this engine ran.
         requested = getattr(simulator, "engine_requested", None)
@@ -312,6 +318,23 @@ class Telemetry:
         diameter = getattr(result, "diameter", None)
         if diameter is not None:
             self.registry.gauge("run.diameter").set(diameter)
+        nodes = getattr(result, "nodes", None)
+        if nodes:
+            # Network-wide ledger footprint (the state the protocol
+            # accumulated): the measurable form of the array-ledger
+            # refactor's memory claim, and the ``repro report`` memory
+            # line.  Summing storage_summary() is O(N) — the summaries
+            # are O(1) off the column lengths.
+            from repro.core.records import ledger_storage_totals
+
+            ledgers = (
+                node.ledger for node in nodes if hasattr(node, "ledger")
+            )
+            totals = ledger_storage_totals(ledgers)
+            gauge = self.registry.gauge
+            gauge("ledger.records").set(totals["records"])
+            gauge("ledger.pred_links").set(totals["pred_links"])
+            gauge("ledger.words").set(totals["words"])
         for monitor in self.monitors:
             monitor.finalize(result)
         self.flush_stream()

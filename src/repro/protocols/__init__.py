@@ -1,0 +1,107 @@
+"""Protocol registry: named, pluggable distributed-BC protocols.
+
+The registry maps a protocol name to its :class:`Protocol` descriptor
+(see :mod:`repro.protocols.base` for the layer contract).  The
+runtime — simulator, pipeline, engine dispatcher, fault layer,
+telemetry, CLI — resolves protocols exclusively through
+:func:`get_protocol`, so registering a descriptor here is the single
+step needed to make a new protocol runnable everywhere:
+
+    from repro.protocols import Protocol, register
+
+    register(Protocol(name="my-bc", node_class=MyNode, ...))
+
+Then ``distributed_betweenness(graph, protocol="my-bc")`` or
+``repro bc --protocol my-bc`` runs it, the dispatcher routes it to a
+capable engine, the chaos harness can wrap it, and history run keys
+record which protocol produced each entry.
+
+Two protocols ship built-in: the paper's ``hua-bc`` (the default) and
+the Crescenzi–Fraigniaud–Paz rival ``cfp-bc``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ReproError
+from repro.protocols.base import Protocol
+from repro.protocols.cfp import CFP_BC, CfpAccumulationPhase, CfpNode
+from repro.protocols.hua import HUA_BC
+
+#: The protocol assumed when none is named — the paper's own.
+DEFAULT_PROTOCOL = "hua-bc"
+
+_REGISTRY: Dict[str, Protocol] = {}
+
+
+class UnknownProtocolError(ReproError):
+    """Raised when a protocol name is not in the registry."""
+
+
+def register(protocol: Protocol) -> Protocol:
+    """Add a protocol to the registry (name must be unused)."""
+    if protocol.name in _REGISTRY:
+        raise ValueError(
+            "protocol {!r} is already registered".format(protocol.name)
+        )
+    _REGISTRY[protocol.name] = protocol
+    return protocol
+
+
+def get_protocol(protocol: Union[str, Protocol, None]) -> Protocol:
+    """Resolve a name (or pass a descriptor through) to a Protocol.
+
+    ``None`` resolves to the default ``hua-bc``; an unregistered name
+    raises :class:`UnknownProtocolError` listing what is available.
+    """
+    if protocol is None:
+        return _REGISTRY[DEFAULT_PROTOCOL]
+    if isinstance(protocol, Protocol):
+        return protocol
+    found = _REGISTRY.get(protocol)
+    if found is None:
+        raise UnknownProtocolError(
+            "unknown protocol {!r} (registered: {})".format(
+                protocol, ", ".join(sorted(_REGISTRY))
+            )
+        )
+    return found
+
+
+def protocol_names() -> List[str]:
+    """All registered protocol names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def protocol_of_node(node) -> Optional[Protocol]:
+    """The registered protocol whose exact node class built ``node``.
+
+    Exact-type match, mirroring the dispatcher's stock-node probe; a
+    subclass of a registered node class is a *different* protocol (or
+    none) until registered itself.  Transport wrappers are not
+    unwrapped here — pass the inner node.
+    """
+    cls = type(node)
+    for protocol in _REGISTRY.values():
+        if protocol.node_class is cls:
+            return protocol
+    return None
+
+
+register(HUA_BC)
+register(CFP_BC)
+
+__all__ = [
+    "CFP_BC",
+    "CfpAccumulationPhase",
+    "CfpNode",
+    "DEFAULT_PROTOCOL",
+    "HUA_BC",
+    "Protocol",
+    "UnknownProtocolError",
+    "get_protocol",
+    "protocol_names",
+    "protocol_of_node",
+    "register",
+]

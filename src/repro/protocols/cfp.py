@@ -1,0 +1,123 @@
+"""The rival protocol: Crescenzi–Fraigniaud–Paz, registered as ``cfp-bc``.
+
+"Simple and Fast Distributed Computation of Betweenness Centrality"
+(arXiv 2001.08108) builds, like the stock protocol, on pipelined
+BFS explorations over a Holzer–Wattenhofer-style APSP phase, and then
+accumulates Brandes dependencies backward over the shortest-path DAGs.
+Where the two differ is the *timing discipline* of the backward phase:
+
+* ``hua-bc`` (Algorithm 3, line 3) schedules node u's send for source
+  s at ``base + T_s + D − d(s, u)`` — early-started sources aggregate
+  first, and collision-freedom is Lemma 4 arithmetic over the DFS
+  token's separation invariant.
+* ``cfp-bc`` *time-reverses* the forward phase: u sends for s at
+
+      ``base + (T_max + D) − (T_s + d(s, u))``
+
+  i.e. exactly as far from the end of the accumulation window as the
+  forward settle round ``T_s + d(s, u)`` was from its start.  The
+  last-settled pair accumulates first, mirroring how CFP plays the
+  recorded BFS transcript backwards.  Collision-freedom needs no
+  schedule arithmetic at all: the counting phase settles at most one
+  fresh source per node per round (machine-checked on every run), so
+  the reversed rounds are distinct per node by construction.
+
+Both schedules are affine in the settle round with unit slope, so in
+either protocol a node's shortest-path descendants send exactly one
+round before it and the psi recursion (Eq. 14) telescopes identically;
+the same ``AggStart``/``AggValue`` wire messages carry it, the billed
+bits go through the same exact codec, and the horizon
+``base + T_max + D`` bounds both windows.  The arena benchmark
+confirms the consequence empirically: identical rounds, billed bits
+and BC output, while the *temporal distribution* of aggregation
+traffic is reversed (the trace diff pinpoints the first divergent
+round).  The protocol is a rival where it matters for the refactor:
+every runtime layer must carry it through factory, dispatch, faults,
+telemetry and CLI without special-casing the stock node.
+
+The forward machinery (spanning tree, census, DFS-token-staggered BFS
+waves, completion convergecast) is shared with the stock protocol by
+subclassing — both papers assume the same APSP substrate, and the
+shared code keeps the comparison honest: any observed difference is
+the backward schedule, not an incidental reimplementation.
+"""
+
+from __future__ import annotations
+
+from repro.arithmetic.context import ArithmeticContext
+from repro.core.aggregation import AggregationPhase
+from repro.core.config import ProtocolConfig
+from repro.core.node import BetweennessNode, make_node_factory
+from repro.core.schedule import expected_phase_schedule
+from repro.protocols.base import Protocol
+from repro.wire import PROTOCOL_MESSAGES
+
+
+class CfpAccumulationPhase(AggregationPhase):
+    """Algorithm 3's state machine with the CFP time-reversed schedule."""
+
+    schedule_invariant = "forward-settle uniqueness"
+
+    def _send_round_for(self, start_time: int, dist: int) -> int:
+        """Reverse of the forward settle round within the window.
+
+        ``base + (T_max + D) − (T_s + d(s, u))`` — distinct per node
+        because forward settle rounds are (one fresh source per node
+        per round), and one larger on the s-ward neighbor, so
+        descendants still deliver exactly one round before u sends.
+        """
+        return (
+            self.base
+            + self.max_start_time
+            + self.diameter
+            - start_time
+            - dist
+        )
+
+
+class CfpNode(BetweennessNode):
+    """A network node running the CFP variant of the protocol.
+
+    Inherits the full dispatch loop, wake registration and output
+    surface; only the aggregation phase class differs.
+    """
+
+    aggregation_class = CfpAccumulationPhase
+
+
+def make_cfp_factory(
+    root: int,
+    arith: ArithmeticContext,
+    config: ProtocolConfig = ProtocolConfig(),
+    telemetry=None,
+):
+    """The node factory for ``cfp-bc`` runs."""
+    return make_node_factory(
+        root, arith, config=config, telemetry=telemetry, node_class=CfpNode
+    )
+
+
+CFP_BC = Protocol(
+    name="cfp-bc",
+    title="Crescenzi–Fraigniaud–Paz time-reversed accumulation",
+    paper=(
+        "Crescenzi, Fraigniaud, Paz — Simple and Fast Distributed "
+        "Computation of Betweenness Centrality (arXiv 2001.08108)"
+    ),
+    node_class=CfpNode,
+    messages=PROTOCOL_MESSAGES,
+    build_factory=make_cfp_factory,
+    # The bulk engine's closed-form array program encodes the stock
+    # send schedule; cfp-bc runs on the sweep/event engines.
+    bulk_capable=False,
+    fault_wrappable=True,
+    # The phase boundaries (census, result, base, horizon) are shared
+    # with the stock protocol — only the traffic inside the aggregation
+    # window is re-timed — so the closed-form schedule applies as-is.
+    schedule=expected_phase_schedule,
+    notes=(
+        "Backward phase sends for source s at base + (T_max + D) − "
+        "(T_s + d(s, u)): the forward transcript replayed backwards. "
+        "Same rounds, bits and BC as hua-bc; reversed traffic timing."
+    ),
+)

@@ -1,0 +1,39 @@
+"""The stock protocol: Hua et al., registered as ``hua-bc``.
+
+Algorithm 2 (pipelined BFS counting behind a DFS token) plus
+Algorithm 3 (the collision-free scheduled dependency aggregation,
+line 3's ``T_s(u) = T_s + D − d(s, u)``).  This is the protocol the
+whole repository reproduces; registering it — instead of leaving it as
+the assumed default — is what lets every runtime layer above
+:class:`~repro.congest.node.NodeAlgorithm` stay protocol-agnostic.
+
+It is the only protocol the bulk engine's closed-form array program
+reproduces, so it alone carries ``bulk_capable=True``.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import BetweennessNode, make_node_factory
+from repro.core.schedule import expected_phase_schedule
+from repro.protocols.base import Protocol
+from repro.wire import PROTOCOL_MESSAGES
+
+HUA_BC = Protocol(
+    name="hua-bc",
+    title="Hua et al. pipelined-BFS counting + scheduled aggregation",
+    paper=(
+        "Hua, Fan, Qian, Jin, Huang, Zhou, Xiahou — Nearly Optimal "
+        "Distributed Algorithm for Computing Betweenness Centrality "
+        "(ICDCS 2016), Algorithms 2–3"
+    ),
+    node_class=BetweennessNode,
+    messages=PROTOCOL_MESSAGES,
+    build_factory=make_node_factory,
+    bulk_capable=True,
+    fault_wrappable=True,
+    schedule=expected_phase_schedule,
+    notes=(
+        "Backward phase sends for source s at base + T_s + D − d(s, u): "
+        "early-started sources aggregate first."
+    ),
+)
