@@ -6,13 +6,19 @@ from repro.analysis.complexity import (
     power_law_exponent,
     rounds_per_node,
 )
-from repro.analysis.runner import ExperimentRunner, RunRecord, run_many
+from repro.analysis.runner import (
+    ExperimentRunner,
+    RunRecord,
+    default_max_workers,
+    run_many,
+)
 from repro.analysis.tables import format_value, print_table, render_table
 
 __all__ = [
     "ExperimentRunner",
     "LinearFit",
     "RunRecord",
+    "default_max_workers",
     "run_many",
     "format_value",
     "linear_fit",

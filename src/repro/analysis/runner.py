@@ -81,6 +81,10 @@ class ExperimentRunner:
     engine:
         Simulator engine passed to every run (``"event"`` by default,
         matching :func:`repro.core.distributed_betweenness`).
+    workers, partitioner:
+        Shard-runtime knobs forwarded to every run (meaningful with
+        ``engine="shard"`` only).  See :func:`run_many` for how the
+        pool interacts with sharded runs.
     protocol:
         Registered protocol name passed to every run (None means the
         registry default, ``hua-bc``).  Kept as a name rather than a
@@ -100,9 +104,13 @@ class ExperimentRunner:
         engine: str = "auto",
         collect_phases: bool = False,
         protocol: Optional[str] = None,
+        workers: int = 1,
+        partitioner: str = "greedy",
     ):
         self.arithmetic = arithmetic
         self.engine = engine
+        self.workers = workers
+        self.partitioner = partitioner
         self.protocol = protocol
         self.metrics = metrics or {}
         self.collect_phases = collect_phases
@@ -117,6 +125,8 @@ class ExperimentRunner:
                 graph,
                 arithmetic=self.arithmetic,
                 engine=self.engine,
+                workers=self.workers,
+                partitioner=self.partitioner,
                 telemetry=telemetry,
                 protocol=self.protocol,
             )
@@ -183,6 +193,8 @@ class ExperimentRunner:
             collect_phases=self.collect_phases,
             stream_dir=stream_dir,
             protocol=self.protocol,
+            workers=self.workers,
+            partitioner=self.partitioner,
         )
         self.records.extend(out)
         return out
@@ -253,7 +265,20 @@ def _phase_columns(telemetry) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 # multiprocessing fan-out
 # ----------------------------------------------------------------------
-_Task = Tuple[str, Graph, str, str, bool, Optional[str], Optional[str]]
+def default_max_workers() -> int:
+    """The pool width :func:`run_many` uses when ``processes`` is None.
+
+    One worker per CPU (``os.cpu_count()``), floored at 1.  Exposed so
+    callers sizing a grid — or splitting the machine between the pool
+    and the shard runtime's own worker processes — can see the default
+    instead of re-deriving it.
+    """
+    return os.cpu_count() or 1
+
+
+_Task = Tuple[
+    str, Graph, str, str, bool, Optional[str], Optional[str], int, str
+]
 
 
 def _run_one(task: _Task) -> RunRecord:
@@ -265,7 +290,7 @@ def _run_one(task: _Task) -> RunRecord:
     """
     (
         family, graph, arithmetic, engine, collect_phases, stream_path,
-        protocol,
+        protocol, workers, partitioner,
     ) = task
     if stream_path is not None:
         from repro.obs import Telemetry
@@ -284,6 +309,8 @@ def _run_one(task: _Task) -> RunRecord:
         graph,
         arithmetic=arithmetic,
         engine=engine,
+        workers=workers,
+        partitioner=partitioner,
         telemetry=telemetry,
         protocol=protocol,
     )
@@ -314,6 +341,8 @@ def run_many(
     collect_phases: bool = False,
     stream_dir: Optional[PathLike] = None,
     protocol: Optional[str] = None,
+    workers: int = 1,
+    partitioner: str = "greedy",
 ) -> List[RunRecord]:
     """Run the protocol on every graph, fanning out across processes.
 
@@ -332,10 +361,11 @@ def run_many(
     arithmetic, engine:
         Passed to :func:`repro.core.distributed_betweenness`.
     processes:
-        Worker count; defaults to ``os.cpu_count()`` capped at the
-        number of graphs.  ``processes <= 1`` (or a pool that cannot be
-        created, e.g. on restricted platforms) runs serially in this
-        process — same records, no pool.
+        Worker count; defaults to :func:`default_max_workers`
+        (``os.cpu_count()``) capped at the number of graphs.
+        ``processes <= 1`` (or a pool that cannot be created, e.g. on
+        restricted platforms) runs serially in this process — same
+        records, no pool.
     collect_phases:
         Add ``phase_<name>_rounds`` extras per record (phase spans are
         plain numbers, so they cross the pool boundary untouched).
@@ -347,9 +377,35 @@ def run_many(
     protocol:
         Registered protocol name for every run (None → registry
         default).  A string, not a descriptor, so tasks stay picklable.
+    workers, partitioner:
+        Shard-runtime knobs forwarded to every run (meaningful with
+        ``engine="shard"`` only).  The grid pool and the shard runtime
+        both spawn processes, so combining them would oversubscribe
+        the machine W-fold: when the pool actually fans out, sharded
+        runs are forced back to ``workers=1`` (with a warning) — one
+        process per run, parallelism across the grid.  A serial grid
+        (``processes <= 1``) keeps the requested worker count.
     """
     if stream_dir is not None:
         os.makedirs(stream_dir, exist_ok=True)
+    graphs = list(graphs)
+    if not graphs:
+        return []
+    if processes is None:
+        processes = default_max_workers()
+    processes = min(processes, len(graphs))
+    if engine == "shard" and workers != 1 and processes > 1:
+        import warnings
+
+        warnings.warn(
+            "run_many: engine='shard' with workers={} inside a {}-process "
+            "pool would oversubscribe the machine; forcing workers=1 "
+            "(run serially with processes=1 to keep the shard "
+            "fan-out)".format(workers, processes),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = 1
     tasks = [
         (
             family,
@@ -368,14 +424,11 @@ def run_many(
                 else None
             ),
             protocol,
+            workers,
+            partitioner,
         )
         for index, graph in enumerate(graphs)
     ]
-    if not tasks:
-        return []
-    if processes is None:
-        processes = os.cpu_count() or 1
-    processes = min(processes, len(tasks))
     if processes <= 1:
         return [_run_one(task) for task in tasks]
     try:

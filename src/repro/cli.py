@@ -117,6 +117,15 @@ def _add_graph_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--file", help="edge-list file (overrides --graph)")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "must be a positive int, got {}".format(text)
+        )
+    return value
+
+
 def _add_protocol_options(parser: argparse.ArgumentParser) -> None:
     from repro.protocols import DEFAULT_PROTOCOL, protocol_names
 
@@ -140,12 +149,28 @@ def _add_protocol_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=("auto", "bulk", "event", "sweep"),
+        choices=("auto", "bulk", "event", "sweep", "shard"),
         default="auto",
         help="simulator engine: auto (default) picks the fastest capable "
         "backend — the vectorized numpy bulk engine when available, else "
         "event-driven active-node scheduling; sweep is the lockstep "
-        "reference",
+        "reference; shard is the multi-process runtime (see --workers), "
+        "never auto-selected",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for --engine shard (default 1; ignored "
+        "by the single-process engines)",
+    )
+    parser.add_argument(
+        "--partitioner",
+        choices=("block", "greedy"),
+        default="greedy",
+        help="node partitioner for --engine shard: greedy (default) "
+        "grows shards along BFS frontiers to cut fewer edges; block "
+        "slices node ids into contiguous ranges",
     )
     parser.add_argument(
         "--frame-audit",
@@ -191,6 +216,8 @@ def cmd_bc(args: argparse.Namespace) -> int:
         root=args.root,
         strict=not args.lenient,
         engine=args.engine,
+        workers=args.workers,
+        partitioner=args.partitioner,
         frame_audit=args.frame_audit,
         telemetry=telemetry,
         protocol=args.protocol,
@@ -231,6 +258,8 @@ def _cmd_bc_weighted(args: argparse.Namespace, graph) -> int:
         root=args.root,
         strict=not args.lenient,
         engine=args.engine,
+        workers=args.workers,
+        partitioner=args.partitioner,
         frame_audit=args.frame_audit,
     )
     ranked = sorted(
@@ -263,6 +292,8 @@ def cmd_apsp(args: argparse.Namespace) -> int:
         root=args.root,
         strict=not args.lenient,
         engine=args.engine,
+        workers=args.workers,
+        partitioner=args.partitioner,
         frame_audit=args.frame_audit,
         protocol=args.protocol,
     )
@@ -287,6 +318,8 @@ def cmd_stress(args: argparse.Namespace) -> int:
         arithmetic=args.arithmetic,
         root=args.root,
         engine=args.engine,
+        workers=args.workers,
+        partitioner=args.partitioner,
         frame_audit=args.frame_audit,
         protocol=args.protocol,
     )
@@ -310,6 +343,8 @@ def cmd_sample(args: argparse.Namespace) -> int:
         arithmetic=args.arithmetic,
         root=args.root,
         engine=args.engine,
+        workers=args.workers,
+        partitioner=args.partitioner,
         frame_audit=args.frame_audit,
         protocol=args.protocol,
     )
@@ -398,6 +433,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         strict=not args.lenient,
         tracer=tracer,
         engine=args.engine,
+        workers=args.workers,
+        partitioner=args.partitioner,
         frame_audit=args.frame_audit,
         protocol=args.protocol,
     )
@@ -646,6 +683,8 @@ def cmd_report(args: argparse.Namespace) -> int:
             tracer=tracer,
             telemetry=telemetry,
             engine=args.engine,
+            workers=args.workers,
+            partitioner=args.partitioner,
             frame_audit=args.frame_audit,
             protocol=args.protocol,
         )
@@ -828,6 +867,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         root=args.root,
         strict=not args.lenient,
         engine=args.engine,
+        workers=args.workers,
+        partitioner=args.partitioner,
         faults=plan,
         resilient=not args.raw,
         protocol=args.protocol,
@@ -903,6 +944,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     root=args.root,
                     strict=not args.lenient,
                     engine=args.engine,
+                    workers=args.workers,
+                    partitioner=args.partitioner,
                     protocol=args.protocol,
                 )
                 mismatched = [
@@ -1127,6 +1170,8 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
                 ledger.ingest_bench_faults(payload, git_rev=rev)
             elif payload.get("benchmark") == "protocol_arena":
                 ledger.ingest_bench_arena(payload, git_rev=rev)
+            elif payload.get("benchmark") == "shard_runtime":
+                ledger.ingest_bench_shard(payload, git_rev=rev)
         print("current payload recorded in {}".format(args.ledger))
     if violations and args.warn_only:
         print("(warn-only: exiting 0 despite violations)")
@@ -1152,6 +1197,8 @@ def cmd_bench_ingest(args: argparse.Namespace) -> int:
             total += ledger.ingest_bench_faults(payload, git_rev=rev)
         elif kind == "protocol_arena":
             total += ledger.ingest_bench_arena(payload, git_rev=rev)
+        elif kind == "shard_runtime":
+            total += ledger.ingest_bench_shard(payload, git_rev=rev)
         else:
             print(
                 "skipping {}: unknown benchmark kind {!r}".format(path, kind),
@@ -1446,7 +1493,8 @@ def build_parser() -> argparse.ArgumentParser:
         "compare",
         help="gate a fresh BENCH_*.json against a committed baseline",
         description="Compare two benchmark payloads (BENCH_engine.json, "
-        "BENCH_faults.json or BENCH_arena.json). Structural metrics "
+        "BENCH_faults.json, BENCH_arena.json or BENCH_shard.json). "
+        "Structural metrics "
         "(rounds, bits, messages, result identity) must match exactly; "
         "wall-clock metrics get configurable ratio gates. Exits 1 on "
         "any violation unless --warn-only.",

@@ -80,10 +80,12 @@ DEFAULT_CONGEST_FACTOR = 32
 #: Recognized execution engines (see the module docstring).  ``"auto"``
 #: resolves to the fastest capable engine at construction time via
 #: :func:`repro.engines.resolve_engine`; ``"bulk"`` is the vectorized
-#: numpy backend (raises
+#: numpy backend and ``"shard"`` the multi-process runtime of
+#: :mod:`repro.shard` (both raise
 #: :class:`~repro.exceptions.EngineCapabilityError` when the run falls
-#: outside its envelope).
-ENGINES = ("sweep", "event", "bulk", "auto")
+#: outside their envelope).  ``"auto"`` never resolves to ``"shard"``
+#: — multi-process execution is an explicit opt-in.
+ENGINES = ("sweep", "event", "bulk", "shard", "auto")
 
 
 class Simulator:
@@ -167,6 +169,15 @@ class Simulator:
         :meth:`run`); opt in for long single-process event-engine
         sweeps, where skipping collections over the message churn is
         still worth ~15% at N = 800.
+    workers:
+        Number of worker processes for ``engine="shard"`` (ignored by
+        the single-process engines).  Shard 0 runs inside this process;
+        the rest are forked children exchanging encoded wire frames per
+        round.  See ``docs/sharding.md``.
+    partitioner:
+        Node-partitioning strategy for ``engine="shard"``: ``"greedy"``
+        (default, graph-growing edge-cut minimizer) or ``"block"``
+        (contiguous id ranges).
     """
 
     def __init__(
@@ -185,6 +196,8 @@ class Simulator:
         faults=None,
         protocol=None,
         gc_pause: bool = False,
+        workers: int = 1,
+        partitioner: str = "greedy",
     ):
         if engine not in ENGINES:
             raise ValueError(
@@ -192,6 +205,24 @@ class Simulator:
                     engine, ENGINES
                 )
             )
+        if not isinstance(workers, int) or workers < 1:
+            raise ValueError(
+                "workers must be a positive int, got {!r}".format(workers)
+            )
+        # Worker count and partitioner apply to engine="shard" only;
+        # they are validated here (and the partitioner name by
+        # repro.shard.partition at run time) so a typo fails fast even
+        # when the run resolves to a single-process engine.
+        from repro.shard.partition import PARTITIONERS
+
+        if partitioner not in PARTITIONERS:
+            raise ValueError(
+                "unknown partitioner {!r} (expected one of {})".format(
+                    partitioner, PARTITIONERS
+                )
+            )
+        self.workers = workers
+        self.partitioner = partitioner
         self.graph = graph
         self.strict = strict
         self.engine = engine
@@ -285,7 +316,7 @@ class Simulator:
         # repro.congest stays importable without the engines package.
         self.engine_requested = engine
         self.engine_decision = None
-        if engine in ("auto", "bulk"):
+        if engine in ("auto", "bulk", "shard"):
             from repro.engines import decide_engine
 
             self.engine_decision = decide_engine(engine, self)
@@ -325,6 +356,10 @@ class Simulator:
                 from repro.engines.bulk import run_bulk
 
                 stats = run_bulk(self)
+            elif self.engine == "shard":
+                from repro.shard.runtime import run_shard
+
+                stats = run_shard(self)
             else:
                 stats = self._run_sweep()
         finally:

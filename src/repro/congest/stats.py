@@ -69,9 +69,17 @@ class SimulationStats:
         #: when the run carried a fault plan; None on clean runs.
         self.faults = None
         #: the engine that actually executed the run ("sweep"/"event"/
-        #: "bulk") — the resolved name, never "auto".  Deliberately kept
-        #: out of :meth:`summary` so summaries stay engine-identical.
+        #: "bulk"/"shard") — the resolved name, never "auto".
+        #: Deliberately kept out of :meth:`summary` so summaries stay
+        #: engine-identical.
         self.engine: Optional[str] = None
+        #: shard-runtime breakdown (worker count, partitioner, edge cut,
+        #: cross-shard traffic, per-shard ledger words) when the run
+        #: executed under ``engine="shard"``; None otherwise.  Like
+        #: :attr:`engine`, kept out of :meth:`summary` — the numbers it
+        #: splits out (cross-shard bits/messages) are a *view* of the
+        #: same exact totals, not extra traffic.
+        self.shard = None
 
     def start_round(self):
         self.round_series.append((0, 0))

@@ -167,6 +167,8 @@ def distributed_betweenness(
     faults=None,
     resilient: bool = False,
     protocol=None,
+    workers: int = 1,
+    partitioner: str = "greedy",
 ) -> DistributedBCResult:
     """Compute every node's betweenness with the paper's algorithm.
 
@@ -249,6 +251,17 @@ def distributed_betweenness(
         The descriptor supplies the node factory, the engine capability
         flags and the result extractor; the chosen name is recorded in
         ``result.protocol``.
+    workers:
+        Worker-process count for ``engine="shard"`` — the node set is
+        partitioned across processes and only cross-shard traffic
+        crosses process boundaries (as encoded wire frames), so rounds,
+        bits, messages and betweenness stay bit-identical to the
+        single-process engines.  Ignored by every other engine;
+        ``"auto"`` never resolves to the sharded runtime.  See
+        ``docs/sharding.md``.
+    partitioner:
+        Shard partitioning strategy (``"greedy"`` or ``"block"``); see
+        :mod:`repro.shard.partition`.
 
     Returns
     -------
@@ -318,6 +331,8 @@ def distributed_betweenness(
         frame_audit=frame_audit,
         faults=injector,
         protocol=proto,
+        workers=workers,
+        partitioner=partitioner,
     )
     try:
         stats = simulator.run()

@@ -70,6 +70,8 @@ def distributed_weighted_betweenness(
     engine: str = "auto",
     telemetry=None,
     frame_audit: bool = False,
+    workers: int = 1,
+    partitioner: str = "greedy",
 ) -> WeightedBCResult:
     """Betweenness of every node of a weighted graph, distributively.
 
@@ -106,6 +108,8 @@ def distributed_weighted_betweenness(
         engine=engine,
         telemetry=telemetry,
         frame_audit=frame_audit,
+        workers=workers,
+        partitioner=partitioner,
     )
     real = sorted(subdivision.real_nodes)
     betweenness = {v: run.betweenness[v] for v in real}

@@ -23,6 +23,7 @@ from repro.engines.dispatcher import (
     EngineDecision,
     bulk_capability,
     decide_engine,
+    shard_capability,
     numpy_available,
     reset_probe,
     resolve_engine,
@@ -33,6 +34,7 @@ __all__ = [
     "EngineDecision",
     "bulk_capability",
     "decide_engine",
+    "shard_capability",
     "numpy_available",
     "reset_probe",
     "resolve_engine",

@@ -182,6 +182,67 @@ def bulk_capability(simulator) -> Tuple[bool, str]:
     return True, ""
 
 
+def shard_capability(simulator) -> Tuple[bool, str]:
+    """Probe whether the sharded multi-process runtime can run ``simulator``.
+
+    The shard runtime forks workers (node factories are closures, so
+    the pre-built nodes must be inherited copy-on-write), collects
+    results over pipes, and reconciles node state back into this
+    process at run end.  That reconciliation is defined for the
+    :class:`~repro.core.node.BetweennessNode` surface (ledger, sent
+    sources, aggregation/counting outputs) — which both registered
+    protocols share — and cannot replay per-send hooks (tracers, send
+    monitors) that fire inside child processes.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False, (
+            "the 'fork' start method is unavailable on this platform "
+            "(workers must inherit the pre-built nodes)"
+        )
+    if simulator.graph.num_nodes < 1:
+        return False, "sharding needs at least one node"
+    if simulator.tracer is not None:
+        return False, (
+            "a tracer records per-delivery events inside worker "
+            "processes, where they would be lost"
+        )
+    telemetry = simulator.telemetry
+    if telemetry is not None and getattr(telemetry, "wants_sends", False):
+        return False, (
+            "a send-level monitor observes messages inside worker "
+            "processes, where its state would be lost"
+        )
+    faults = simulator.faults
+    if faults is not None and getattr(faults, "tracer", None) is not None:
+        return False, (
+            "the fault injector carries a tracer; its per-fault records "
+            "would be lost inside worker processes"
+        )
+    from repro.core.node import BetweennessNode
+
+    config = None
+    for node in simulator.nodes:
+        inner = getattr(node, "inner", node)
+        if not isinstance(inner, BetweennessNode):
+            return False, (
+                "node {} is a {}; run-end state reconciliation is "
+                "defined for the BetweennessNode surface only".format(
+                    node.node_id, type(inner).__name__
+                )
+            )
+        if config is None:
+            config = inner.config
+    if config is not None and not config.aggregate:
+        return False, (
+            "counting-only runs (distributed APSP) keep their distance "
+            "ledgers sharded across workers; the single-process result "
+            "surface cannot be reassembled"
+        )
+    return True, ""
+
+
 def decide_engine(requested: str, simulator) -> EngineDecision:
     """Resolve ``"auto"`` (or validate ``"bulk"``) against the probes.
 
@@ -192,6 +253,17 @@ def decide_engine(requested: str, simulator) -> EngineDecision:
     """
     if requested in ("sweep", "event"):
         return EngineDecision(requested, requested, "explicitly requested")
+    if requested == "shard":
+        # Never auto-selected: multi-process execution is an explicit
+        # opt-in (it forks the interpreter), so "shard" only validates.
+        capable, reason = shard_capability(simulator)
+        if not capable:
+            raise EngineCapabilityError("shard", reason)
+        return EngineDecision(
+            "shard",
+            "shard",
+            "explicitly requested ({} workers)".format(simulator.workers),
+        )
     capable, reason = bulk_capability(simulator)
     if requested == "bulk":
         if not capable:

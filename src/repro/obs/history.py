@@ -17,7 +17,9 @@ Three record kinds share the ledger:
 * ``bench_faults`` — the fault-layer overhead/recovery gates of
   ``BENCH_faults.json``;
 * ``bench_arena`` — one row of ``BENCH_arena.json`` (per protocol ×
-  family × N league-table entry).
+  family × N league-table entry);
+* ``bench_shard`` — one row of ``BENCH_shard.json`` (per family × N ×
+  protocol × worker-count sharding configuration).
 
 The registered protocol is part of every ``run`` record's config, so a
 ``hua-bc`` run and a ``cfp-bc`` run over the same graph land under
@@ -50,6 +52,7 @@ __all__ = [
     "compare_bench_arena",
     "compare_bench_engine",
     "compare_bench_faults",
+    "compare_bench_shard",
     "compare_payloads",
     "entry_from_result",
     "entry_from_rows",
@@ -153,6 +156,11 @@ def entry_from_result(
         "max_edge_bits": stats.max_edge_bits_per_round,
         "diameter": getattr(result, "diameter", None),
     }
+    # Worker count is recorded for provenance but deliberately kept out
+    # of the hashed config: a sharded run is bit-identical to the
+    # single-process one, so W must not fork the content key.
+    shard = getattr(stats, "shard", None)
+    entry["workers"] = shard["workers"] if shard else 1
     if wall_seconds is not None:
         entry["wall_seconds"] = round(wall_seconds, 6)
     return entry
@@ -401,6 +409,45 @@ class HistoryLedger:
                     )
                 }
             )
+            self.append(entry)
+            count += 1
+        return count
+
+    def ingest_bench_shard(
+        self, payload: Dict[str, Any], git_rev: Optional[str] = None
+    ) -> int:
+        """Append one record per BENCH_shard.json row; returns the count.
+
+        Rows are keyed by (family, n, protocol, workers, partitioner) so
+        each sharding configuration accumulates its own trajectory.
+        """
+        arithmetic = payload.get("arithmetic")
+        count = 0
+        for row in payload.get("rows", ()):
+            ident = {
+                "benchmark": "shard_runtime",
+                "family": row.get("family"),
+                "n": row.get("n"),
+                "protocol": row.get("protocol"),
+                "workers": row.get("workers"),
+                "partitioner": row.get("partitioner"),
+                "arithmetic": arithmetic,
+            }
+            entry = {
+                "kind": "bench_shard",
+                "key": run_key("bench", ident, "shard", git_rev),
+                "git_rev": git_rev,
+            }
+            entry.update(ident)
+            for metric in (
+                "rounds", "bits", "messages", "identical_results",
+                "edge_cut", "cross_bits", "cross_messages",
+                "max_shard_ledger_words",
+                "event_seconds", "shard_seconds", "shard_cpu_seconds",
+                "projected_speedup",
+            ):
+                if metric in row:
+                    entry[metric] = row[metric]
             self.append(entry)
             count += 1
         return count
@@ -678,6 +725,115 @@ def compare_bench_faults(
     return violations, compared
 
 
+_SHARD_STRUCTURAL_KEYS = (
+    "rounds", "bits", "messages", "edge_cut", "cross_bits",
+    "cross_messages",
+)
+
+
+def compare_bench_shard(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    gates: RegressionGates = RegressionGates(),
+) -> Tuple[List[Violation], int]:
+    """Gate a fresh BENCH_shard payload against a baseline.
+
+    Rows are matched by (family, n, protocol, workers, partitioner).
+    Everything the wire determines — rounds, billed bits, messages,
+    the partition's edge cut and cross-shard traffic, and the
+    identical-to-event verdict — is a hard machine-independent gate;
+    wall-clock and projected-speedup figures get the usual soft ratio
+    gates (and are skipped entirely under ``check_wall=False``, the
+    right setting for this repo's single-core CI runners).
+    """
+    def rows_by_id(payload):
+        return {
+            (
+                row.get("family"), row.get("n"), row.get("protocol"),
+                row.get("workers"), row.get("partitioner"),
+            ): row
+            for row in payload.get("rows", ())
+        }
+
+    base_rows = rows_by_id(baseline)
+    cur_rows = rows_by_id(current)
+    violations: List[Violation] = []
+    compared = 0
+    for ident in sorted(
+        set(base_rows) & set(cur_rows), key=lambda k: tuple(map(str, k))
+    ):
+        compared += 1
+        base, cur = base_rows[ident], cur_rows[ident]
+        label = "{}-{}/{} W={} {}".format(*ident)
+        for key in _SHARD_STRUCTURAL_KEYS:
+            if key in base and key in cur and base[key] != cur[key]:
+                violations.append(
+                    Violation(
+                        key,
+                        "{}: {} changed for an identical config: "
+                        "{} -> {}".format(label, key, base[key], cur[key]),
+                    )
+                )
+        if base.get("identical_results") and not cur.get(
+            "identical_results", True
+        ):
+            violations.append(
+                Violation(
+                    "identity",
+                    "{}: sharded run no longer bit-identical to the "
+                    "event engine".format(label),
+                )
+            )
+        if not gates.check_wall:
+            continue
+        if (
+            "projected_speedup" in base
+            and "projected_speedup" in cur
+        ):
+            floor = base["projected_speedup"] * (1.0 - gates.max_speedup_drop)
+            if cur["projected_speedup"] < floor:
+                violations.append(
+                    Violation(
+                        "projected_speedup",
+                        "{}: projected speedup dropped {:.0%}+: "
+                        "{:.2f}x -> {:.2f}x (floor {:.2f}x)".format(
+                            label, gates.max_speedup_drop,
+                            base["projected_speedup"],
+                            cur["projected_speedup"], floor,
+                        ),
+                        hard=False,
+                    )
+                )
+        for key in ("event_seconds", "shard_seconds"):
+            if key not in base or key not in cur or not base[key]:
+                continue
+            ratio = cur[key] / base[key]
+            if ratio > gates.max_slowdown:
+                violations.append(
+                    Violation(
+                        key,
+                        "{}: {} slowed {:.2f}x over baseline "
+                        "({:.4f}s -> {:.4f}s; gate {:.2f}x)".format(
+                            label, key, ratio, base[key], cur[key],
+                            gates.max_slowdown,
+                        ),
+                        hard=False,
+                    )
+                )
+    for ident in sorted(
+        set(base_rows) - set(cur_rows), key=lambda k: tuple(map(str, k))
+    ):
+        violations.append(
+            Violation(
+                "coverage",
+                "{}-{}/{} W={} {}: baseline row missing from the "
+                "current run".format(*ident),
+                hard=False,
+            )
+        )
+    return violations, compared
+
+
 def compare_payloads(
     baseline: Dict[str, Any],
     current: Dict[str, Any],
@@ -703,6 +859,8 @@ def compare_payloads(
         return compare_bench_faults(baseline, current, gates)
     if kind_b == "protocol_arena":
         return compare_bench_arena(baseline, current, gates)
+    if kind_b == "shard_runtime":
+        return compare_bench_shard(baseline, current, gates)
     return (
         [Violation("schema", "unknown benchmark kind {!r}".format(kind_b))],
         0,

@@ -278,6 +278,23 @@ class Telemetry:
             # as a gauge so exported metrics carry the chaos profile.
             for name, value in faults.as_dict().items():
                 gauge("faults.{}".format(name)).set(value)
+        shard = getattr(stats, "shard", None)
+        if shard is not None:
+            # Sharded runs split the exact totals by process boundary:
+            # cross-shard bits/messages are a view of the same billed
+            # traffic (run.bits is unchanged), and per-shard ledger
+            # words document the memory the partition keeps off any
+            # single process.
+            gauge("shard.workers").set(shard["workers"])
+            gauge("shard.edge_cut").set(shard["edge_cut"])
+            gauge("shard.cross_messages").set(shard["cross_messages"])
+            gauge("shard.cross_bits").set(shard["cross_bits"])
+            for entry in shard["per_shard"]:
+                prefix = "shard.{}".format(entry["shard"])
+                gauge("{}.nodes".format(prefix)).set(entry["nodes"])
+                gauge("{}.ledger_words".format(prefix)).set(
+                    entry["ledger_words"]
+                )
 
     # ------------------------------------------------------------------
     # protocol hooks

@@ -1,0 +1,27 @@
+"""Sharded multi-process CONGEST runtime.
+
+``repro.shard`` partitions the node set across worker processes and
+runs each shard with the event-engine inner loop, exchanging only
+cross-shard traffic per round as encoded wire frames over
+``multiprocessing`` pipes.  See ``docs/sharding.md`` for the wire
+batching format, the barrier protocol and the fault semantics.
+
+Public surface:
+
+* :func:`repro.shard.partition.partition_nodes` / ``edge_cut`` — the
+  block and greedy edge-cut partitioners.
+* :func:`repro.shard.frames.encode_shard_frame` /
+  ``decode_shard_frame`` — the per-(src, dst) shard-frame batch codec.
+* :func:`repro.shard.runtime.run_shard` — the parent coordinator,
+  invoked by ``Simulator(engine="shard", workers=W)``.
+"""
+
+from repro.shard.partition import edge_cut, partition_nodes
+from repro.shard.frames import decode_shard_frame, encode_shard_frame
+
+__all__ = [
+    "edge_cut",
+    "partition_nodes",
+    "encode_shard_frame",
+    "decode_shard_frame",
+]

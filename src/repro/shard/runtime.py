@@ -1,0 +1,1034 @@
+"""The sharded multi-process round-synchronous runtime.
+
+``run_shard(simulator)`` executes a run whose node set has been
+partitioned across ``simulator.workers`` processes.  Shard 0 runs
+inside the coordinator (parent) process — so the protocol root's
+telemetry phase hooks stay in-process — and shards ``1..W-1`` run in
+forked workers connected by ``multiprocessing`` pipes.  ``fork`` is
+required (node factories are closures; forked children inherit the
+pre-built node objects copy-on-write), which the dispatcher's
+``shard_capability`` probe enforces.
+
+Each worker drives its shard's nodes with a faithful copy of the event
+engine's inner loop (wake heaps, passive-message deferral, crash
+filtering, fault pipeline).  The coordinator replicates the event
+engine's *outer* loop decision for decision — which round to process,
+when to fast-forward idle stretches, when to declare termination,
+stalling, or the round limit — from per-round worker reports, so a
+sharded run is **bit-identical** to ``engine="event"``: same rounds,
+same bits, same messages, same worst edge, same betweenness.
+
+Cross-shard traffic travels as encoded wire frames batched per
+(src shard, dst shard) per round (:mod:`repro.shard.frames`), decoded
+through :mod:`repro.wire` on arrival.  See ``docs/sharding.md`` for
+the full barrier protocol and the fault/kill semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from operator import itemgetter
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.congest.node import Inbox, RoundContext
+from repro.congest.stats import SimulationStats
+from repro.exceptions import (
+    CongestViolationError,
+    SimulationNotTerminatedError,
+    SimulationStalledError,
+)
+from repro.shard.frames import decode_shard_frame, encode_shard_frame
+from repro.shard.partition import edge_cut, partition_nodes
+
+
+def _unwrap(node):
+    """The protocol node behind an optional transport wrapper."""
+    return getattr(node, "inner", node)
+
+
+def _shard_dead_round(plan, members) -> Optional[int]:
+    """First round from which *every* member is permanently crashed.
+
+    ``None`` unless each member has a permanent crash window — the
+    "kill a whole worker process" scenario.  Deterministically
+    computable from the plan by every process, so coordinator and
+    worker agree on the shard's death round without negotiation.
+    """
+    if plan is None:
+        return None
+    worst = 0
+    for v in members:
+        starts = [
+            w.start for w in plan.crashes if w.node == v and w.end is None
+        ]
+        if not starts:
+            return None
+        worst = max(worst, min(starts))
+    return worst
+
+
+class _ShardWorker:
+    """One shard's event-engine inner loop (runs in parent or child)."""
+
+    def __init__(self, sim, shard_id, assignment, shards, dead_round):
+        self.sim = sim
+        self.shard_id = shard_id
+        self.assignment = assignment
+        self.members = shards[shard_id]
+        self.dead_round = dead_round
+        self.arith = getattr(_unwrap(sim.nodes[0]), "arith", None)
+        # Local event-engine state.  In the parent this aliases the
+        # simulator's own (unused by the coordinator); in a forked child
+        # it is the inherited copy.
+        self.in_flight: Dict[int, List[Tuple[int, Any]]] = {}
+        self.future: List[Tuple[int, int, int, int, int, Any]] = []
+        self._fseq = 0
+        self.edge_load: Dict[Tuple[int, int], List[int]] = {}
+        self.edge_frames: Dict[Tuple[int, int], List[Any]] = {}
+        # Cross-shard records generated this round, keyed by dst shard.
+        self._outbox: Dict[int, List[Tuple[int, int, int, Any]]] = {}
+        self.cross_messages = 0
+        self.cross_bits = 0
+
+    # ------------------------------------------------------------------
+    def process_round(self, round_number: int, frames) -> Dict[str, Any]:
+        """Run one synchronous round over this shard; return the report."""
+        sim = self.sim
+        nodes = sim.nodes
+        deferred = sim._deferred
+        has_filter = sim._has_wake_filter
+        in_flight = self.in_flight
+        self.in_flight = {}
+        # 1. Ingest cross-shard batches.  Fresh records (due == send
+        # round + 1) interleave with local fresh sends sender-sorted —
+        # reproducing the single-process invariant that inboxes are
+        # sender-sorted by construction; future records (delays,
+        # duplicates) join the local future heap keyed so pop order
+        # matches the global engine's (due, global seq) order.
+        touched: Set[int] = set()
+        for src_shard, send_round, word, bits, opaque in frames:
+            for sender, receiver, due, message in decode_shard_frame(
+                word, bits, opaque, send_round, sim.wire, self.arith
+            ):
+                if due == send_round + 1:
+                    bucket = in_flight.get(receiver)
+                    if bucket is None:
+                        in_flight[receiver] = [(sender, message)]
+                    else:
+                        bucket.append((sender, message))
+                        touched.add(receiver)
+                else:
+                    self._fseq += 1
+                    heapq.heappush(
+                        self.future,
+                        (due, send_round, sender, self._fseq, receiver,
+                         message),
+                    )
+        by_sender = itemgetter(0)
+        for receiver in touched:
+            # Stable: per-sender runs are contiguous within one source
+            # list and a sender lives in exactly one shard.
+            in_flight[receiver].sort(key=by_sender)
+        # 2. Mature local futures due this round (appended after fresh
+        # arrivals, exactly like Simulator._mature_futures).
+        future = self.future
+        while future and future[0][0] <= round_number:
+            _due, _sr, sender, _seq, target, message = heapq.heappop(future)
+            bucket = in_flight.get(target)
+            if bucket is None:
+                in_flight[target] = [(sender, message)]
+            else:
+                bucket.append((sender, message))
+        # 3. Delivery with the wake filter (event-engine semantics).
+        receivers: Set[int] = set()
+        for target, arrivals in in_flight.items():
+            box = deferred[target]
+            if box is None:
+                deferred[target] = arrivals
+            else:
+                box.extend(arrivals)
+            if has_filter[target]:
+                wakes = nodes[target].message_wakes
+                for sender, message in arrivals:
+                    if wakes(sender, message):
+                        receivers.add(target)
+                        break
+            else:
+                receivers.add(target)
+        # 4. Active set (local nodes only — wakes are registered by
+        # local nodes and arrivals are routed here by the coordinator).
+        if round_number == 0:
+            active: List[int] = list(self.members)
+        else:
+            heap = sim._wake_heap
+            if heap and heap[0][0] <= round_number:
+                woken: Set[int] = set()
+                while heap and heap[0][0] <= round_number:
+                    _, node_id = heapq.heappop(heap)
+                    sim._wake_pending[node_id].discard(round_number)
+                    woken.add(node_id)
+                woken.update(receivers)
+                active = sorted(woken)
+            else:
+                active = sorted(receivers)
+        faults = sim.faults
+        if faults is not None and active:
+            alive: List[int] = []
+            for node_id in active:
+                if faults.node_crashed(node_id, round_number):
+                    faults.note_crash_skip(node_id, round_number)
+                    crash_end = faults.crash_end_after(node_id, round_number)
+                    if crash_end is not None:
+                        sim._register_wake(node_id, crash_end)
+                else:
+                    alive.append(node_id)
+            active = alive
+        # 5. Step.
+        done_changes: List[Tuple[int, bool]] = []
+        if active:
+            inboxes: Dict[int, Inbox] = {}
+            for node_id in active:
+                box = deferred[node_id]
+                if box is not None:
+                    inboxes[node_id] = box
+                    deferred[node_id] = None
+            self._step(round_number, inboxes, active, done_changes)
+        # 6. Report.
+        edge_load = self.edge_load
+        edges = [
+            (key[0], key[1], load[0], load[1])
+            for key, load in edge_load.items()
+        ]
+        if edge_load:
+            if sim.frame_audit:
+                sim._audit_frames(round_number, edge_load, self.edge_frames)
+                self.edge_frames.clear()
+            edge_load.clear()
+        outbox = {}
+        fresh_next = bool(self.in_flight)
+        for dst, records in self._outbox.items():
+            word, bits, opaque = encode_shard_frame(
+                records, round_number, sim.wire
+            )
+            has_fresh = False
+            n_future = 0
+            min_due: Optional[int] = None
+            for _s, _r, due, _m in records:
+                if due == round_number + 1:
+                    has_fresh = True
+                else:
+                    n_future += 1
+                    if min_due is None or due < min_due:
+                        min_due = due
+            outbox[dst] = (word, bits, opaque, has_fresh, n_future, min_due)
+        self._outbox = {}
+        report: Dict[str, Any] = {
+            "edges": edges,
+            "done_changes": done_changes,
+            "min_wake": sim._wake_heap[0][0] if sim._wake_heap else None,
+            "future_len": len(self.future),
+            "min_future": self.future[0][0] if self.future else None,
+            "fresh_next": fresh_next,
+            "last_progress": (
+                faults.last_progress_round if faults is not None else 0
+            ),
+            "outbox": outbox,
+        }
+        if (
+            self.dead_round is not None
+            and round_number >= self.dead_round
+        ):
+            # Whole-shard kill: every member is permanently crashed from
+            # here on.  Ship everything the coordinator needs to stand
+            # in for this shard (residual wakes drive the round/stall
+            # cadence; ledger rows allow a later partial collection)
+            # and let the worker exit.
+            report["shard_dead"] = self._death_payload()
+        return report
+
+    # ------------------------------------------------------------------
+    def _step(self, round_number, inboxes, node_ids, done_changes) -> None:
+        """One round over ``node_ids`` — Simulator._step adapted to route
+        remote sends into the outbox instead of local in-flight lists."""
+        sim = self.sim
+        edge_load = self.edge_load
+        edge_load_get = edge_load.get
+        wire = sim.wire
+        budget = sim.bit_budget if sim.strict else None
+        frames = self.edge_frames if sim.frame_audit else None
+        nodes = sim.nodes
+        faults = sim.faults
+        in_flight = self.in_flight
+        in_flight_get = in_flight.get
+        inboxes_get = inboxes.get
+        assignment = self.assignment
+        my_shard = self.shard_id
+        outbox = self._outbox
+        empty_inbox: Inbox = []
+        for node_id in node_ids:
+            node = nodes[node_id]
+            was_done = node.done
+            ctx = RoundContext(node_id, round_number, node.neighbors)
+            if round_number == 0:
+                node.on_start(ctx)
+            node.on_round(ctx, inboxes_get(node_id, empty_inbox))
+            for target, message in ctx.drain():
+                bits = message.bit_size(wire)
+                key = (node_id, target)
+                load = edge_load_get(key)
+                if load is None:
+                    edge_load[key] = [1, bits]
+                    total = bits
+                else:
+                    load[0] += 1
+                    total = load[1] = load[1] + bits
+                if budget is not None and total > budget:
+                    raise CongestViolationError(
+                        round_number, node_id, target, total, budget
+                    )
+                if frames is not None:
+                    frame = frames.get(key)
+                    if frame is None:
+                        frames[key] = [message]
+                    else:
+                        frame.append(message)
+                remote = assignment[target] != my_shard
+                if remote:
+                    self.cross_messages += 1
+                    self.cross_bits += bits
+                if faults is None:
+                    outcomes = ((round_number + 1, message),)
+                else:
+                    outcomes = faults.deliveries(
+                        round_number, node_id, target, message
+                    )
+                for due, delivered in outcomes:
+                    if remote:
+                        dst = assignment[target]
+                        records = outbox.get(dst)
+                        entry = (node_id, target, due, delivered)
+                        if records is None:
+                            outbox[dst] = [entry]
+                        else:
+                            records.append(entry)
+                    elif due == round_number + 1:
+                        bucket = in_flight_get(target)
+                        if bucket is None:
+                            in_flight[target] = [(node_id, delivered)]
+                        else:
+                            bucket.append((node_id, delivered))
+                    else:
+                        self._fseq += 1
+                        heapq.heappush(
+                            self.future,
+                            (due, round_number, node_id, self._fseq,
+                             target, delivered),
+                        )
+            if ctx._wakes is not None:
+                for wake_round in ctx.drain_wakes():
+                    sim._register_wake(node_id, wake_round)
+            if node.done != was_done:
+                done_changes.append((node_id, node.done))
+
+    # ------------------------------------------------------------------
+    # run-end extraction
+    # ------------------------------------------------------------------
+    def _fault_payload(self):
+        faults = self.sim.faults
+        if faults is None:
+            return None
+        stats = faults.stats
+        return {
+            "counters": {
+                name: getattr(stats, name)
+                for name in (
+                    "dropped", "duplicated", "delayed",
+                    "corrupted_detected", "corrupted_undetected",
+                    "crash_dropped", "link_dropped", "crash_rounds",
+                )
+            },
+            "recoveries": list(stats.recoveries),
+            "seen_crashed": dict(faults._seen_crashed),
+        }
+
+    def _common_reply(self) -> Dict[str, Any]:
+        from repro.core.records import ledger_storage_totals
+
+        ledgers = []
+        for v in self.members:
+            node = _unwrap(self.sim.nodes[v])
+            ledger = getattr(node, "ledger", None)
+            if ledger is not None:
+                ledgers.append(ledger)
+        return {
+            "faults": self._fault_payload(),
+            "cross_messages": self.cross_messages,
+            "cross_bits": self.cross_bits,
+            "ledger_words": ledger_storage_totals(ledgers)["words"],
+        }
+
+    def finish_reply(self) -> Dict[str, Any]:
+        """Per-node protocol outputs for the clean-termination path."""
+        reply = self._common_reply()
+        extracts = []
+        for v in self.members:
+            node = self.sim.nodes[v]
+            inner = _unwrap(node)
+            agg = getattr(inner, "aggregation", None)
+            counting = getattr(inner, "counting", None)
+            extracts.append((
+                v,
+                getattr(agg, "betweenness_raw", None),
+                getattr(agg, "diameter", None),
+                getattr(counting, "own_start_time", None),
+                node.done,
+            ))
+        reply["extracts"] = extracts
+        return reply
+
+    def stall_sent_sources(self) -> Dict[int, frozenset]:
+        return {
+            v: _unwrap(self.sim.nodes[v]).sent_sources()
+            for v in self.members
+        }
+
+    def partial_reply(self, complete_set) -> Dict[str, Any]:
+        """Per-node partial outputs for the stalled-run path."""
+        reply = self._common_reply()
+        extracts = []
+        for v in self.members:
+            node = self.sim.nodes[v]
+            inner = _unwrap(node)
+            agg = getattr(inner, "aggregation", None)
+            counting = getattr(inner, "counting", None)
+            extracts.append((
+                v,
+                inner.partial_betweenness_raw(complete_set),
+                inner.sent_sources(),
+                getattr(agg, "diameter", None),
+                getattr(counting, "own_start_time", None),
+                node.done,
+            ))
+        reply["extracts"] = extracts
+        return reply
+
+    def _death_payload(self) -> Dict[str, Any]:
+        """State handover when the whole shard is permanently crashed."""
+        sim = self.sim
+        nodes = []
+        for v in self.members:
+            node = sim.nodes[v]
+            inner = _unwrap(node)
+            agg = getattr(inner, "aggregation", None)
+            counting = getattr(inner, "counting", None)
+            ledger = getattr(inner, "ledger", None)
+            rows = []
+            if ledger is not None:
+                source_col = ledger.source_col
+                sigma_col = ledger.sigma_col
+                psi_col = ledger.psi_col
+                for row in range(len(ledger)):
+                    if psi_col[row] is not None:
+                        rows.append(
+                            (source_col[row], sigma_col[row], psi_col[row])
+                        )
+            nodes.append({
+                "node": v,
+                "rows": rows,
+                "sent": inner.sent_sources(),
+                "diameter": getattr(agg, "diameter", None),
+                "start": getattr(counting, "own_start_time", None),
+                "done": node.done,
+            })
+        payload = self._common_reply()
+        payload["nodes"] = nodes
+        payload["residue"] = sorted(sim._wake_heap)
+        return payload
+
+
+def _child_main(conn, worker) -> None:
+    """Command loop of a forked shard worker."""
+    try:
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "round":
+                report = worker.process_round(command[1], command[2])
+                conn.send(report)
+                if "shard_dead" in report:
+                    break
+            elif op == "stall":
+                conn.send(worker.stall_sent_sources())
+            elif op == "partial":
+                conn.send(worker.partial_reply(command[1]))
+                break
+            elif op == "finish":
+                conn.send(worker.finish_reply())
+                break
+            elif op == "die":
+                break
+    except BaseException as exc:  # ship the failure to the coordinator
+        try:
+            conn.send({"error": exc})
+        except Exception:
+            try:
+                conn.send({
+                    "error": RuntimeError(
+                        "{}: {}".format(type(exc).__name__, exc)
+                    )
+                })
+            except Exception:
+                pass
+    finally:
+        try:
+            conn.close()
+        finally:
+            # Skip inherited atexit/finalizers — this process shares the
+            # parent's descriptors and buffers via fork.
+            os._exit(0)
+
+
+class _Coordinator:
+    """The parent-side outer loop replicating ``Simulator._run_event``."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.stats: SimulationStats = sim.stats
+        self.workers = sim.workers
+        self.partitioner = sim.partitioner
+        root = 0
+        proto_node = _unwrap(sim.nodes[0]) if sim.nodes else None
+        for node in sim.nodes:
+            inner = _unwrap(node)
+            tree = getattr(inner, "tree", None)
+            if tree is not None and getattr(tree, "is_root", False):
+                root = inner.node_id
+                break
+        self.assignment, self.shards = partition_nodes(
+            sim.graph, self.workers, kind=self.partitioner, root=root
+        )
+        self.n_shards = len(self.shards)
+        self.cut_edges = edge_cut(sim.graph, self.assignment)
+        plan = sim.faults.plan if sim.faults is not None else None
+        self.plan = plan
+        self.dead_rounds = [
+            _shard_dead_round(plan, members) for members in self.shards
+        ]
+        self.arith = getattr(proto_node, "arith", None)
+        self.config = getattr(proto_node, "config", None)
+        n = len(sim.nodes)
+        self.done = bytearray(1 if node.done else 0 for node in sim.nodes)
+        self.done_count = sum(self.done)
+        self.n = n
+        # Per-shard liveness and last-report state.
+        self.alive = [True] * self.n_shards
+        self.min_wake: List[Optional[int]] = [None] * self.n_shards
+        self.future_len = [0] * self.n_shards
+        self.min_future: List[Optional[int]] = [None] * self.n_shards
+        self.pending_frames: List[list] = [[] for _ in range(self.n_shards)]
+        self.pending_future_len = [0] * self.n_shards
+        self.pending_min_due: List[Optional[int]] = [None] * self.n_shards
+        self.fresh_next = False
+        self.last_progress = 0
+        # Dead-shard handover state.
+        self.residue: List[Tuple[int, int]] = []  # heap of (round, node)
+        self.dead_seen: Set[int] = set()
+        self.dead_payloads: Dict[int, Dict[str, Any]] = {}
+        self.merged_fault_payloads: List[Dict[str, Any]] = []
+        self.cross_messages = 0
+        self.cross_bits = 0
+        self.ledger_words = [0] * self.n_shards
+        self.children: List[Tuple[int, Any, Any]] = []  # (shard, conn, proc)
+        self.worker0: Optional[_ShardWorker] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        import multiprocessing
+
+        sim = self.sim
+        ctx = multiprocessing.get_context("fork")
+        self.worker0 = _ShardWorker(
+            sim, 0, self.assignment, self.shards, self.dead_rounds[0]
+        )
+        for shard in range(1, self.n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            worker = _ShardWorker(
+                sim, shard, self.assignment, self.shards,
+                self.dead_rounds[shard],
+            )
+            proc = ctx.Process(
+                target=_child_main,
+                args=(child_conn, worker),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.children.append((shard, parent_conn, proc))
+
+    def shutdown(self, notify: bool = True) -> None:
+        for shard, conn, proc in self.children:
+            if notify and self.alive[shard]:
+                try:
+                    conn.send(("die",))
+                except (BrokenPipeError, OSError):
+                    pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for _shard, _conn, proc in self.children:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+    def _global_min_future(self) -> Optional[int]:
+        best: Optional[int] = None
+        for value in self.min_future:
+            if value is not None and (best is None or value < best):
+                best = value
+        for value in self.pending_min_due:
+            if value is not None and (best is None or value < best):
+                best = value
+        return best
+
+    def _global_future_len(self) -> int:
+        return sum(self.future_len) + sum(self.pending_future_len)
+
+    def _alive_min_wake(self) -> Optional[int]:
+        best: Optional[int] = None
+        for shard in range(self.n_shards):
+            if self.alive[shard]:
+                value = self.min_wake[shard]
+                if value is not None and (best is None or value < best):
+                    best = value
+        return best
+
+    def _pending_nodes(self) -> Tuple[int, ...]:
+        return tuple(v for v in range(self.n) if not self.done[v])
+
+    # ------------------------------------------------------------------
+    # dead-shard residue (crash accounting parity with the event engine)
+    # ------------------------------------------------------------------
+    def _pop_residue(self, round_number: int) -> None:
+        residue = self.residue
+        if not residue or residue[0][0] > round_number:
+            return
+        woken: Set[int] = set()
+        while residue and residue[0][0] <= round_number:
+            _, node_id = heapq.heappop(residue)
+            woken.add(node_id)
+        faults = self.sim.faults
+        stats = faults.stats
+        for node_id in sorted(woken):
+            stats.crash_rounds += 1
+            if node_id not in self.dead_seen:
+                self.dead_seen.add(node_id)
+                faults._seen_crashed.setdefault(node_id, round_number)
+                windows = sorted(
+                    (w for w in self.plan.crashes if w.node == node_id),
+                    key=lambda w: w.start,
+                )
+                for window in windows:
+                    if window.end is not None:
+                        stats.recoveries.append(
+                            (node_id, window.start, window.end)
+                        )
+
+    # ------------------------------------------------------------------
+    # report handling
+    # ------------------------------------------------------------------
+    def _apply_report(self, shard: int, report: Dict[str, Any]) -> None:
+        for node_id, flag in report["done_changes"]:
+            old = self.done[node_id]
+            new = 1 if flag else 0
+            if old != new:
+                self.done[node_id] = new
+                self.done_count += 1 if new else -1
+        if report["last_progress"] > self.last_progress:
+            self.last_progress = report["last_progress"]
+        self.min_wake[shard] = report["min_wake"]
+        self.future_len[shard] = report["future_len"]
+        self.min_future[shard] = report["min_future"]
+        if report["fresh_next"]:
+            self.fresh_next = True
+
+    def _route_outbox(
+        self, shard: int, round_number: int, report: Dict[str, Any]
+    ) -> None:
+        for dst, batch in report["outbox"].items():
+            word, bits, opaque, has_fresh, n_future, min_due = batch
+            self.pending_frames[dst].append(
+                (shard, round_number, word, bits, opaque)
+            )
+            if has_fresh:
+                self.fresh_next = True
+            if n_future:
+                self.pending_future_len[dst] += n_future
+                current = self.pending_min_due[dst]
+                if current is None or min_due < current:
+                    self.pending_min_due[dst] = min_due
+
+    def _mark_dead(self, shard: int, payload: Dict[str, Any]) -> None:
+        self.alive[shard] = False
+        self.dead_payloads[shard] = payload
+        for entry in payload["residue"]:
+            heapq.heappush(self.residue, tuple(entry))
+        self.min_wake[shard] = None
+        if payload["faults"] is not None:
+            # Residue accounting must not re-record a recovery span the
+            # worker already noted before dying: seed the first-seen set
+            # now (counters still merge once, at run end).
+            for node_id, first in payload["faults"]["seen_crashed"].items():
+                self.dead_seen.add(node_id)
+                self.sim.faults._seen_crashed.setdefault(node_id, first)
+        self._absorb_common(shard, payload)
+
+    def _absorb_common(self, shard: int, payload: Dict[str, Any]) -> None:
+        if payload["faults"] is not None:
+            self.merged_fault_payloads.append(payload["faults"])
+        self.cross_messages += payload["cross_messages"]
+        self.cross_bits += payload["cross_bits"]
+        self.ledger_words[shard] = payload["ledger_words"]
+
+    def _absorb_worker0(self) -> None:
+        """Absorb shard 0's cross counters and ledger words.
+
+        Shard 0 runs in-process and shares the coordinator's injector
+        object, so its fault payload must NOT be merged (the counters
+        are already live in ``sim.faults.stats``).
+        """
+        reply = self.worker0._common_reply()
+        reply["faults"] = None
+        self._absorb_common(0, reply)
+
+    def _merge_fault_stats(self) -> None:
+        faults = self.sim.faults
+        if faults is None:
+            return
+        stats = faults.stats
+        for payload in self.merged_fault_payloads:
+            for name, value in payload["counters"].items():
+                setattr(stats, name, getattr(stats, name) + value)
+            stats.recoveries.extend(
+                tuple(entry) for entry in payload["recoveries"]
+            )
+            for node_id, first_round in payload["seen_crashed"].items():
+                self.dead_seen.add(node_id)
+                faults._seen_crashed.setdefault(node_id, first_round)
+        # Multi-process accumulation interleaves shards, so normalize to
+        # a deterministic order (the single-process list is append-
+        # ordered; only its length is surfaced in summaries).
+        stats.recoveries.sort()
+        self.merged_fault_payloads = []
+
+    # ------------------------------------------------------------------
+    # worker conversation
+    # ------------------------------------------------------------------
+    def _collect_round_reports(
+        self, round_number: int
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        frames = self.pending_frames
+        reports: List[Tuple[int, Dict[str, Any]]] = []
+        for shard, conn, _proc in self.children:
+            if self.alive[shard]:
+                conn.send(("round", round_number, frames[shard]))
+                frames[shard] = []
+                self.pending_future_len[shard] = 0
+                self.pending_min_due[shard] = None
+        if self.alive[0]:
+            report0 = self.worker0.process_round(round_number, frames[0])
+            frames[0] = []
+            self.pending_future_len[0] = 0
+            self.pending_min_due[0] = None
+            reports.append((0, report0))
+        for shard, conn, _proc in self.children:
+            if self.alive[shard]:
+                try:
+                    reports.append((shard, conn.recv()))
+                except EOFError:
+                    raise RuntimeError(
+                        "shard worker {} exited unexpectedly at round "
+                        "{}".format(shard, round_number)
+                    )
+        for shard, report in reports:
+            if "error" in report:
+                self.alive[shard] = False
+                self.shutdown()
+                raise report["error"]
+        return reports
+
+    def _broadcast_collect(self, command) -> Dict[int, Any]:
+        """Send one command to every live child and gather the replies."""
+        replies: Dict[int, Any] = {}
+        for shard, conn, _proc in self.children:
+            if self.alive[shard]:
+                conn.send(command)
+        for shard, conn, _proc in self.children:
+            if self.alive[shard]:
+                reply = conn.recv()
+                if isinstance(reply, dict) and "error" in reply:
+                    self.shutdown()
+                    raise reply["error"]
+                replies[shard] = reply
+        return replies
+
+    # ------------------------------------------------------------------
+    # run-end reconciliation
+    # ------------------------------------------------------------------
+    def _patch_clean(self, shard: int, extracts) -> None:
+        nodes = self.sim.nodes
+        for node_id, bc_raw, diameter, start, done in extracts:
+            node = nodes[node_id]
+            inner = _unwrap(node)
+            if hasattr(inner, "aggregation"):
+                inner.aggregation.betweenness_raw = bc_raw
+                inner.aggregation.diameter = diameter
+            if hasattr(inner, "counting"):
+                inner.counting.own_start_time = start
+            node.done = done
+            if inner is not node:
+                inner.done = done
+
+    def _patch_partial(self, shard: int, extracts) -> None:
+        nodes = self.sim.nodes
+        for node_id, partial, sent, diameter, start, done in extracts:
+            node = nodes[node_id]
+            inner = _unwrap(node)
+            # Shadow the plain methods with the remote-computed values;
+            # the pipeline's _collect_partial recomputes the identical
+            # complete set from the shadowed sent_sources, so the
+            # ignored argument is safe.
+            inner.sent_sources = (lambda _s=sent: _s)
+            inner.partial_betweenness_raw = (
+                lambda _complete, _v=partial: _v
+            )
+            if hasattr(inner, "aggregation"):
+                inner.aggregation.diameter = diameter
+            if hasattr(inner, "counting"):
+                inner.counting.own_start_time = start
+            node.done = done
+            if inner is not node:
+                inner.done = done
+
+    def _patch_dead_partial(self, payload, complete_set) -> None:
+        arith = self.arith
+        nodes = self.sim.nodes
+        for entry in payload["nodes"]:
+            node_id = entry["node"]
+            total = arith.psi_zero()
+            for source, sigma, psi in entry["rows"]:
+                if source != node_id and source in complete_set:
+                    total = arith.psi_add(
+                        total, arith.dependency(psi, sigma)
+                    )
+            node = nodes[node_id]
+            inner = _unwrap(node)
+            inner.sent_sources = (lambda _s=entry["sent"]: _s)
+            inner.partial_betweenness_raw = (
+                lambda _complete, _v=total: _v
+            )
+            if hasattr(inner, "aggregation"):
+                inner.aggregation.diameter = entry["diameter"]
+            if hasattr(inner, "counting"):
+                inner.counting.own_start_time = entry["start"]
+            node.done = entry["done"]
+            if inner is not node:
+                inner.done = entry["done"]
+
+    def _attach_shard_summary(self) -> None:
+        self.stats.shard = {
+            "workers": self.n_shards,
+            "partitioner": self.partitioner,
+            "edge_cut": self.cut_edges,
+            "cross_messages": self.cross_messages,
+            "cross_bits": self.cross_bits,
+            "per_shard": [
+                {
+                    "shard": shard,
+                    "nodes": len(self.shards[shard]),
+                    "ledger_words": self.ledger_words[shard],
+                }
+                for shard in range(self.n_shards)
+            ],
+        }
+
+    def _finish(self, round_number: int) -> SimulationStats:
+        replies = self._broadcast_collect(("finish",))
+        for shard, reply in replies.items():
+            self._absorb_common(shard, reply)
+            self._patch_clean(shard, reply["extracts"])
+        for shard, payload in self.dead_payloads.items():
+            # A permanently-crashed shard cannot have let the run reach
+            # clean termination, but reconcile defensively.
+            self._patch_clean(
+                shard,
+                [
+                    (e["node"], None, e["diameter"], e["start"], e["done"])
+                    for e in payload["nodes"]
+                ],
+            )
+        if self.alive[0]:
+            self._absorb_worker0()
+        self._merge_fault_stats()
+        self._attach_shard_summary()
+        self.stats.rounds = round_number
+        return self.stats
+
+    def _stall(self, round_number: int) -> None:
+        """Three-phase stall collection, then raise the structured error."""
+        sim = self.sim
+        sent_by_node: Dict[int, frozenset] = {}
+        if self.alive[0]:
+            sent_by_node.update(self.worker0.stall_sent_sources())
+        for shard, reply in self._broadcast_collect(("stall",)).items():
+            sent_by_node.update(reply)
+        for payload in self.dead_payloads.values():
+            for entry in payload["nodes"]:
+                sent_by_node[entry["node"]] = entry["sent"]
+        config = self.config
+        expected = sorted(
+            v for v in range(self.n)
+            if config is not None and config.is_source(v)
+        )
+        complete = frozenset(
+            source
+            for source in expected
+            if all(
+                source in sent
+                for owner, sent in sent_by_node.items()
+                if owner != source
+            )
+        )
+        for shard, reply in self._broadcast_collect(
+            ("partial", complete)
+        ).items():
+            self._absorb_common(shard, reply)
+            self._patch_partial(shard, reply["extracts"])
+        for payload in self.dead_payloads.values():
+            self._patch_dead_partial(payload, complete)
+        if self.alive[0]:
+            self._absorb_worker0()
+        self._merge_fault_stats()
+        self._attach_shard_summary()
+        raise SimulationStalledError(
+            round_number,
+            self.last_progress,
+            self._pending_nodes(),
+            sim.faults.crashed_nodes(round_number),
+        )
+
+    def _abort(self, round_number: int) -> None:
+        self.shutdown()
+        raise SimulationNotTerminatedError(
+            round_number,
+            self.sim.max_rounds,
+            self._pending_nodes(),
+            self.sim.graph.name,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        sim = self.sim
+        stats = self.stats
+        telemetry = sim.telemetry
+        on_tick = None
+        if telemetry is not None and getattr(telemetry, "wants_ticks", False):
+            on_tick = telemetry.on_round_tick
+        on_round_end = (
+            telemetry.on_round_end if telemetry is not None else None
+        )
+        faults = sim.faults
+        patience = None
+        if faults is not None:
+            patience = max(faults.plan.stall_patience, 2 * self.n)
+        max_rounds = sim.max_rounds
+        by_sender = itemgetter(0)
+        round_number = 0
+        while True:
+            if on_tick is not None:
+                on_tick(round_number)
+            if faults is not None and (
+                round_number - self.last_progress > patience
+            ):
+                if self._pending_nodes():
+                    self._stall(round_number)
+            if round_number > max_rounds:
+                self._abort(round_number)
+            min_future = self._global_min_future()
+            traffic = self.fresh_next or (
+                min_future is not None and min_future <= round_number
+            )
+            if not traffic and round_number > 0:
+                if self.done_count == self.n and not self._global_future_len():
+                    break
+                alive_wake = self._alive_min_wake()
+                if alive_wake is None or alive_wake > round_number:
+                    # Idle at this round for every live shard: account
+                    # residual wakes of dead shards (crash-round parity
+                    # with the in-process engine), then fast-forward.
+                    self._pop_residue(round_number)
+                    skip_to = max_rounds + 1
+                    for bound in (
+                        alive_wake,
+                        self.residue[0][0] if self.residue else None,
+                        min_future,
+                    ):
+                        if bound is not None and bound < skip_to:
+                            skip_to = bound
+                    while round_number < skip_to:
+                        stats.start_round()
+                        round_number += 1
+                    continue
+            # Processed round: residue accounting, then one barrier.
+            self._pop_residue(round_number)
+            self.fresh_next = False
+            reports = self._collect_round_reports(round_number)
+            stats.start_round()
+            merged: Dict[Tuple[int, int], List[int]] = {}
+            edge_lists = [
+                report["edges"] for _shard, report in reports
+                if report["edges"]
+            ]
+            if edge_lists:
+                if len(edge_lists) == 1:
+                    entries = edge_lists[0]
+                else:
+                    entries = heapq.merge(*edge_lists, key=by_sender)
+                for sender, receiver, messages, bits in entries:
+                    merged[(sender, receiver)] = [messages, bits]
+            if merged:
+                stats.observe_round(round_number, merged)
+                if on_round_end is not None:
+                    on_round_end(round_number, merged)
+            for shard, report in reports:
+                self._apply_report(shard, report)
+            for shard, report in reports:
+                self._route_outbox(shard, round_number, report)
+            for shard, report in reports:
+                if "shard_dead" in report:
+                    self._mark_dead(shard, report["shard_dead"])
+            round_number += 1
+        return self._finish(round_number)
+
+
+def run_shard(simulator) -> SimulationStats:
+    """Execute ``simulator`` across ``simulator.workers`` processes.
+
+    Called by :meth:`Simulator.run` for ``engine="shard"`` (after the
+    dispatcher validated the capability envelope).  Returns the populated
+    stats; raises exactly the errors the event engine would.
+    """
+    coordinator = _Coordinator(simulator)
+    coordinator.start()
+    try:
+        return coordinator.run()
+    finally:
+        # Clean termination and the stall path already told every live
+        # worker to exit (the finish/partial commands are terminal);
+        # this sweep covers abrupt error paths and is idempotent.
+        coordinator.shutdown()
