@@ -59,6 +59,7 @@ from repro.core import (
     distributed_weighted_betweenness,
 )
 from repro.exceptions import (
+    CheckpointError,
     CongestViolationError,
     FrameChecksumError,
     GraphNotConnectedError,
@@ -68,12 +69,19 @@ from repro.exceptions import (
     SimulationNotTerminatedError,
     SimulationStalledError,
 )
-from repro.faults import CrashWindow, FaultPlan, LinkOutage
+from repro.faults import (
+    CrashWindow,
+    FaultPlan,
+    LinkOutage,
+    SlowWorker,
+    WorkerHang,
+)
 from repro.graphs import Graph, GraphBuilder, WeightedGraph
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
     "CompletenessReport",
     "CongestViolationError",
     "CrashWindow",
@@ -89,7 +97,9 @@ __all__ = [
     "ProtocolConfig",
     "SimulationNotTerminatedError",
     "SimulationStalledError",
+    "SlowWorker",
     "WeightedGraph",
+    "WorkerHang",
     "LFloat",
     "LFloatArithmetic",
     "LFloatRangeError",

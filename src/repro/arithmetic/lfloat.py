@@ -431,6 +431,14 @@ class LFloat:
     def __hash__(self) -> int:
         return hash(self.to_fraction())
 
+    def __reduce__(self):
+        # Compact pickling: the default slot-state protocol emits a
+        # two-item state tuple per instance, which dominates checkpoint
+        # blobs on large graphs.  A constructor call round-trips all
+        # four fields (the validation re-runs, but on already-valid
+        # values).
+        return (type(self), (self._m, self._e, self._L, self._mode))
+
     def __repr__(self) -> str:
         return "LFloat({} * 2**{}, L={})".format(
             self._m, self._e - self._L, self._L

@@ -15,6 +15,10 @@ Subcommands
 ``watch``     tail a live-streamed telemetry JSONL
 ``bench``     benchmark regression gates (``compare``) and history
               ledger ingestion (``ingest``)
+``chaos``     run under an adversarial fault plan (message faults, node
+              crashes, and ``--hang``/``--slow`` worker-process faults)
+``resume``    restart an interrupted supervised run from its newest
+              round-boundary checkpoint (bit-identical continuation)
 ``info``      graph statistics
 
 ``trace diff`` compares two saved traces (or two engines on one graph)
@@ -197,6 +201,117 @@ def _streaming_telemetry(args: argparse.Namespace):
     )
 
 
+def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="ROUNDS",
+        help="write a resumable snapshot every this many processed "
+        "rounds (requires --engine shard and --checkpoint-dir; "
+        "0 = off)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="root directory for checkpoints (a run-key subdirectory "
+        "is created per run); see `repro resume`",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=0,
+        metavar="N",
+        help="respawn budget per shard worker: a dead or hung worker "
+        "is restarted from the last checkpoint up to N times before "
+        "its shard is abandoned (deterministic partial result)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog patience: a worker whose heartbeat is older "
+        "than this mid-round is declared hung (default 30)",
+    )
+    # Testing aid for the recovery suite: pause (exit 3) right after
+    # the first checkpoint at or past this round is durable.
+    parser.add_argument(
+        "--checkpoint-stop-after",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,
+    )
+
+
+def _supervision_from_args(args: argparse.Namespace, plan=None):
+    """A SupervisionConfig from CLI flags, or None when all are off.
+
+    The returned config carries the command-line recipe in its manifest
+    metadata so ``repro resume`` can rebuild the graph, protocol and
+    fault plan without re-asking.
+    """
+    every = getattr(args, "checkpoint_every", 0) or 0
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    restarts = getattr(args, "max_restarts", 0) or 0
+    timeout = getattr(args, "heartbeat_timeout", None)
+    stop_after = getattr(args, "checkpoint_stop_after", None)
+    if not (
+        every or ckpt_dir or restarts or timeout is not None
+        or stop_after is not None
+    ):
+        return None
+    from repro.shard.supervisor import (
+        DEFAULT_HEARTBEAT_TIMEOUT,
+        SupervisionConfig,
+    )
+
+    recipe = {
+        "graph": getattr(args, "graph", None),
+        "file": str(args.file) if getattr(args, "file", None) else None,
+        "protocol": getattr(args, "protocol", None),
+        "arithmetic": getattr(args, "arithmetic", None),
+        "root": getattr(args, "root", 0),
+        "lenient": bool(getattr(args, "lenient", False)),
+        "workers": getattr(args, "workers", 1),
+        "partitioner": getattr(args, "partitioner", "greedy"),
+        "resilient": not getattr(args, "raw", True),
+        "checkpoint_every": every,
+        "checkpoint_dir": ckpt_dir,
+        "plan": plan.to_dict() if plan is not None else None,
+    }
+    return SupervisionConfig(
+        heartbeat_timeout=(
+            timeout if timeout is not None else DEFAULT_HEARTBEAT_TIMEOUT
+        ),
+        max_restarts=restarts,
+        checkpoint_every=every,
+        checkpoint_dir=ckpt_dir,
+        stop_after=stop_after,
+        meta={"cli": recipe},
+    )
+
+
+def _print_supervisor_summary(stats) -> None:
+    """One-line recovery story for supervised runs (chaos/bc/resume)."""
+    supervisor = getattr(stats, "supervisor", None)
+    if supervisor is None:
+        return
+    parts = [
+        "{} restart(s)".format(supervisor["restarts"]),
+        "{} hang detection(s)".format(supervisor["hang_detections"]),
+        "{} rollback(s)".format(supervisor["rollbacks"]),
+        "{} checkpoint(s)".format(supervisor["checkpoints_written"]),
+    ]
+    if supervisor["resumed_from"] is not None:
+        parts.append("resumed from round {}".format(supervisor["resumed_from"]))
+    if supervisor["shards_abandoned"]:
+        parts.append(
+            "shard(s) {} abandoned".format(supervisor["shards_abandoned"])
+        )
+    print("supervisor: " + ", ".join(parts))
+
+
 def cmd_bc(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     from repro.graphs.weighted import WeightedGraph
@@ -210,18 +325,29 @@ def cmd_bc(args: argparse.Namespace) -> int:
             )
         return _cmd_bc_weighted(args, graph)
     telemetry = _streaming_telemetry(args)
-    result = distributed_betweenness(
-        graph,
-        arithmetic=args.arithmetic,
-        root=args.root,
-        strict=not args.lenient,
-        engine=args.engine,
-        workers=args.workers,
-        partitioner=args.partitioner,
-        frame_audit=args.frame_audit,
-        telemetry=telemetry,
-        protocol=args.protocol,
-    )
+    from repro.exceptions import CheckpointPause
+
+    try:
+        result = distributed_betweenness(
+            graph,
+            arithmetic=args.arithmetic,
+            root=args.root,
+            strict=not args.lenient,
+            engine=args.engine,
+            workers=args.workers,
+            partitioner=args.partitioner,
+            frame_audit=args.frame_audit,
+            telemetry=telemetry,
+            protocol=args.protocol,
+            supervision=_supervision_from_args(args),
+        )
+    except CheckpointPause as pause:
+        print(
+            "run paused at round {}; resume with: repro resume {}".format(
+                pause.round_number, pause.checkpoint_path
+            )
+        )
+        return 3
     if telemetry is not None and telemetry.bus is not None:
         telemetry.bus.close()
     ranked = sorted(
@@ -245,6 +371,7 @@ def cmd_bc(args: argparse.Namespace) -> int:
             result.stats.max_edge_bits_per_round,
         ),
     )
+    _print_supervisor_summary(result.stats)
     return 0
 
 
@@ -792,6 +919,46 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0 if telemetry.all_ok() else 1
 
 
+def _parse_hang_spec(spec: str):
+    """``shard@round[:repeats]`` -> WorkerHang."""
+    from repro.faults import WorkerHang
+
+    try:
+        shard_part, _, window = spec.partition("@")
+        round_part, _, repeats_part = window.partition(":")
+        return WorkerHang(
+            int(shard_part),
+            int(round_part),
+            int(repeats_part) if repeats_part else 1,
+        )
+    except ValueError as err:
+        raise SystemExit(
+            "bad hang spec {!r} (want shard@round[:repeats]): {}".format(
+                spec, err
+            )
+        )
+
+
+def _parse_slow_spec(spec: str):
+    """``shard@round[:delay_seconds]`` -> SlowWorker."""
+    from repro.faults import SlowWorker
+
+    try:
+        shard_part, _, window = spec.partition("@")
+        round_part, _, delay_part = window.partition(":")
+        return SlowWorker(
+            int(shard_part),
+            int(round_part),
+            float(delay_part) if delay_part else 0.5,
+        )
+    except ValueError as err:
+        raise SystemExit(
+            "bad slow spec {!r} (want shard@round[:delay]): {}".format(
+                spec, err
+            )
+        )
+
+
 def _parse_crash_spec(spec: str):
     """``node@start[:end]`` -> CrashWindow (end omitted = permanent)."""
     from repro.faults import CrashWindow
@@ -856,6 +1023,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             link_outages=tuple(
                 _parse_link_spec(s) for s in args.link_down or ()
             ),
+            worker_hangs=tuple(
+                _parse_hang_spec(s) for s in args.hang or ()
+            ),
+            slow_workers=tuple(
+                _parse_slow_spec(s) for s in args.slow or ()
+            ),
+        )
+    if plan.has_infra_faults and args.engine != "shard":
+        raise SystemExit(
+            "--hang/--slow (worker_hangs/slow_workers) target shard "
+            "worker processes; rerun with --engine shard --workers N"
         )
     if args.plan_out:
         with open(args.plan_out, "w", encoding="utf-8") as fh:
@@ -872,6 +1050,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         faults=plan,
         resilient=not args.raw,
         protocol=args.protocol,
+        supervision=_supervision_from_args(args, plan=plan),
     )
     completeness = result.completeness
     fault_stats = getattr(result.stats, "faults", None)
@@ -915,6 +1094,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             + len(completeness.affected_sources),
         ),
     )
+    _print_supervisor_summary(result.stats)
     if args.check:
         if not completeness.complete:
             print(
@@ -966,6 +1146,128 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 )
             )
     return 0 if completeness.complete else 2
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Resume a checkpointed shard run from its on-disk snapshot."""
+    from pathlib import Path
+
+    from repro.faults import FaultPlan
+    from repro.shard.checkpoint import read_manifest, resolve_checkpoint
+    from repro.shard.supervisor import (
+        DEFAULT_HEARTBEAT_TIMEOUT,
+        SupervisionConfig,
+    )
+
+    ckpt = resolve_checkpoint(Path(args.checkpoint))
+    manifest = read_manifest(ckpt)
+    recipe = manifest.get("meta", {}).get("cli")
+    if not recipe:
+        raise SystemExit(
+            "checkpoint {} carries no CLI recipe (written through the "
+            "Python API?); resume it with distributed_betweenness(..., "
+            "engine='shard', resume_from=...) instead".format(ckpt)
+        )
+    graph = _load_graph(
+        argparse.Namespace(
+            file=recipe.get("file"), graph=recipe.get("graph")
+        )
+    )
+    plan = (
+        FaultPlan.from_dict(recipe["plan"]) if recipe.get("plan") else None
+    )
+    # Keep writing into the same run directory (derived from the
+    # snapshot's real location, not the possibly-relative recipe path)
+    # so a resumed run stays checkpointed and restartable.
+    checkpoint_every = recipe.get("checkpoint_every", 0) or 0
+    supervision = SupervisionConfig(
+        heartbeat_timeout=(
+            args.heartbeat_timeout
+            if args.heartbeat_timeout is not None
+            else DEFAULT_HEARTBEAT_TIMEOUT
+        ),
+        max_restarts=args.max_restarts,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=(
+            str(ckpt.parent.parent) if checkpoint_every else None
+        ),
+        resume_from=str(ckpt),
+        meta={"cli": recipe},
+    )
+    result = distributed_betweenness(
+        graph,
+        arithmetic=recipe.get("arithmetic") or "lfloat",
+        root=recipe.get("root", 0),
+        strict=not recipe.get("lenient", False),
+        engine="shard",
+        workers=recipe.get("workers", 1),
+        partitioner=recipe.get("partitioner", "greedy"),
+        protocol=recipe.get("protocol"),
+        faults=plan,
+        resilient=bool(recipe.get("resilient", False)),
+        supervision=supervision,
+    )
+    ranked = sorted(
+        graph.nodes(), key=lambda v: result.betweenness[v], reverse=True
+    )
+    print_table(
+        ["node", "betweenness", "degree"],
+        [
+            [v, result.betweenness[v], graph.degree(v)]
+            for v in ranked[: args.top]
+        ],
+        title="Resumed betweenness on {} ({}, N={}, from round {}, "
+        "rounds={})".format(
+            graph.name,
+            result.protocol,
+            graph.num_nodes,
+            manifest["round"],
+            result.rounds,
+        ),
+    )
+    _print_supervisor_summary(result.stats)
+    if args.check:
+        # The resume guarantee is differential and total: the resumed
+        # run must equal an uninterrupted single-process run bit for
+        # bit — same betweenness, same rounds, same wire totals.
+        fresh = distributed_betweenness(
+            graph,
+            arithmetic=recipe.get("arithmetic") or "lfloat",
+            root=recipe.get("root", 0),
+            strict=not recipe.get("lenient", False),
+            engine="event",
+            protocol=recipe.get("protocol"),
+            faults=plan,
+            resilient=bool(recipe.get("resilient", False)),
+        )
+        mismatches = []
+        if result.betweenness != fresh.betweenness:
+            mismatches.append("betweenness")
+        if result.rounds != fresh.rounds:
+            mismatches.append(
+                "rounds ({} vs {})".format(result.rounds, fresh.rounds)
+            )
+        for key in ("bits", "messages"):
+            ours = result.stats.summary().get(key)
+            theirs = fresh.stats.summary().get(key)
+            if ours != theirs:
+                mismatches.append(
+                    "{} ({} vs {})".format(key, ours, theirs)
+                )
+        if mismatches:
+            print(
+                "\ncheck FAILED: resumed run differs from the "
+                "uninterrupted run in: {}".format(", ".join(mismatches))
+            )
+            return 1
+        print(
+            "\ncheck OK: resumed run is bit-identical to the "
+            "uninterrupted run"
+        )
+    completeness = getattr(result, "completeness", None)
+    if completeness is not None and not completeness.complete:
+        return 2
+    return 0
 
 
 def cmd_elect(args: argparse.Namespace) -> int:
@@ -1172,6 +1474,8 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
                 ledger.ingest_bench_arena(payload, git_rev=rev)
             elif payload.get("benchmark") == "shard_runtime":
                 ledger.ingest_bench_shard(payload, git_rev=rev)
+            elif payload.get("benchmark") == "recovery":
+                ledger.ingest_bench_recovery(payload, git_rev=rev)
         print("current payload recorded in {}".format(args.ledger))
     if violations and args.warn_only:
         print("(warn-only: exiting 0 despite violations)")
@@ -1199,6 +1503,8 @@ def cmd_bench_ingest(args: argparse.Namespace) -> int:
             total += ledger.ingest_bench_arena(payload, git_rev=rev)
         elif kind == "shard_runtime":
             total += ledger.ingest_bench_shard(payload, git_rev=rev)
+        elif kind == "recovery":
+            total += ledger.ingest_bench_recovery(payload, git_rev=rev)
         else:
             print(
                 "skipping {}: unknown benchmark kind {!r}".format(path, kind),
@@ -1231,7 +1537,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream telemetry rows to PATH live, flushed per event",
     )
+    _add_supervision_options(p_bc)
     p_bc.set_defaults(func=cmd_bc)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="resume a checkpointed shard run (see bc --checkpoint-every)",
+        description="Restore a --checkpoint-every snapshot and run it to "
+        "completion.  Accepts the snapshot directory itself, its run "
+        "directory, or the checkpoint root (newest valid snapshot wins). "
+        "The resumed run is bit-identical to an uninterrupted one; "
+        "--check proves it differentially against a fresh run.",
+    )
+    p_resume.add_argument(
+        "checkpoint",
+        help="checkpoint path: ckpt-* dir, run dir, or checkpoint root",
+    )
+    p_resume.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the uninterrupted single-process reference and "
+        "verify bit-identity (betweenness, rounds, bits, messages)",
+    )
+    p_resume.add_argument(
+        "--top", type=int, default=10, help="rows to print (default 10)"
+    )
+    p_resume.add_argument(
+        "--max-restarts",
+        type=int,
+        default=0,
+        metavar="N",
+        help="respawn budget per shard worker for the resumed run",
+    )
+    p_resume.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog patience for the resumed run (default 30)",
+    )
+    p_resume.set_defaults(func=cmd_resume)
 
     p_apsp = sub.add_parser("apsp", help="counting phase: closeness etc.")
     _add_graph_options(p_apsp)
@@ -1425,6 +1770,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="U-V@START:END",
         help="link outage window; repeatable",
     )
+    p_chaos.add_argument(
+        "--hang",
+        action="append",
+        metavar="SHARD@ROUND[:REPEATS]",
+        help="wedge a shard worker process at a round (requires "
+        "--engine shard; the supervisor's heartbeat watchdog detects "
+        "it and respawns within --max-restarts); repeatable",
+    )
+    p_chaos.add_argument(
+        "--slow",
+        action="append",
+        metavar="SHARD@ROUND[:DELAY]",
+        help="delay a shard worker at a round by DELAY seconds while "
+        "it keeps heartbeating (a straggler the watchdog must "
+        "tolerate); repeatable",
+    )
     p_chaos.add_argument("--seed", type=int, default=0, help="fault seed")
     p_chaos.add_argument(
         "--plan", metavar="PATH", help="load a FaultPlan JSON (overrides flags)"
@@ -1443,6 +1804,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compare the recovered betweenness against Brandes",
     )
+    _add_supervision_options(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_elect = sub.add_parser("elect", help="leader election for the root u0")

@@ -178,6 +178,16 @@ class Simulator:
         Node-partitioning strategy for ``engine="shard"``: ``"greedy"``
         (default, graph-growing edge-cut minimizer) or ``"block"``
         (contiguous id ranges).
+    supervision:
+        A :class:`repro.shard.supervisor.SupervisionConfig` turning the
+        shard coordinator into a supervisor (heartbeat watchdog, worker
+        respawn, round-boundary checkpoints, resume).  Requires
+        ``engine="shard"``; see ``docs/recovery.md``.
+    checkpoint_every, checkpoint_dir, max_restarts, heartbeat_timeout,
+    resume_from:
+        Scalar shorthands assembled into a ``SupervisionConfig`` when
+        ``supervision`` is not given.  All default to off; setting any
+        of them implies supervision (and therefore ``engine="shard"``).
     """
 
     def __init__(
@@ -198,6 +208,12 @@ class Simulator:
         gc_pause: bool = False,
         workers: int = 1,
         partitioner: str = "greedy",
+        supervision=None,
+        checkpoint_every: int = 0,
+        checkpoint_dir=None,
+        max_restarts: int = 0,
+        heartbeat_timeout: Optional[float] = None,
+        resume_from=None,
     ):
         if engine not in ENGINES:
             raise ValueError(
@@ -223,6 +239,41 @@ class Simulator:
             )
         self.workers = workers
         self.partitioner = partitioner
+        # Supervision (heartbeats, respawn, round-boundary checkpoints,
+        # resume) for engine="shard".  An explicit SupervisionConfig
+        # wins; otherwise the scalar knobs assemble one; otherwise None
+        # keeps the unsupervised fast path byte-for-byte intact.
+        if supervision is not None:
+            self.supervision = supervision
+        elif (
+            checkpoint_every
+            or max_restarts
+            or heartbeat_timeout is not None
+            or checkpoint_dir is not None
+            or resume_from is not None
+        ):
+            from repro.shard.supervisor import (
+                DEFAULT_HEARTBEAT_TIMEOUT,
+                SupervisionConfig,
+            )
+
+            self.supervision = SupervisionConfig(
+                heartbeat_timeout=(
+                    heartbeat_timeout if heartbeat_timeout is not None
+                    else DEFAULT_HEARTBEAT_TIMEOUT
+                ),
+                max_restarts=max_restarts,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=(
+                    str(checkpoint_dir) if checkpoint_dir is not None
+                    else None
+                ),
+                resume_from=(
+                    str(resume_from) if resume_from is not None else None
+                ),
+            )
+        else:
+            self.supervision = None
         self.graph = graph
         self.strict = strict
         self.engine = engine
@@ -321,6 +372,17 @@ class Simulator:
 
             self.engine_decision = decide_engine(engine, self)
             self.engine = self.engine_decision.resolved
+        if self.supervision is not None and self.engine != "shard":
+            # Supervision only exists in the multi-process runtime; a
+            # silently-ignored checkpoint/resume request would be a
+            # durability lie, so fail loudly instead.
+            from repro.exceptions import EngineCapabilityError
+
+            raise EngineCapabilityError(
+                self.engine,
+                "supervision (checkpoints, restarts, resume) requires "
+                "engine='shard'",
+            )
         self.stats.engine = self.engine
 
     # ------------------------------------------------------------------

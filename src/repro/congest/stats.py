@@ -80,6 +80,12 @@ class SimulationStats:
         #: splits out (cross-shard bits/messages) are a *view* of the
         #: same exact totals, not extra traffic.
         self.shard = None
+        #: supervision breakdown (restarts per shard, hang detections,
+        #: rollbacks, checkpoints written/bytes/seconds, resume round)
+        #: when the run was supervised or resumed; None otherwise.  Kept
+        #: out of :meth:`summary` like :attr:`engine` — recovery must be
+        #: invisible in every protocol-output comparison.
+        self.supervisor = None
 
     def start_round(self):
         self.round_series.append((0, 0))

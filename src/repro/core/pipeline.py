@@ -169,6 +169,12 @@ def distributed_betweenness(
     protocol=None,
     workers: int = 1,
     partitioner: str = "greedy",
+    supervision=None,
+    checkpoint_every: int = 0,
+    checkpoint_dir=None,
+    max_restarts: int = 0,
+    heartbeat_timeout: Optional[float] = None,
+    resume_from=None,
 ) -> DistributedBCResult:
     """Compute every node's betweenness with the paper's algorithm.
 
@@ -262,6 +268,20 @@ def distributed_betweenness(
     partitioner:
         Shard partitioning strategy (``"greedy"`` or ``"block"``); see
         :mod:`repro.shard.partition`.
+    supervision:
+        A :class:`repro.shard.supervisor.SupervisionConfig` making the
+        shard coordinator supervise its workers: heartbeat watchdog,
+        respawn-with-rollback on dead/hung workers, round-boundary
+        checkpoints, resume.  Requires ``engine="shard"``.  Supervision
+        never changes any output — a recovered or resumed run is
+        bit-identical to an uninterrupted one.  See
+        ``docs/recovery.md``.
+    checkpoint_every, checkpoint_dir, max_restarts, heartbeat_timeout,
+    resume_from:
+        Scalar shorthands assembled into a ``SupervisionConfig`` when
+        ``supervision`` is not given (all off by default).  A run
+        paused by ``SupervisionConfig.stop_after`` raises
+        :class:`~repro.exceptions.CheckpointPause`.
 
     Returns
     -------
@@ -333,6 +353,12 @@ def distributed_betweenness(
         protocol=proto,
         workers=workers,
         partitioner=partitioner,
+        supervision=supervision,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        max_restarts=max_restarts,
+        heartbeat_timeout=heartbeat_timeout,
+        resume_from=resume_from,
     )
     try:
         stats = simulator.run()

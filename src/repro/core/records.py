@@ -36,6 +36,114 @@ from array import array
 from typing import Any, Dict, Iterator, List, Tuple
 
 
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def _pack_object_column(col: List[Any]) -> Any:
+    """Flatten a sigma/psi column into machine arrays, if its elements
+    allow it — all-int (64-bit) or all-LFloat with one shared precision
+    and rounding mode, with ``None`` holes tracked in a bitmap.
+    Returns ``None`` when the column is heterogeneous (exact-arithmetic
+    big integers, Fractions, ...) and must pickle element by element.
+    """
+    if not col:
+        return None
+    from repro.arithmetic.lfloat import LFloat
+
+    length = len(col)
+    sample = None
+    for sample in col:
+        if sample is not None:
+            break
+    if sample is None:
+        return ("none", length, b"", None, None, None, None)
+    # Hot path: these columns are packed on every checkpoint, so each
+    # extra pass over 10^5 rows per snapshot shows up in the overhead
+    # gate.  Dense columns (no ``None`` holes) go straight into the
+    # value arrays via list comprehensions — a hole raises
+    # AttributeError (``None._m``) and falls back to the bitmap walk.
+    # Validation stays per-element (a stray precision or rounding mode
+    # would round-trip wrong) but avoids hashing: Enum.__hash__ is
+    # Python-level and was once the hottest line of a checkpoint.
+    if type(sample) is LFloat:
+        precision = sample._L
+        mode = sample._mode
+        if precision > 62:
+            return None
+        try:
+            first = array("q", [x._m for x in col])
+            second = array("q", [x._e for x in col])
+            if not all([
+                type(x) is LFloat and x._L == precision
+                and x._mode is mode
+                for x in col
+            ]):
+                return None
+            return ("lfloat", length, b"", first, second, precision, mode)
+        except AttributeError:
+            pass
+        holes = bytearray((length + 7) // 8)
+        for i, x in enumerate(col):
+            if x is None:
+                holes[i >> 3] |= 1 << (i & 7)
+        try:
+            first = array("q", [0 if x is None else x._m for x in col])
+            second = array("q", [0 if x is None else x._e for x in col])
+        except AttributeError:
+            return None
+        if not all([
+            x is None or (
+                type(x) is LFloat and x._L == precision
+                and x._mode is mode
+            )
+            for x in col
+        ]):
+            return None
+        return (
+            "lfloat", length, bytes(holes), first, second, precision, mode
+        )
+    if type(sample) is int:
+        if not all([
+            x is None or (
+                type(x) is int and _I64_MIN <= x <= _I64_MAX
+            )
+            for x in col
+        ]):
+            return None
+        try:
+            first = array("q", [x for x in col])
+            return ("int", length, b"", first, None, None, None)
+        except TypeError:
+            pass
+        holes = bytearray((length + 7) // 8)
+        for i, x in enumerate(col):
+            if x is None:
+                holes[i >> 3] |= 1 << (i & 7)
+        first = array("q", [0 if x is None else x for x in col])
+        return ("int", length, bytes(holes), first, None, None, None)
+    return None
+
+
+def _unpack_object_column(packed: Any) -> List[Any]:
+    kind, length, bitmap, first, second, precision, mode = packed
+    if kind == "none":
+        return [None] * length
+    if kind == "int":
+        col: List[Any] = list(first)
+    else:
+        from repro.arithmetic.lfloat import LFloat
+
+        col = [
+            LFloat(m, e, precision, mode) for m, e in zip(first, second)
+        ]
+    if bitmap:
+        for i in range(length):
+            if bitmap[i >> 3] & (1 << (i & 7)):
+                col[i] = None
+    return col
+
+
 class SourceRecord:
     """One node's knowledge about one BFS source (a detached row of L_v).
 
@@ -186,13 +294,29 @@ class NodeLedger:
 
     # ------------------------------------------------------------------
     # pickling: the bound dict.get cannot be serialized; rebind on load.
+    # The source->row index is likewise dropped (it is a function of
+    # source_col), and the object columns are packed into flat machine
+    # arrays when their elements allow it — a full ledger then pickles
+    # as a handful of C-speed buffers instead of Θ(N) Python objects,
+    # which is what keeps round-boundary checkpoints cheap.
     def __getstate__(self) -> Dict[str, Any]:
         state = self.__dict__.copy()
         state.pop("row_of", None)
+        state.pop("_index", None)
+        for col in ("sigma_col", "psi_col"):
+            packed = _pack_object_column(state[col])
+            if packed is not None:
+                del state[col]
+                state["_packed_" + col] = packed
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
+        for col in ("sigma_col", "psi_col"):
+            packed = state.pop("_packed_" + col, None)
+            if packed is not None:
+                state[col] = _unpack_object_column(packed)
         self.__dict__.update(state)
+        self._index = {s: row for row, s in enumerate(self.source_col)}
         self.row_of = self._index.get
 
     # ------------------------------------------------------------------

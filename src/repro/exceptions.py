@@ -209,6 +209,47 @@ class FrameChecksumError(WireCodecError):
         )
 
 
+class CheckpointError(CongestError):
+    """A shard-runtime checkpoint could not be read back safely.
+
+    Raised by :mod:`repro.shard.checkpoint` when a snapshot directory is
+    unusable: a missing or torn manifest, a schema-version mismatch, a
+    per-file blake2b checksum that does not match the bytes on disk, or
+    metadata (graph fingerprint, worker count, partitioner, protocol)
+    that disagrees with the run asking to resume.  The invariant is
+    *fail loudly, never resume wrong*: a corrupt checkpoint produces
+    this error (and the supervisor falls back to an older snapshot),
+    not a silently divergent run.
+    """
+
+
+class CheckpointPause(CongestError):
+    """Control-flow signal: a run stopped cleanly at a checkpoint.
+
+    Raised by the shard coordinator when ``SupervisionConfig.stop_after``
+    is set, *after* the round-``stop_after`` checkpoint is durably on
+    disk.  Test harnesses and the CLI catch it to simulate "the process
+    died here" without an actual SIGKILL; ``repro bc`` converts it into
+    exit code 3 and prints the checkpoint path to resume from.
+
+    Attributes
+    ----------
+    checkpoint_path:
+        Directory of the snapshot the run can be resumed from.
+    round_number:
+        The round boundary at which the run paused.
+    """
+
+    def __init__(self, checkpoint_path, round_number):
+        self.checkpoint_path = str(checkpoint_path)
+        self.round_number = round_number
+        super().__init__(
+            "run paused at round {} after writing checkpoint {}".format(
+                round_number, self.checkpoint_path
+            )
+        )
+
+
 class InvariantViolationError(CongestError):
     """A telemetry monitor observed a violated runtime invariant.
 

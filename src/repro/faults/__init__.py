@@ -25,6 +25,8 @@ from repro.faults.plan import (
     CrashWindow,
     FaultPlan,
     LinkOutage,
+    SlowWorker,
+    WorkerHang,
 )
 from repro.faults.transport import (
     RESILIENT_CONGEST_FACTOR,
@@ -44,6 +46,8 @@ __all__ = [
     "FaultPlan",
     "CrashWindow",
     "LinkOutage",
+    "WorkerHang",
+    "SlowWorker",
     "DEFAULT_STALL_PATIENCE",
     # injector
     "FaultInjector",

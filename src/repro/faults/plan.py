@@ -85,6 +85,65 @@ class LinkOutage:
 
 
 @dataclass(frozen=True)
+class WorkerHang:
+    """Infrastructure fault: a shard worker wedges at a round barrier.
+
+    When the worker for ``shard`` receives the command for ``round`` it
+    stops stamping its heartbeat and spins forever, exactly as a
+    deadlocked or livelocked process would.  Only the supervisor can get
+    the run moving again (watchdog timeout → kill → respawn from the
+    last checkpoint).  ``repeats`` counts how many *incarnations* of the
+    worker hang: with the default 1, the respawned worker sails past the
+    same round; with ``repeats=3`` the first three incarnations all
+    wedge, exercising the restart budget.
+
+    ``shard`` must be >= 1 — shard 0 runs inside the coordinator process
+    and cannot be supervised away.
+    """
+
+    shard: int
+    round: int
+    repeats: int = 1
+
+    def __post_init__(self):
+        if self.shard < 1:
+            raise ValueError(
+                "worker hangs need shard >= 1 (shard 0 is the coordinator)"
+            )
+        if self.round < 0:
+            raise ValueError("worker hang round must be >= 0")
+        if self.repeats < 1:
+            raise ValueError("worker hang repeats must be >= 1")
+
+
+@dataclass(frozen=True)
+class SlowWorker:
+    """Infrastructure fault: one shard worker stalls for ``delay`` seconds.
+
+    The worker for ``shard`` sleeps before processing ``round`` but keeps
+    its heartbeat fresh, modelling a straggler (GC pause, noisy
+    neighbor) rather than a failure.  A correctly tuned supervisor must
+    *not* kill it: the run completes bit-identically, just later.  Like
+    :class:`WorkerHang` this is wall-clock only and never changes any
+    protocol output.
+    """
+
+    shard: int
+    round: int
+    delay: float = 0.5
+
+    def __post_init__(self):
+        if self.shard < 1:
+            raise ValueError(
+                "slow workers need shard >= 1 (shard 0 is the coordinator)"
+            )
+        if self.round < 0:
+            raise ValueError("slow worker round must be >= 0")
+        if self.delay <= 0:
+            raise ValueError("slow worker delay must be > 0 seconds")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The complete fault scenario for one run.
 
@@ -114,6 +173,16 @@ class FaultPlan:
     stall_patience:
         Rounds without fresh traffic before the injector raises
         :class:`~repro.exceptions.SimulationStalledError`.
+    worker_hangs, slow_workers:
+        Infrastructure faults against the sharded runtime's *processes*
+        rather than the protocol's messages: scheduled worker wedges
+        (:class:`WorkerHang`) and stragglers (:class:`SlowWorker`).
+        Single-process engines ignore them — they model the machine,
+        not the algorithm, and never change protocol outputs.
+    corrupt_checkpoint_rounds:
+        Checkpoint rounds whose just-written snapshot gets one byte
+        flipped on disk, exercising the checksum rejection + fall-back
+        path of :mod:`repro.shard.checkpoint`.
     """
 
     seed: int = 0
@@ -126,6 +195,9 @@ class FaultPlan:
     crashes: Tuple[CrashWindow, ...] = ()
     link_outages: Tuple[LinkOutage, ...] = ()
     stall_patience: int = DEFAULT_STALL_PATIENCE
+    worker_hangs: Tuple[WorkerHang, ...] = ()
+    slow_workers: Tuple[SlowWorker, ...] = ()
+    corrupt_checkpoint_rounds: Tuple[int, ...] = ()
 
     def __post_init__(self):
         for name in ("drop_rate", "duplicate_rate", "delay_rate", "corrupt_rate"):
@@ -142,6 +214,15 @@ class FaultPlan:
             raise ValueError("stall_patience must be >= 1")
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "link_outages", tuple(self.link_outages))
+        object.__setattr__(self, "worker_hangs", tuple(self.worker_hangs))
+        object.__setattr__(self, "slow_workers", tuple(self.slow_workers))
+        object.__setattr__(
+            self,
+            "corrupt_checkpoint_rounds",
+            tuple(int(r) for r in self.corrupt_checkpoint_rounds),
+        )
+        if any(r < 0 for r in self.corrupt_checkpoint_rounds):
+            raise ValueError("corrupt_checkpoint_rounds must be >= 0")
 
     # ------------------------------------------------------------------
     @property
@@ -155,12 +236,22 @@ class FaultPlan:
         )
 
     @property
+    def has_infra_faults(self) -> bool:
+        """Whether the plan targets the runtime's processes or snapshots."""
+        return bool(
+            self.worker_hangs
+            or self.slow_workers
+            or self.corrupt_checkpoint_rounds
+        )
+
+    @property
     def is_zero(self) -> bool:
         """A plan that can never inject anything (the differential case)."""
         return (
             not self.has_channel_faults
             and not self.crashes
             and not self.link_outages
+            and not self.has_infra_faults
         )
 
     def permanent_crashes(self) -> Tuple[int, ...]:
@@ -192,6 +283,17 @@ class FaultPlan:
                 for o in self.link_outages
             ],
             "stall_patience": self.stall_patience,
+            "worker_hangs": [
+                {"shard": h.shard, "round": h.round, "repeats": h.repeats}
+                for h in self.worker_hangs
+            ],
+            "slow_workers": [
+                {"shard": s.shard, "round": s.round, "delay": s.delay}
+                for s in self.slow_workers
+            ],
+            "corrupt_checkpoint_rounds": list(
+                self.corrupt_checkpoint_rounds
+            ),
         }
 
     @classmethod
@@ -229,6 +331,26 @@ class FaultPlan:
             ),
             stall_patience=int(
                 payload.get("stall_patience", DEFAULT_STALL_PATIENCE)
+            ),
+            worker_hangs=tuple(
+                WorkerHang(
+                    shard=int(h["shard"]),
+                    round=int(h["round"]),
+                    repeats=int(h.get("repeats", 1)),
+                )
+                for h in payload.get("worker_hangs", ())
+            ),
+            slow_workers=tuple(
+                SlowWorker(
+                    shard=int(s["shard"]),
+                    round=int(s["round"]),
+                    delay=float(s.get("delay", 0.5)),
+                )
+                for s in payload.get("slow_workers", ())
+            ),
+            corrupt_checkpoint_rounds=tuple(
+                int(r)
+                for r in payload.get("corrupt_checkpoint_rounds", ())
             ),
         )
 

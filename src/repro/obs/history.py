@@ -49,9 +49,11 @@ __all__ = [
     "HistoryLedger",
     "RegressionGates",
     "Violation",
+    "MAX_CHECKPOINT_OVERHEAD",
     "compare_bench_arena",
     "compare_bench_engine",
     "compare_bench_faults",
+    "compare_bench_recovery",
     "compare_bench_shard",
     "compare_payloads",
     "entry_from_result",
@@ -161,6 +163,16 @@ def entry_from_result(
     # single-process one, so W must not fork the content key.
     shard = getattr(stats, "shard", None)
     entry["workers"] = shard["workers"] if shard else 1
+    # Same rule for supervision: respawns and resume points are wall-
+    # clock history, not protocol configuration — a recovered or resumed
+    # run IS the uninterrupted run, so neither may fork the content key.
+    supervisor = getattr(stats, "supervisor", None)
+    entry["workers_restarted"] = (
+        supervisor["restarts"] if supervisor else 0
+    )
+    entry["resumed_from"] = (
+        supervisor["resumed_from"] if supervisor else None
+    )
     if wall_seconds is not None:
         entry["wall_seconds"] = round(wall_seconds, 6)
     return entry
@@ -445,6 +457,43 @@ class HistoryLedger:
                 "max_shard_ledger_words",
                 "event_seconds", "shard_seconds", "shard_cpu_seconds",
                 "projected_speedup",
+            ):
+                if metric in row:
+                    entry[metric] = row[metric]
+            self.append(entry)
+            count += 1
+        return count
+
+    def ingest_bench_recovery(
+        self, payload: Dict[str, Any], git_rev: Optional[str] = None
+    ) -> int:
+        """Append one record per BENCH_recovery.json row; returns the count.
+
+        Rows are keyed by (family, n, protocol, scenario) — a scenario
+        is one recovery path ("resume", "hang_respawn", "overhead", ...)
+        so each path's identity verdict and latency trend separately.
+        """
+        count = 0
+        for row in payload.get("rows", ()):
+            ident = {
+                "benchmark": "recovery",
+                "family": row.get("family"),
+                "n": row.get("n"),
+                "protocol": row.get("protocol"),
+                "scenario": row.get("scenario"),
+            }
+            entry = {
+                "kind": "bench_recovery",
+                "key": run_key("bench", ident, "shard", git_rev),
+                "git_rev": git_rev,
+            }
+            entry.update(ident)
+            for metric in (
+                "rounds", "bits", "messages", "identical_after_resume",
+                "restarts", "checkpoints_written", "checkpoint_bytes",
+                "workers", "faults",
+                "uninterrupted_seconds", "supervised_seconds",
+                "overhead_fraction", "recovery_seconds",
             ):
                 if metric in row:
                     entry[metric] = row[metric]
@@ -834,6 +883,113 @@ def compare_bench_shard(
     return violations, compared
 
 
+#: Checkpoint overhead ceiling: a supervised run with checkpoints on
+#: may cost at most this fraction of wall time over the unsupervised
+#: run (the PR acceptance figure, enforced as a wall-clock gate).
+MAX_CHECKPOINT_OVERHEAD = 0.05
+
+
+def compare_bench_recovery(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    gates: RegressionGates = RegressionGates(),
+) -> Tuple[List[Violation], int]:
+    """Gate a fresh BENCH_recovery payload against a baseline.
+
+    Rows are matched by (family, n, protocol, scenario).  Hard gates:
+    rounds/bits/messages are exact-match (recovery must be invisible in
+    every wire total), ``identical_after_resume`` must stay true, and
+    the restart count must replay exactly (fault plans are keyed
+    hashes, so a drifting restart count means the supervisor changed
+    behavior).  Soft wall gates: recovery latency ratio and the ≤ 5%
+    checkpoint overhead ceiling (:data:`MAX_CHECKPOINT_OVERHEAD`).
+    """
+    def rows_by_id(payload):
+        return {
+            (
+                row.get("family"), row.get("n"), row.get("protocol"),
+                row.get("scenario"),
+            ): row
+            for row in payload.get("rows", ())
+        }
+
+    base_rows = rows_by_id(baseline)
+    cur_rows = rows_by_id(current)
+    violations: List[Violation] = []
+    compared = 0
+    for ident in sorted(
+        set(base_rows) & set(cur_rows), key=lambda k: tuple(map(str, k))
+    ):
+        compared += 1
+        base, cur = base_rows[ident], cur_rows[ident]
+        label = "{}-{}/{} [{}]".format(*ident)
+        for key in ("rounds", "bits", "messages", "restarts"):
+            if key in base and key in cur and base[key] != cur[key]:
+                violations.append(
+                    Violation(
+                        key,
+                        "{}: {} changed for an identical recovery "
+                        "scenario: {} -> {}".format(
+                            label, key, base[key], cur[key]
+                        ),
+                    )
+                )
+        if base.get("identical_after_resume") and not cur.get(
+            "identical_after_resume", True
+        ):
+            violations.append(
+                Violation(
+                    "identity",
+                    "{}: recovered run no longer bit-identical to the "
+                    "uninterrupted run".format(label),
+                )
+            )
+        if not gates.check_wall:
+            continue
+        if "overhead_fraction" in cur and (
+            cur["overhead_fraction"] > MAX_CHECKPOINT_OVERHEAD
+        ):
+            violations.append(
+                Violation(
+                    "overhead_fraction",
+                    "{}: checkpointing costs {:.1%} of wall time "
+                    "(ceiling {:.0%})".format(
+                        label, cur["overhead_fraction"],
+                        MAX_CHECKPOINT_OVERHEAD,
+                    ),
+                    hard=False,
+                )
+            )
+        for key in ("recovery_seconds", "supervised_seconds"):
+            if key not in base or key not in cur or not base[key]:
+                continue
+            ratio = cur[key] / base[key]
+            if ratio > gates.max_slowdown:
+                violations.append(
+                    Violation(
+                        key,
+                        "{}: {} slowed {:.2f}x over baseline "
+                        "({:.4f}s -> {:.4f}s; gate {:.2f}x)".format(
+                            label, key, ratio, base[key], cur[key],
+                            gates.max_slowdown,
+                        ),
+                        hard=False,
+                    )
+                )
+    for ident in sorted(
+        set(base_rows) - set(cur_rows), key=lambda k: tuple(map(str, k))
+    ):
+        violations.append(
+            Violation(
+                "coverage",
+                "{}-{}/{} [{}]: baseline row missing from the current "
+                "run".format(*ident),
+                hard=False,
+            )
+        )
+    return violations, compared
+
+
 def compare_payloads(
     baseline: Dict[str, Any],
     current: Dict[str, Any],
@@ -861,6 +1017,8 @@ def compare_payloads(
         return compare_bench_arena(baseline, current, gates)
     if kind_b == "shard_runtime":
         return compare_bench_shard(baseline, current, gates)
+    if kind_b == "recovery":
+        return compare_bench_recovery(baseline, current, gates)
     return (
         [Violation("schema", "unknown benchmark kind {!r}".format(kind_b))],
         0,

@@ -295,6 +295,33 @@ class Telemetry:
                 gauge("{}.ledger_words".format(prefix)).set(
                     entry["ledger_words"]
                 )
+        supervisor = getattr(stats, "supervisor", None)
+        if supervisor is not None:
+            # Supervised runs surface their recovery story: restarts and
+            # hang detections count infrastructure events (never protocol
+            # traffic — run.bits is identical with or without them), and
+            # the checkpoint figures price the durability overhead.
+            gauge("supervisor.restarts").set(supervisor["restarts"])
+            gauge("supervisor.hang_detections").set(
+                supervisor["hang_detections"]
+            )
+            gauge("supervisor.rollbacks").set(supervisor["rollbacks"])
+            gauge("supervisor.checkpoints_written").set(
+                supervisor["checkpoints_written"]
+            )
+            gauge("supervisor.checkpoint_bytes").set(
+                supervisor["checkpoint_bytes"]
+            )
+            gauge("supervisor.checkpoint_seconds").set(
+                supervisor["checkpoint_seconds"]
+            )
+            gauge("supervisor.shards_abandoned").set(
+                len(supervisor["shards_abandoned"])
+            )
+            if supervisor["resumed_from"] is not None:
+                gauge("supervisor.resumed_from").set(
+                    supervisor["resumed_from"]
+                )
 
     # ------------------------------------------------------------------
     # protocol hooks

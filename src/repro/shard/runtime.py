@@ -22,24 +22,58 @@ Cross-shard traffic travels as encoded wire frames batched per
 (src shard, dst shard) per round (:mod:`repro.shard.frames`), decoded
 through :mod:`repro.wire` on arrival.  See ``docs/sharding.md`` for
 the full barrier protocol and the fault/kill semantics.
+
+With a :class:`~repro.shard.supervisor.SupervisionConfig` the
+coordinator additionally supervises its workers: each child stamps a
+shared-memory heartbeat at every barrier, the blocking ``recv`` becomes
+a polling watchdog that tells *dead* (pipe EOF / process gone) from
+*hung* (alive but heartbeat stale), and either failure triggers a
+global rollback — kill every child, restore the newest round-boundary
+checkpoint (:mod:`repro.shard.checkpoint`), re-fork, replay.  Because
+a snapshot is taken at a barrier (every in-flight message is explicit
+state) and fault decisions are keyed hashes (the injector cursor is
+pure state), the replayed rounds are bit-identical, so supervision and
+resume never show up in any protocol output.  See
+``docs/recovery.md``.
 """
 
 from __future__ import annotations
 
 import heapq
 import os
+import pickle
+import time
 from operator import itemgetter
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.congest.node import Inbox, RoundContext
 from repro.congest.stats import SimulationStats
 from repro.exceptions import (
+    CheckpointError,
+    CheckpointPause,
     CongestViolationError,
     SimulationNotTerminatedError,
     SimulationStalledError,
 )
+from repro.shard.checkpoint import (
+    corrupt_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    prune_checkpoints,
+    resolve_checkpoint,
+    write_checkpoint,
+)
 from repro.shard.frames import decode_shard_frame, encode_shard_frame
 from repro.shard.partition import edge_cut, partition_nodes
+from repro.shard.supervisor import WorkerFailure, supervision_for
+
+#: FaultStats counters a worker ships (and a checkpoint snapshots).
+_FAULT_COUNTERS = (
+    "dropped", "duplicated", "delayed",
+    "corrupted_detected", "corrupted_undetected",
+    "crash_dropped", "link_dropped", "crash_rounds",
+)
 
 
 def _unwrap(node):
@@ -90,10 +124,49 @@ class _ShardWorker:
         self._outbox: Dict[int, List[Tuple[int, int, int, Any]]] = {}
         self.cross_messages = 0
         self.cross_bits = 0
+        # Supervision plumbing (set by _child_main in forked children).
+        self.incarnation = 0
+        self.heartbeat = None
+        plan = sim.faults.plan if sim.faults is not None else None
+        self._hangs = tuple(
+            h for h in getattr(plan, "worker_hangs", ())
+            if h.shard == shard_id
+        )
+        self._slows = tuple(
+            s for s in getattr(plan, "slow_workers", ())
+            if s.shard == shard_id
+        )
 
     # ------------------------------------------------------------------
+    def _apply_infra_faults(self, round_number: int) -> None:
+        """Realize scheduled WorkerHang/SlowWorker faults for this round.
+
+        A slow worker sleeps but keeps stamping its heartbeat (a healthy
+        straggler the watchdog must tolerate); a hung worker spins with
+        the heartbeat frozen, so only the supervisor's timeout can end
+        it.  Hangs apply to incarnations below ``repeats``: the default
+        1 hangs only the original worker, letting its checkpoint-
+        restored replacement sail past the same round.
+        """
+        for slow in self._slows:
+            if slow.round == round_number:
+                end = time.monotonic() + slow.delay
+                while True:
+                    if self.heartbeat is not None:
+                        self.heartbeat.value = time.monotonic()
+                    remaining = end - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    time.sleep(min(0.05, remaining))
+        for hang in self._hangs:
+            if hang.round == round_number and self.incarnation < hang.repeats:
+                while True:  # a wedge, by construction unrecoverable
+                    time.sleep(3600)
+
     def process_round(self, round_number: int, frames) -> Dict[str, Any]:
         """Run one synchronous round over this shard; return the report."""
+        if self._hangs or self._slows:
+            self._apply_infra_faults(round_number)
         sim = self.sim
         nodes = sim.nodes
         deferred = sim._deferred
@@ -341,12 +414,7 @@ class _ShardWorker:
         stats = faults.stats
         return {
             "counters": {
-                name: getattr(stats, name)
-                for name in (
-                    "dropped", "duplicated", "delayed",
-                    "corrupted_detected", "corrupted_undetected",
-                    "crash_dropped", "link_dropped", "crash_rounds",
-                )
+                name: getattr(stats, name) for name in _FAULT_COUNTERS
             },
             "recoveries": list(stats.recoveries),
             "seen_crashed": dict(faults._seen_crashed),
@@ -446,18 +514,158 @@ class _ShardWorker:
         payload["residue"] = sorted(sim._wake_heap)
         return payload
 
+    # ------------------------------------------------------------------
+    # checkpoint snapshot / restore (barrier-quiescent state only)
+    # ------------------------------------------------------------------
+    def _fault_cursor(self) -> Optional[Dict[str, Any]]:
+        """The injector's replay cursor: counters plus per-edge sequence
+        numbers.  Pure state — restoring it replays the exact same
+        keyed-hash fault decisions the original run would have made."""
+        faults = self.sim.faults
+        if faults is None:
+            return None
+        stats = faults.stats
+        return {
+            "counters": {
+                name: getattr(stats, name) for name in _FAULT_COUNTERS
+            },
+            "recoveries": list(stats.recoveries),
+            "edge_seq": dict(faults._edge_seq),
+            "seen_crashed": dict(faults._seen_crashed),
+            "last_progress": faults.last_progress_round,
+        }
 
-def _child_main(conn, worker) -> None:
+    def snapshot_blob(self) -> bytes:
+        """Pickle this shard's complete state at a round barrier.
+
+        At a barrier every message is explicit state: fresh deliveries
+        in ``in_flight``, delayed/duplicated ones in the future heap,
+        undelivered arrivals in the deferred inboxes.  Node objects
+        (ledger columns and all protocol fields) pickle as-is, except
+        that live telemetry handles are detached for the dump — they
+        hold unpicklable streams and are re-attached on restore.
+        """
+        sim = self.sim
+        detached = []
+        telemetry_nodes = []
+        for v in self.members:
+            node = sim.nodes[v]
+            for which, obj in {
+                id(node): ("outer", node),
+                id(_unwrap(node)): ("inner", _unwrap(node)),
+            }.values():
+                tel = getattr(obj, "telemetry", None)
+                if tel is not None:
+                    obj.telemetry = None
+                    detached.append((obj, tel))
+                    telemetry_nodes.append((v, which))
+        try:
+            state = {
+                "shard": self.shard_id,
+                "nodes": {v: sim.nodes[v] for v in self.members},
+                "telemetry_nodes": telemetry_nodes,
+                "in_flight": self.in_flight,
+                "future": list(self.future),
+                "fseq": self._fseq,
+                "cross_messages": self.cross_messages,
+                "cross_bits": self.cross_bits,
+                "deferred": {
+                    v: sim._deferred[v]
+                    for v in self.members
+                    if sim._deferred[v] is not None
+                },
+                "wake_heap": list(sim._wake_heap),
+                "wake_pending": {
+                    v: set(sim._wake_pending[v])
+                    for v in self.members
+                    if sim._wake_pending[v]
+                },
+                "faults": self._fault_cursor(),
+            }
+            return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            for obj, tel in detached:
+                obj.telemetry = tel
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot_blob` (from the unpickled dict).
+
+        Field *values* are written into the existing shared objects —
+        the simulator's wake/deferred structures are reset wholesale to
+        this shard's snapshot (critical in a re-forked child, which
+        inherits the parent's evolved shard-0 entries), and the fault
+        cursor is written into the inherited injector so shard 0's
+        live counters and a child's copy never mix.
+        """
+        sim = self.sim
+        for v, node in state["nodes"].items():
+            sim.nodes[v] = node
+        for v, which in state["telemetry_nodes"]:
+            node = sim.nodes[v]
+            obj = node if which == "outer" else _unwrap(node)
+            obj.telemetry = sim.telemetry
+        self.in_flight = state["in_flight"]
+        self.future = list(state["future"])
+        self._fseq = state["fseq"]
+        self.cross_messages = state["cross_messages"]
+        self.cross_bits = state["cross_bits"]
+        self.edge_load = {}
+        self.edge_frames = {}
+        self._outbox = {}
+        deferred = sim._deferred
+        for v in range(len(deferred)):
+            deferred[v] = None
+        for v, box in state["deferred"].items():
+            deferred[v] = box
+        sim._wake_heap[:] = state["wake_heap"]
+        for pending in sim._wake_pending:
+            pending.clear()
+        for v, pending in state["wake_pending"].items():
+            sim._wake_pending[v] |= pending
+        cursor = state["faults"]
+        faults = sim.faults
+        if faults is not None and cursor is not None:
+            stats = faults.stats
+            for name, value in cursor["counters"].items():
+                setattr(stats, name, value)
+            stats.recoveries[:] = [
+                tuple(entry) for entry in cursor["recoveries"]
+            ]
+            faults._edge_seq.clear()
+            faults._edge_seq.update(cursor["edge_seq"])
+            faults._seen_crashed.clear()
+            faults._seen_crashed.update(cursor["seen_crashed"])
+            faults.last_progress_round = cursor["last_progress"]
+
+
+def _child_main(
+    conn, worker, heartbeat=None, restore=None, incarnation=0
+) -> None:
     """Command loop of a forked shard worker."""
+    worker.heartbeat = heartbeat
+    worker.incarnation = incarnation
+
+    def beat():
+        if heartbeat is not None:
+            heartbeat.value = time.monotonic()
+
     try:
+        if restore is not None:
+            worker.restore_state(pickle.loads(restore))
+        beat()
         while True:
             command = conn.recv()
+            beat()
             op = command[0]
             if op == "round":
                 report = worker.process_round(command[1], command[2])
+                beat()
                 conn.send(report)
                 if "shard_dead" in report:
                     break
+            elif op == "checkpoint":
+                conn.send(worker.snapshot_blob())
+                beat()
             elif op == "stall":
                 conn.send(worker.stall_sent_sources())
             elif op == "partial":
@@ -541,30 +749,130 @@ class _Coordinator:
         self.ledger_words = [0] * self.n_shards
         self.children: List[Tuple[int, Any, Any]] = []  # (shard, conn, proc)
         self.worker0: Optional[_ShardWorker] = None
+        # --- supervision / checkpoint state -----------------------------
+        self.supervision = supervision_for(
+            plan, getattr(sim, "supervision", None)
+        )
+        self.protocol_name = (
+            sim.protocol.name if getattr(sim, "protocol", None) else None
+        )
+        self.start_round = 0
+        self.restarts = [0] * self.n_shards
+        self.hang_detections = 0
+        self.rollbacks = 0
+        self.checkpoints_written = 0
+        self.checkpoint_bytes = 0
+        self.checkpoint_seconds = 0.0
+        self._last_ckpt_round = -1
+        self.resumed_from: Optional[int] = None
+        self.infra_dead: Set[int] = set()
+        self.heartbeats: List[Optional[Any]] = [None] * self.n_shards
+        self._workers: Dict[int, _ShardWorker] = {}
+        self._fallback_state: Optional[Dict[str, Any]] = None
+        self._join_timeout = 5.0
+        self._ctx = None
+        self._ckpt_run_dir: Optional[Path] = None
+        self._graph_hash: Optional[str] = None
+        sup = self.supervision
+        if sup is not None:
+            from repro.obs.history import graph_fingerprint, run_key
+
+            self._graph_hash = graph_fingerprint(sim.graph)
+            key = run_key(
+                self._graph_hash,
+                {
+                    "protocol": self.protocol_name,
+                    "partitioner": self.partitioner,
+                    "workers": self.n_shards,
+                    "faults": plan.to_dict() if plan is not None else None,
+                },
+                "shard",
+            )
+            self._run_key = key
+            if sup.checkpoints_enabled:
+                self._ckpt_run_dir = Path(sup.checkpoint_dir) / key
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         import multiprocessing
 
         sim = self.sim
-        ctx = multiprocessing.get_context("fork")
+        self._ctx = multiprocessing.get_context("fork")
         self.worker0 = _ShardWorker(
             sim, 0, self.assignment, self.shards, self.dead_rounds[0]
         )
         for shard in range(1, self.n_shards):
-            parent_conn, child_conn = ctx.Pipe()
-            worker = _ShardWorker(
+            self._workers[shard] = _ShardWorker(
                 sim, shard, self.assignment, self.shards,
                 self.dead_rounds[shard],
             )
-            proc = ctx.Process(
+        sup = self.supervision
+        state = None
+        if sup is not None and sup.resume_from is not None:
+            state = self._load_resume_state(sup.resume_from)
+            self._restore_coordinator_state(
+                pickle.loads(state["coordinator"])
+            )
+            self.worker0.restore_state(pickle.loads(state["shards"][0]))
+            self.start_round = state["round"]
+            self.resumed_from = state["round"]
+            self._last_ckpt_round = state["round"]
+        self._spawn_children(state)
+        if sup is not None:
+            # The in-memory rollback floor: the resume snapshot itself,
+            # or (fresh run) the pristine pre-round-0 state.  Recovery
+            # prefers newer on-disk checkpoints and falls back here when
+            # they are corrupt or checkpointing is off.
+            self._fallback_state = (
+                state if state is not None else self._capture_state(0)
+            )
+
+    def _spawn_children(self, state=None) -> None:
+        """Fork one child per live shard (optionally from restore blobs).
+
+        The blob rides the fork-inherited ``Process`` args: the child
+        unpickles and applies it *in its own address space*, so the
+        parent's copy of the shard (frozen at round 0) and the shared
+        injector are never disturbed.
+        """
+        sup = self.supervision
+        for shard in range(1, self.n_shards):
+            if not self.alive[shard]:
+                continue
+            heartbeat = (
+                self._ctx.Value("d", 0.0, lock=False)
+                if sup is not None else None
+            )
+            restore = state["shards"].get(shard) if state is not None else None
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
                 target=_child_main,
-                args=(child_conn, worker),
+                args=(
+                    child_conn, self._workers[shard], heartbeat, restore,
+                    self.restarts[shard],
+                ),
                 daemon=True,
             )
             proc.start()
             child_conn.close()
             self.children.append((shard, parent_conn, proc))
+            self.heartbeats[shard] = heartbeat
+
+    def _kill_children(self) -> None:
+        """Tear the worker pool down hard (rollback path: no goodbyes)."""
+        for _shard, conn, _proc in self.children:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for _shard, _conn, proc in self.children:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=self._join_timeout)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=self._join_timeout)
+        self.children = []
 
     def shutdown(self, notify: bool = True) -> None:
         for shard, conn, proc in self.children:
@@ -578,10 +886,359 @@ class _Coordinator:
             except OSError:
                 pass
         for _shard, _conn, proc in self.children:
-            proc.join(timeout=5)
+            proc.join(timeout=self._join_timeout)
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=5)
+                proc.join(timeout=self._join_timeout)
+            if proc.is_alive():
+                # SIGTERM can be masked or mishandled by a wedged child;
+                # SIGKILL cannot.  Nothing may outlive the coordinator.
+                proc.kill()
+                proc.join(timeout=self._join_timeout)
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _stats_state(self) -> Dict[str, Any]:
+        stats = self.stats
+        return {
+            "message_count": stats.message_count,
+            "bit_count": stats.bit_count,
+            "max_edge_bits": stats.max_edge_bits_per_round,
+            "max_edge_messages": stats.max_edge_messages_per_round,
+            "round_series": list(stats.round_series),
+            "worst_edge": stats.worst_edge,
+            "cut": stats.cut,
+        }
+
+    def _restore_stats(self, snap: Dict[str, Any]) -> None:
+        stats = self.stats
+        stats.message_count = snap["message_count"]
+        stats.bit_count = snap["bit_count"]
+        stats.max_edge_bits_per_round = snap["max_edge_bits"]
+        stats.max_edge_messages_per_round = snap["max_edge_messages"]
+        stats.round_series[:] = snap["round_series"]
+        stats.worst_edge = snap["worst_edge"]
+        if stats.cut is not None and snap["cut"] is not None:
+            stats.cut.__dict__.update(snap["cut"].__dict__)
+
+    def _coordinator_state(self, round_number: int) -> Dict[str, Any]:
+        """The merge-loop state paired with the shard snapshots.
+
+        Restart counters are deliberately absent: the respawn budget
+        tracks wall-clock reality and must never roll back with the
+        protocol state.
+        """
+        return {
+            "round": round_number,
+            "done": bytes(self.done),
+            "done_count": self.done_count,
+            "alive": list(self.alive),
+            "min_wake": list(self.min_wake),
+            "future_len": list(self.future_len),
+            "min_future": list(self.min_future),
+            "pending_frames": [list(f) for f in self.pending_frames],
+            "pending_future_len": list(self.pending_future_len),
+            "pending_min_due": list(self.pending_min_due),
+            "fresh_next": self.fresh_next,
+            "last_progress": self.last_progress,
+            "residue": list(self.residue),
+            "dead_seen": set(self.dead_seen),
+            "dead_payloads": dict(self.dead_payloads),
+            "merged_fault_payloads": list(self.merged_fault_payloads),
+            "infra_dead": set(self.infra_dead),
+            "cross_messages": self.cross_messages,
+            "cross_bits": self.cross_bits,
+            "ledger_words": list(self.ledger_words),
+            "stats": self._stats_state(),
+        }
+
+    def _restore_coordinator_state(self, snap: Dict[str, Any]) -> None:
+        self.done = bytearray(snap["done"])
+        self.done_count = snap["done_count"]
+        self.alive = list(snap["alive"])
+        self.min_wake = list(snap["min_wake"])
+        self.future_len = list(snap["future_len"])
+        self.min_future = list(snap["min_future"])
+        self.pending_frames = [list(f) for f in snap["pending_frames"]]
+        self.pending_future_len = list(snap["pending_future_len"])
+        self.pending_min_due = list(snap["pending_min_due"])
+        self.fresh_next = snap["fresh_next"]
+        self.last_progress = snap["last_progress"]
+        self.residue = list(snap["residue"])
+        self.dead_seen = set(snap["dead_seen"])
+        self.dead_payloads = dict(snap["dead_payloads"])
+        self.merged_fault_payloads = list(snap["merged_fault_payloads"])
+        self.infra_dead = set(snap.get("infra_dead", ()))
+        self.cross_messages = snap["cross_messages"]
+        self.cross_bits = snap["cross_bits"]
+        self.ledger_words = list(snap["ledger_words"])
+        self._restore_stats(snap["stats"])
+
+    def _capture_state(self, round_number: int) -> Dict[str, Any]:
+        """In-memory snapshot taken in the parent (pre-round-0 only for
+        shards >= 1, whose parent-side copies stay frozen at round 0)."""
+        blobs = {}
+        for shard in range(1, self.n_shards):
+            if self.alive[shard]:
+                blobs[shard] = self._workers[shard].snapshot_blob()
+        blobs[0] = self.worker0.snapshot_blob()
+        return {
+            "round": round_number,
+            "shards": blobs,
+            "coordinator": pickle.dumps(
+                self._coordinator_state(round_number),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            ),
+        }
+
+    def _ckpt_meta(self) -> Dict[str, Any]:
+        meta = {
+            "graph": self._graph_hash,
+            "n": self.n,
+            "workers": self.n_shards,
+            "partitioner": self.partitioner,
+            "protocol": self.protocol_name,
+            "run_key": self._run_key,
+        }
+        sup = self.supervision
+        if sup is not None and sup.meta:
+            meta.update(sup.meta)
+        return meta
+
+    def _write_checkpoint(self, round_number: int) -> None:
+        """Snapshot every shard at the current barrier and commit it."""
+        sup = self.supervision
+        started = time.perf_counter()
+        for shard, conn, _proc in self.children:
+            if self.alive[shard]:
+                conn.send(("checkpoint",))
+        blobs = {0: self.worker0.snapshot_blob()}
+        for shard, conn, proc in self.children:
+            if self.alive[shard]:
+                reply = self._recv(shard, conn, proc, round_number)
+                if isinstance(reply, dict) and "error" in reply:
+                    self.shutdown()
+                    raise reply["error"]
+                blobs[shard] = reply
+        coord = pickle.dumps(
+            self._coordinator_state(round_number),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        ckpt = write_checkpoint(
+            self._ckpt_run_dir, round_number, blobs, coord,
+            self._ckpt_meta(),
+        )
+        self._last_ckpt_round = round_number
+        self.checkpoints_written += 1
+        self.checkpoint_bytes += sum(len(b) for b in blobs.values()) + len(
+            coord
+        )
+        plan = self.plan
+        if plan is not None and round_number in getattr(
+            plan, "corrupt_checkpoint_rounds", ()
+        ):
+            corrupt_checkpoint(ckpt, plan.seed, round_number)
+        prune_checkpoints(self._ckpt_run_dir, keep=sup.keep_checkpoints)
+        self.checkpoint_seconds += time.perf_counter() - started
+        if sup.stop_after is not None and round_number >= sup.stop_after:
+            raise CheckpointPause(ckpt, round_number)
+
+    def _load_resume_state(self, path) -> Dict[str, Any]:
+        ckpt = resolve_checkpoint(Path(path))
+        manifest, files = load_checkpoint(ckpt)
+        meta = manifest.get("meta", {})
+        mismatches = []
+        for key, ours in (
+            ("graph", self._graph_hash),
+            ("n", self.n),
+            ("workers", self.n_shards),
+            ("partitioner", self.partitioner),
+            ("protocol", self.protocol_name),
+        ):
+            theirs = meta.get(key)
+            if theirs != ours:
+                mismatches.append(
+                    "{}: checkpoint has {!r}, this run has {!r}".format(
+                        key, theirs, ours
+                    )
+                )
+        if mismatches:
+            raise CheckpointError(
+                "checkpoint {} belongs to a different run — {}".format(
+                    ckpt, "; ".join(mismatches)
+                )
+            )
+        shards = {
+            int(shard): files["shard-{}.bin".format(shard)]
+            for shard in manifest["shards"]
+        }
+        return {
+            "round": manifest["round"],
+            "shards": shards,
+            "coordinator": files["coordinator.bin"],
+            "path": ckpt,
+        }
+
+    def _load_rollback_state(self) -> Dict[str, Any]:
+        """Newest loadable snapshot: disk checkpoints newest-first (a
+        corrupt one is skipped, which the checksum turns loud-but-safe),
+        then the in-memory fallback (resume point or round 0)."""
+        if self._ckpt_run_dir is not None:
+            for ckpt in reversed(list_checkpoints(self._ckpt_run_dir)):
+                try:
+                    manifest, files = load_checkpoint(ckpt)
+                except CheckpointError:
+                    continue
+                return {
+                    "round": manifest["round"],
+                    "shards": {
+                        int(s): files["shard-{}.bin".format(s)]
+                        for s in manifest["shards"]
+                    },
+                    "coordinator": files["coordinator.bin"],
+                }
+        return self._fallback_state
+
+    def _restore_from_state(self, state: Dict[str, Any]) -> None:
+        self._restore_coordinator_state(pickle.loads(state["coordinator"]))
+        self.worker0.restore_state(pickle.loads(state["shards"][0]))
+        # A rollback may land before a checkpoint the run already wrote;
+        # allow the replay to rewrite the newer ones (atomically), so a
+        # corrupt snapshot heals instead of poisoning every later
+        # recovery.
+        self._last_ckpt_round = state["round"]
+
+    # ------------------------------------------------------------------
+    # supervision: watchdog recv + recovery
+    # ------------------------------------------------------------------
+    def _recv(self, shard: int, conn, proc, round_number: int):
+        """One worker reply — blocking when unsupervised, watchdog-polled
+        (dead vs hung) when supervised."""
+        sup = self.supervision
+        if sup is None:
+            try:
+                return conn.recv()
+            except EOFError:
+                raise RuntimeError(
+                    "shard worker {} exited unexpectedly at round "
+                    "{}".format(shard, round_number)
+                )
+        heartbeat = self.heartbeats[shard]
+        wait_start = time.monotonic()
+        step = min(0.05, sup.heartbeat_timeout / 4.0)
+        while True:
+            try:
+                if conn.poll(step):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise WorkerFailure(
+                    shard, "died",
+                    "pipe closed at round {}".format(round_number),
+                )
+            if not proc.is_alive():
+                raise WorkerFailure(
+                    shard, "died",
+                    "process exited at round {}".format(round_number),
+                )
+            last_beat = wait_start
+            if heartbeat is not None and heartbeat.value > last_beat:
+                last_beat = heartbeat.value
+            stale = time.monotonic() - last_beat
+            if stale > sup.heartbeat_timeout:
+                raise WorkerFailure(
+                    shard, "hung",
+                    "no heartbeat for {:.1f}s at round {}".format(
+                        stale, round_number
+                    ),
+                )
+
+    def _death_payload_from_blob(self, state: Dict[str, Any]) -> Dict[str, Any]:
+        """A ``_death_payload`` equivalent built from a checkpoint blob —
+        the handover when a worker's restart budget is exhausted and its
+        shard is abandoned at its last checkpointed state."""
+        from repro.core.records import ledger_storage_totals
+
+        nodes_out = []
+        ledgers = []
+        for v in sorted(state["nodes"]):
+            node = state["nodes"][v]
+            inner = _unwrap(node)
+            agg = getattr(inner, "aggregation", None)
+            counting = getattr(inner, "counting", None)
+            ledger = getattr(inner, "ledger", None)
+            rows = []
+            if ledger is not None:
+                ledgers.append(ledger)
+                source_col = ledger.source_col
+                sigma_col = ledger.sigma_col
+                psi_col = ledger.psi_col
+                for row in range(len(ledger)):
+                    if psi_col[row] is not None:
+                        rows.append(
+                            (source_col[row], sigma_col[row], psi_col[row])
+                        )
+            nodes_out.append({
+                "node": v,
+                "rows": rows,
+                "sent": inner.sent_sources(),
+                "diameter": getattr(agg, "diameter", None),
+                "start": getattr(counting, "own_start_time", None),
+                "done": node.done,
+            })
+        cursor = state["faults"]
+        faults_payload = None
+        if cursor is not None:
+            faults_payload = {
+                "counters": dict(cursor["counters"]),
+                "recoveries": list(cursor["recoveries"]),
+                "seen_crashed": dict(cursor["seen_crashed"]),
+            }
+        return {
+            "faults": faults_payload,
+            "cross_messages": state["cross_messages"],
+            "cross_bits": state["cross_bits"],
+            "ledger_words": ledger_storage_totals(ledgers)["words"],
+            "nodes": nodes_out,
+            "residue": sorted(state["wake_heap"]),
+        }
+
+    def _recover(self, failure: WorkerFailure) -> int:
+        """Global rollback after a worker failure; returns the round to
+        re-enter the loop at.
+
+        Within budget: kill every child, restore the newest loadable
+        snapshot into the parent, re-fork all workers from its blobs
+        (after exponential backoff) and replay — bit-identical by the
+        barrier-snapshot + keyed-hash-fault argument.  Budget exhausted:
+        same rollback, but the failed shard is handed to the existing
+        whole-shard-kill machinery (its members reported dead at their
+        checkpointed state) and the run degrades deterministically to a
+        partial CompletenessReport instead of stalling forever.
+        """
+        sup = self.supervision
+        shard = failure.shard
+        if failure.reason == "hung":
+            self.hang_detections += 1
+        self.rollbacks += 1
+        self._kill_children()
+        state = self._load_rollback_state()
+        if self.restarts[shard] >= sup.max_restarts:
+            self._restore_from_state(state)
+            payload = self._death_payload_from_blob(
+                pickle.loads(state["shards"][shard])
+            )
+            self._mark_dead(shard, payload)
+            self.infra_dead.add(shard)
+            self._spawn_children(state)
+            return state["round"]
+        self.restarts[shard] += 1
+        backoff = sup.backoff(self.restarts[shard] - 1)
+        if backoff > 0:
+            time.sleep(backoff)
+        self._restore_from_state(state)
+        self._spawn_children(state)
+        return state["round"]
 
     # ------------------------------------------------------------------
     # aggregate views
@@ -623,6 +1280,12 @@ class _Coordinator:
             _, node_id = heapq.heappop(residue)
             woken.add(node_id)
         faults = self.sim.faults
+        if faults is None:
+            # Supervision can abandon a shard with no fault plan at all
+            # (externally killed worker, restart budget exhausted); there
+            # is no crash accounting to mirror then.
+            self.dead_seen.update(woken)
+            return
         stats = faults.stats
         for node_id in sorted(woken):
             stats.crash_rounds += 1
@@ -746,15 +1409,11 @@ class _Coordinator:
             self.pending_future_len[0] = 0
             self.pending_min_due[0] = None
             reports.append((0, report0))
-        for shard, conn, _proc in self.children:
+        for shard, conn, proc in self.children:
             if self.alive[shard]:
-                try:
-                    reports.append((shard, conn.recv()))
-                except EOFError:
-                    raise RuntimeError(
-                        "shard worker {} exited unexpectedly at round "
-                        "{}".format(shard, round_number)
-                    )
+                reports.append(
+                    (shard, self._recv(shard, conn, proc, round_number))
+                )
         for shard, report in reports:
             if "error" in report:
                 self.alive[shard] = False
@@ -762,15 +1421,15 @@ class _Coordinator:
                 raise report["error"]
         return reports
 
-    def _broadcast_collect(self, command) -> Dict[int, Any]:
+    def _broadcast_collect(self, command, round_number: int = -1) -> Dict[int, Any]:
         """Send one command to every live child and gather the replies."""
         replies: Dict[int, Any] = {}
         for shard, conn, _proc in self.children:
             if self.alive[shard]:
                 conn.send(command)
-        for shard, conn, _proc in self.children:
+        for shard, conn, proc in self.children:
             if self.alive[shard]:
-                reply = conn.recv()
+                reply = self._recv(shard, conn, proc, round_number)
                 if isinstance(reply, dict) and "error" in reply:
                     self.shutdown()
                     raise reply["error"]
@@ -856,9 +1515,25 @@ class _Coordinator:
                 for shard in range(self.n_shards)
             ],
         }
+        if self.supervision is not None or self.resumed_from is not None:
+            self.stats.supervisor = {
+                "restarts": sum(self.restarts),
+                "restarts_per_shard": list(self.restarts),
+                "hang_detections": self.hang_detections,
+                "rollbacks": self.rollbacks,
+                "checkpoints_written": self.checkpoints_written,
+                "checkpoint_bytes": self.checkpoint_bytes,
+                "checkpoint_seconds": round(self.checkpoint_seconds, 6),
+                "last_checkpoint_round": (
+                    self._last_ckpt_round
+                    if self._last_ckpt_round >= 0 else None
+                ),
+                "resumed_from": self.resumed_from,
+                "shards_abandoned": sorted(self.infra_dead),
+            }
 
     def _finish(self, round_number: int) -> SimulationStats:
-        replies = self._broadcast_collect(("finish",))
+        replies = self._broadcast_collect(("finish",), round_number)
         for shard, reply in replies.items():
             self._absorb_common(shard, reply)
             self._patch_clean(shard, reply["extracts"])
@@ -885,7 +1560,9 @@ class _Coordinator:
         sent_by_node: Dict[int, frozenset] = {}
         if self.alive[0]:
             sent_by_node.update(self.worker0.stall_sent_sources())
-        for shard, reply in self._broadcast_collect(("stall",)).items():
+        for shard, reply in self._broadcast_collect(
+            ("stall",), round_number
+        ).items():
             sent_by_node.update(reply)
         for payload in self.dead_payloads.values():
             for entry in payload["nodes"]:
@@ -905,7 +1582,7 @@ class _Coordinator:
             )
         )
         for shard, reply in self._broadcast_collect(
-            ("partial", complete)
+            ("partial", complete), round_number
         ).items():
             self._absorb_common(shard, reply)
             self._patch_partial(shard, reply["extracts"])
@@ -915,11 +1592,22 @@ class _Coordinator:
             self._absorb_worker0()
         self._merge_fault_stats()
         self._attach_shard_summary()
+        crashed = (
+            tuple(sim.faults.crashed_nodes(round_number))
+            if sim.faults is not None else ()
+        )
+        if self.infra_dead:
+            # Members of abandoned shards are unreachable for the same
+            # practical reason crashed nodes are; report them alongside.
+            merged = set(crashed)
+            for shard in self.infra_dead:
+                merged.update(self.shards[shard])
+            crashed = tuple(sorted(merged))
         raise SimulationStalledError(
             round_number,
             self.last_progress,
             self._pending_nodes(),
-            sim.faults.crashed_nodes(round_number),
+            crashed,
         )
 
     def _abort(self, round_number: int) -> None:
@@ -933,6 +1621,21 @@ class _Coordinator:
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationStats:
+        """Drive the merge loop, recovering from worker failures.
+
+        Unsupervised this is exactly one ``_run_loop`` pass.  Supervised,
+        a :class:`WorkerFailure` escaping the loop (dead or hung worker,
+        detected anywhere a reply is awaited) triggers a rollback in
+        ``_recover`` and the loop re-enters at the restored round.
+        """
+        start = self.start_round
+        while True:
+            try:
+                return self._run_loop(start)
+            except WorkerFailure as failure:
+                start = self._recover(failure)
+
+    def _run_loop(self, start_round: int) -> SimulationStats:
         sim = self.sim
         stats = self.stats
         telemetry = sim.telemetry
@@ -946,9 +1649,14 @@ class _Coordinator:
         patience = None
         if faults is not None:
             patience = max(faults.plan.stall_patience, 2 * self.n)
+        sup = self.supervision
+        checkpoint_every = (
+            sup.checkpoint_every
+            if sup is not None and self._ckpt_run_dir is not None else 0
+        )
         max_rounds = sim.max_rounds
         by_sender = itemgetter(0)
-        round_number = 0
+        round_number = start_round
         while True:
             if on_tick is not None:
                 on_tick(round_number)
@@ -980,11 +1688,27 @@ class _Coordinator:
                     ):
                         if bound is not None and bound < skip_to:
                             skip_to = bound
+                    if skip_to == max_rounds + 1 and self.infra_dead:
+                        # Nothing will ever wake again and a shard was
+                        # abandoned mid-protocol.  Without a fault plan
+                        # no stall-patience timer exists, so degrade to
+                        # the partial-collection path here instead of
+                        # fast-forwarding into the round-limit abort.
+                        self._stall(round_number)
                     while round_number < skip_to:
                         stats.start_round()
                         round_number += 1
                     continue
-            # Processed round: residue accounting, then one barrier.
+            # Processed round: checkpoint at the barrier (pre-round state,
+            # so a resumed run re-enters the loop right here), then
+            # residue accounting, then the barrier itself.
+            if (
+                checkpoint_every
+                and round_number > 0
+                and round_number % checkpoint_every == 0
+                and round_number > self._last_ckpt_round
+            ):
+                self._write_checkpoint(round_number)
             self._pop_residue(round_number)
             self.fresh_next = False
             reports = self._collect_round_reports(round_number)
